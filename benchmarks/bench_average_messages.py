@@ -1,0 +1,41 @@
+"""EXP-AVG: average messages per request vs the paper's closed form.
+
+Paper (Section 4): the average is ``alpha_p / 2**p ~ 3/4 log2 N + 5/4``.
+The measured mean (every node requesting once from the initial configuration,
+exactly the paper's own summation) must match the recurrence exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.experiments.complexity import measure_complexity_from_initial
+
+
+@pytest.mark.parametrize("n", [4, 8, 16, 32, 64, 128])
+def test_average_messages_per_request(benchmark, n):
+    point = benchmark.pedantic(
+        measure_complexity_from_initial, args=(n,), rounds=1, iterations=1
+    )
+    assert point.measured_mean == pytest.approx(point.predicted_mean_exact, rel=1e-9)
+    print()
+    print(render_table([point.as_row()], title=f"EXP-AVG (n={n}): measured vs paper"))
+
+
+def test_average_messages_sweep_table(benchmark):
+    """The whole series in one table (the 'figure' the paper states in prose)."""
+
+    def sweep():
+        return [measure_complexity_from_initial(n) for n in (2, 4, 8, 16, 32, 64)]
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            [p.as_row() for p in points],
+            title="EXP-AVG: mean messages/request vs 3/4 log2 N + 5/4",
+        )
+    )
+    for point in points:
+        assert abs(point.measured_mean - point.predicted_mean_exact) < 1e-9

@@ -1,0 +1,53 @@
+"""EXP-CMP: open-cube vs Raymond, Naimi-Trehel and the other baselines.
+
+Reproduces the comparison made in the paper's introduction: bounded
+O(log2 N) cost for the open-cube, O(d) for Raymond's static tree, O(log n)
+average / O(n) worst for Naimi-Trehel, and the N-scaling broadcast
+algorithms for context.  The *shape* (who wins, roughly by how much) is the
+reproduction target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.experiments.comparison import adaptivity_experiment, compare_algorithms
+
+
+@pytest.mark.parametrize("n", [16, 32, 64])
+def test_serial_comparison(benchmark, n):
+    rows = benchmark.pedantic(
+        compare_algorithms, args=(n,), kwargs={"requests": 3 * n, "seed": 7}, rounds=1, iterations=1
+    )
+    table = {row.algorithm: row for row in rows}
+    print()
+    print(render_table([row.as_row() for row in rows], title=f"EXP-CMP serial (n={n})"))
+    assert table["open-cube"].mean_messages < table["raymond"].mean_messages
+    assert table["open-cube"].mean_messages < table["ricart-agrawala"].mean_messages
+    assert table["open-cube"].mean_messages < table["suzuki-kasami"].mean_messages
+
+
+def test_concurrent_comparison(benchmark):
+    rows = benchmark.pedantic(
+        compare_algorithms,
+        args=(32,),
+        kwargs={"requests": 96, "seed": 11, "serial": False},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table([row.as_row() for row in rows], title="EXP-CMP concurrent (n=32)"))
+    table = {row.algorithm: row for row in rows}
+    assert table["open-cube"].mean_messages < table["ricart-agrawala"].mean_messages
+
+
+def test_workload_adaptivity(benchmark):
+    """Introduction claim: frequent requesters end up close to the root."""
+    result = benchmark.pedantic(
+        adaptivity_experiment, args=(32,), kwargs={"requests": 16, "seed": 5}, rounds=1, iterations=1
+    )
+    print()
+    print(render_table([result], title="EXP-CMP adaptivity: repeated requester"))
+    assert result["open-cube_steady_state"] < result["open-cube_first_request"]
+    assert result["open-cube_steady_state"] <= result["raymond_steady_state"]

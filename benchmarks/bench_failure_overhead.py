@@ -1,0 +1,60 @@
+"""EXP-FAIL: extra messages per node failure (the conclusion's headline table).
+
+Paper (conclusion, Estelle on an Intel iPSC/2): N=32 -> 8 msg/failure over
+300 injected failures; N=64 -> 9.75 msg/failure over 200 failures; i.e.
+O(log2 N) per failure.  The reproduction injects fail-stop failures under a
+light background workload and reports (a) the difference in total traffic
+against a failure-free run of the same workload and (b) the count of
+fault-tolerance-specific messages, both divided by the number of failures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.experiments.failures import measure_failure_overhead
+
+
+@pytest.mark.parametrize("n,failures", [(16, 12), (32, 12), (64, 10)])
+def test_failure_overhead(benchmark, n, failures):
+    result = benchmark.pedantic(
+        measure_failure_overhead,
+        args=(n,),
+        kwargs={"failures": failures, "seed": 2},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table([result.as_row()], title=f"EXP-FAIL (n={n})"))
+    assert result.safety_ok
+    assert result.liveness_ok
+    # Shape check: recovery stays far below anything broadcast-like.  The
+    # typical run lands near the paper's single-digit msg/failure figure
+    # (see the printed table and EXPERIMENTS.md); unlucky schedules that hit
+    # the root repeatedly cost more, hence the generous envelope.
+    from repro.analysis import theory
+
+    envelope = n * theory.log2n(n)
+    assert result.extra_messages_per_failure < envelope
+    assert result.ft_messages_per_failure < envelope
+
+
+def test_failure_overhead_headline_pair(benchmark):
+    """The paper's two headline sizes side by side."""
+
+    def both():
+        return [
+            measure_failure_overhead(32, failures=15, seed=4),
+            measure_failure_overhead(64, failures=10, seed=4),
+        ]
+
+    results = benchmark.pedantic(both, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            [result.as_row() for result in results],
+            title="EXP-FAIL headline: paper reports 8 (N=32) and 9.75 (N=64) msg/failure",
+        )
+    )
+    assert all(result.safety_ok and result.liveness_ok for result in results)

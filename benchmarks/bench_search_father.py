@@ -1,0 +1,47 @@
+"""EXP-SF: probe cost of the search_father reconnection procedure.
+
+Paper (Section 5): each phase d probes the 2^(d-1) nodes at distance d; the
+worst case tests the whole cube, the average is O(log2 N).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import theory
+from repro.analysis.tables import render_table
+from repro.core.opencube import OpenCubeTree
+from repro.experiments.failures import single_failure_probe_cost
+
+
+@pytest.mark.parametrize("n", [16, 32, 64])
+def test_search_father_probe_cost_per_failure_position(benchmark, n):
+    """Fail each internal node once; its son must reconnect via probes."""
+
+    def sweep():
+        tree = OpenCubeTree.initial(n)
+        rows = []
+        for failed in tree.nodes():
+            sons = tree.sons(failed)
+            if not sons:
+                continue
+            requester = sons[0]
+            rows.append(single_failure_probe_cost(n, failed, requester, seed=1))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    tests = [row["test_messages"] for row in rows]
+    mean_tests = sum(tests) / len(tests)
+    print()
+    print(render_table(rows[:8], title=f"EXP-SF (n={n}) first rows"))
+    print(
+        f"  mean probes/failure = {mean_tests:.2f}  "
+        f"(O(log2 N) reference = {theory.log2n(n):.1f}, worst case = {theory.search_father_worst_probes(n)})"
+    )
+    assert all(row["granted"] == 1 for row in rows)
+    # One reconnection probes at most the whole cube; occasionally a second
+    # sweep follows (the regenerated request can stall again behind the same
+    # failure), hence the factor-two envelope.
+    assert max(tests) <= 2 * theory.search_father_worst_probes(n)
+    # Average stays well below the whole-cube worst case (O(log2 N) shape).
+    assert mean_tests <= 4 * theory.log2n(n) + 4

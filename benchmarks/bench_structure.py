@@ -1,0 +1,65 @@
+"""EXP-F2 / EXP-F3 / EXP-T21 / EXP-P23: structural results of Section 2.
+
+Regenerates the paper's structural figures (open-cubes of Figure 2, the
+hypercube relation of Figure 3) and exhaustively checks Theorem 2.1 and
+Proposition 2.3, while timing the structural operations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.opencube import OpenCubeTree
+from repro.experiments.structure import (
+    b_transformation_report,
+    branch_bound_report,
+    figure2_tables,
+    hypercube_subset_report,
+)
+
+
+def test_figure2_open_cubes(benchmark):
+    """EXP-F2: build and validate the open-cubes of Figure 2 (n=2..16)."""
+    rows = benchmark(figure2_tables)
+    assert all(row["valid"] for row in rows)
+    printable = [
+        {"n": row["n"], "root": row["root"], "valid": row["valid"]} for row in rows
+    ]
+    print()
+    print(render_table(printable, title="Figure 2: canonical open-cubes"))
+    for row in rows:
+        print(f"  n={row['n']}: fathers={row['fathers']}")
+
+
+def test_figure3_hypercube_subset(benchmark):
+    """EXP-F3: every open-cube edge is a hypercube edge (links removed)."""
+    rows = benchmark(hypercube_subset_report, (2, 4, 8, 16, 32, 64))
+    assert all(row["is_subset"] for row in rows)
+    print()
+    print(render_table(rows, title="Figure 3: open-cube vs hypercube edges"))
+
+
+def test_theorem_2_1_b_transformations(benchmark):
+    """EXP-T21: b-transformations preserve the structure iff boundary edge."""
+    report = benchmark(b_transformation_report, 16)
+    assert report["theorem_holds"]
+    print()
+    print(render_table([report], title="Theorem 2.1 exhaustive check (n=16)"))
+
+
+def test_proposition_2_3_branch_bound(benchmark):
+    """EXP-P23: branch length <= log2(N) - n1 on every branch."""
+    rows = benchmark(branch_bound_report, (4, 8, 16, 32, 64, 128, 256))
+    assert all(row["bound_holds"] for row in rows)
+    print()
+    print(render_table(rows, title="Proposition 2.3: branch-length bound"))
+
+
+def test_structure_validation_throughput(benchmark):
+    """Micro-benchmark: validating a 1024-node open-cube."""
+    tree = OpenCubeTree.initial(1024)
+
+    def validate():
+        tree.validate()
+        return True
+
+    assert benchmark(validate)

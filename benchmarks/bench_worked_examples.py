@@ -1,0 +1,72 @@
+"""EXP-EX36 / EXP-F13: the paper's worked examples as end-to-end scenarios.
+
+* Section 3.2 (Figures 6-8): requests by nodes 10 and 8 while node 6 holds a
+  borrowed token on the 16-open-cube; the run must end in the Figure 8
+  configuration (node 8 is the new root and keeps the token).
+* Section 5 (Figures 14-17): node 9 fails before serving nodes 10 and 12,
+  both reconnect via search_father, node 9 later recovers and the anomaly
+  protocol repairs node 13's stale attachment.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.builders import build_fault_tolerant_cluster, build_opencube_cluster
+from repro.core.opencube import OpenCubeTree
+from repro.simulation.network import ConstantDelay
+
+
+def _section_3_2_scenario():
+    cluster = build_opencube_cluster(16, seed=0, delay_model=ConstantDelay(1.0))
+    cluster.request_cs(6, at=0.0, hold=8.0)
+    cluster.request_cs(10, at=1.0, hold=0.5)
+    cluster.request_cs(8, at=1.2, hold=0.5)
+    cluster.run_until_quiescent()
+    return cluster
+
+
+def test_section_3_2_example(benchmark):
+    cluster = benchmark.pedantic(_section_3_2_scenario, rounds=1, iterations=1)
+    tree = OpenCubeTree(16, cluster.father_map())
+    row = {
+        "requests_granted": len(cluster.metrics.satisfied_requests()),
+        "total_messages": cluster.metrics.total_messages(),
+        "final_root": tree.root,
+        "structure_valid": tree.is_valid(),
+        "token_holder": cluster.token_holders()[0],
+    }
+    print()
+    print(render_table([row], title="EXP-EX36: Section 3.2 example (Figures 6-8)"))
+    assert row["final_root"] == 8 and row["token_holder"] == 8
+    assert row["structure_valid"]
+    assert row["total_messages"] == 15
+
+
+def _section_5_scenario():
+    cluster = build_fault_tolerant_cluster(16, seed=0, delay_model=ConstantDelay(1.0))
+    cluster.fail_node(9, at=0.5)
+    cluster.request_cs(10, at=1.0, hold=0.5)
+    cluster.request_cs(12, at=1.1, hold=0.5)
+    cluster.recover_node(9, at=400.0)
+    cluster.request_cs(13, at=500.0, hold=0.5)
+    cluster.run_until_quiescent()
+    return cluster
+
+
+def test_section_5_failure_recovery_example(benchmark):
+    cluster = benchmark.pedantic(_section_5_scenario, rounds=1, iterations=1)
+    metrics = cluster.metrics
+    kinds = metrics.messages_by_kind
+    row = {
+        "requests_granted": len(metrics.satisfied_requests()),
+        "test_messages": kinds.get("TestMessage", 0),
+        "anomaly_messages": kinds.get("AnomalyMessage", 0),
+        "token_holders": len(cluster.token_holders()),
+        "node13_father": cluster.node(13).father,
+    }
+    print()
+    print(render_table([row], title="EXP-F13: Section 5 example (Figures 14-17)"))
+    assert row["requests_granted"] == 3
+    assert row["test_messages"] > 0
+    assert row["token_holders"] == 1
+    assert row["node13_father"] != 9

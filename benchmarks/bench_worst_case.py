@@ -1,0 +1,39 @@
+"""EXP-WC: worst-case messages per request.
+
+Paper claim: ``log2 N + 1``.  Counting every sent message (including the
+requester's own first message, which the paper's derivation omits) the bound
+is ``log2 N + 2``; the measured maximum must stay within the counted bound
+and reach it for some requester (the bound is tight).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import theory
+from repro.analysis.tables import render_table
+from repro.experiments.complexity import measure_complexity_from_initial
+
+
+@pytest.mark.parametrize("n", [8, 16, 32, 64, 128, 256])
+def test_worst_case_messages(benchmark, n):
+    point = benchmark.pedantic(
+        measure_complexity_from_initial, args=(n,), rounds=1, iterations=1
+    )
+    counted_bound = theory.worst_case_messages_counted(n)
+    assert point.measured_max <= counted_bound
+    assert point.measured_max >= theory.worst_case_messages(n)  # the bound is tight
+    print()
+    print(
+        render_table(
+            [
+                {
+                    "n": n,
+                    "measured_worst": point.measured_max,
+                    "paper_bound (log2N+1)": theory.worst_case_messages(n),
+                    "counted_bound (log2N+2)": counted_bound,
+                }
+            ],
+            title=f"EXP-WC (n={n})",
+        )
+    )

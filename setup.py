@@ -1,0 +1,10 @@
+"""Setup shim so editable installs work without the `wheel` package.
+
+The environment has no network access and no `wheel` distribution, which the
+PEP 517 editable build path requires; the legacy `setup.py develop` path used
+by ``pip install -e . --no-use-pep517`` only needs setuptools.
+"""
+
+from setuptools import setup
+
+setup()

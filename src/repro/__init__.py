@@ -1,0 +1,53 @@
+"""Reproduction of Helary & Mostefaoui's open-cube mutual exclusion algorithm.
+
+The package is organised as follows:
+
+* :mod:`repro.core` -- the open-cube structure and the (failure-free and
+  fault-tolerant) mutual exclusion algorithm, the paper's contribution.
+* :mod:`repro.scheme` -- the general token-and-tree scheme of which the paper's
+  algorithm, Raymond's and Naimi-Trehel's are instances.
+* :mod:`repro.baselines` -- comparison algorithms.
+* :mod:`repro.simulation` -- deterministic discrete-event substrate.
+* :mod:`repro.runtime` -- asyncio runtime for running nodes concurrently.
+* :mod:`repro.workload` -- request arrival generators.
+* :mod:`repro.verification` -- safety / liveness / structure checkers.
+* :mod:`repro.analysis` -- closed-form formulas and result formatting.
+* :mod:`repro.experiments` -- the harness regenerating the paper's numbers.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    OpenCubeMutexNode,
+    OpenCubeTree,
+    build_fault_tolerant_cluster,
+    build_opencube_cluster,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    InvalidTopologyError,
+    InvalidTransformationError,
+    LivenessViolationError,
+    ProtocolError,
+    ReproError,
+    SafetyViolationError,
+    SimulationError,
+)
+from repro.simulation import SimulatedCluster, Simulator
+
+__all__ = [
+    "__version__",
+    "OpenCubeMutexNode",
+    "OpenCubeTree",
+    "build_fault_tolerant_cluster",
+    "build_opencube_cluster",
+    "ConfigurationError",
+    "InvalidTopologyError",
+    "InvalidTransformationError",
+    "LivenessViolationError",
+    "ProtocolError",
+    "ReproError",
+    "SafetyViolationError",
+    "SimulationError",
+    "SimulatedCluster",
+    "Simulator",
+]

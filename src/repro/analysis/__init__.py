@@ -1,0 +1,18 @@
+"""Analytical formulas, statistics and result formatting."""
+
+from repro.analysis import theory
+from repro.analysis.stats import Summary, mean, median, percentile, stdev, summarize
+from repro.analysis.tables import format_number, render_series, render_table
+
+__all__ = [
+    "theory",
+    "Summary",
+    "mean",
+    "median",
+    "percentile",
+    "stdev",
+    "summarize",
+    "format_number",
+    "render_series",
+    "render_table",
+]

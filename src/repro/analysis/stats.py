@@ -1,0 +1,93 @@
+"""Small statistics helpers used by the experiment harness.
+
+Kept dependency-free (no numpy/scipy requirement at runtime) so the core
+library stays lightweight; the benchmark scripts may use numpy directly when
+convenient.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Summary", "summarize", "mean", "stdev", "median", "percentile"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (0.0 for an empty sequence)."""
+    values = sorted(values)
+    if not values:
+        return 0.0
+    mid = len(values) // 2
+    if len(values) % 2:
+        return float(values[mid])
+    return (values[mid - 1] + values[mid]) / 2.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, ``q`` in [0, 100]."""
+    values = sorted(values)
+    if not values:
+        return 0.0
+    q = min(max(q, 0.0), 100.0)
+    rank = max(1, math.ceil(q / 100.0 * len(values)))
+    return float(values[rank - 1])
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Dictionary form, convenient for table rows."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "median": self.median,
+            "p95": self.p95,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Build a :class:`Summary` of a sample."""
+    values = [float(v) for v in values]
+    if not values:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        stdev=stdev(values),
+        minimum=min(values),
+        median=median(values),
+        p95=percentile(values, 95.0),
+        maximum=max(values),
+    )

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The paper reports its results as prose figures ("8 msg/failure", "log2 N + 1
+messages per request"); the benchmarks print aligned tables with a measured
+column next to the paper/theory column so the comparison is immediate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "format_number"]
+
+
+def format_number(value: Any, precision: int = 2) -> str:
+    """Render a cell: floats rounded, everything else via ``str``."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    *,
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[format_number(row.get(col, ""), precision) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered)) for i, col in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[i] for i in range(len(cols))))
+    for line in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def render_series(
+    xs: Sequence[Any],
+    series: Mapping[str, Sequence[Any]],
+    *,
+    x_label: str = "x",
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render several aligned series (one column per series) against ``xs``."""
+    rows = []
+    for index, x in enumerate(xs):
+        row: dict[str, Any] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return render_table(rows, [x_label, *series.keys()], title=title, precision=precision)

@@ -1,0 +1,25 @@
+"""Baseline mutual exclusion algorithms used for comparison."""
+
+from repro.baselines.central import CentralClientNode, CentralCoordinatorNode, build_central_nodes
+from repro.baselines.naimi_trehel import NaimiTrehelNode, build_naimi_trehel_nodes
+from repro.baselines.raymond import RaymondNode, build_raymond_nodes
+from repro.baselines.registry import ALGORITHMS, algorithm_names, build_cluster
+from repro.baselines.ricart_agrawala import RicartAgrawalaNode, build_ricart_agrawala_nodes
+from repro.baselines.suzuki_kasami import SuzukiKasamiNode, build_suzuki_kasami_nodes
+
+__all__ = [
+    "CentralClientNode",
+    "CentralCoordinatorNode",
+    "build_central_nodes",
+    "NaimiTrehelNode",
+    "build_naimi_trehel_nodes",
+    "RaymondNode",
+    "build_raymond_nodes",
+    "ALGORITHMS",
+    "algorithm_names",
+    "build_cluster",
+    "RicartAgrawalaNode",
+    "build_ricart_agrawala_nodes",
+    "SuzukiKasamiNode",
+    "build_suzuki_kasami_nodes",
+]

@@ -1,0 +1,113 @@
+"""Centralized-coordinator mutual exclusion (baseline).
+
+The simplest possible solution: one coordinator serialises every request.
+Three messages per request (request, grant, release) but a single point of
+failure and a hotspot — the contrast the token-tree algorithms are designed
+to avoid.  Used as a floor in the comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.core.messages import CentralGrant, CentralRelease, CentralRequest, Message
+from repro.exceptions import ProtocolError
+from repro.simulation.process import MutexNode
+
+__all__ = ["CentralCoordinatorNode", "CentralClientNode", "build_central_nodes"]
+
+
+class CentralCoordinatorNode(MutexNode):
+    """The coordinator: owns the permission and serialises grants."""
+
+    def __init__(self, node_id: int, n: int) -> None:
+        super().__init__(node_id, n)
+        self.queue: deque[int] = deque()
+        self.busy_with: int | None = None
+
+    def acquire(self) -> None:
+        self.queue.append(self.node_id)
+        self._grant_next()
+
+    def release(self) -> None:
+        if not self.in_critical_section:
+            raise ProtocolError(f"coordinator {self.node_id} released a CS it does not hold")
+        self.notify_released()
+        self.busy_with = None
+        self._grant_next()
+
+    def on_message(self, sender: int, message: Message) -> None:
+        if isinstance(message, CentralRequest):
+            self.queue.append(message.requester)
+            self._grant_next()
+        elif isinstance(message, CentralRelease):
+            if self.busy_with != message.requester:
+                raise ProtocolError(
+                    f"release from {message.requester} but the CS belongs to {self.busy_with}"
+                )
+            self.busy_with = None
+            self._grant_next()
+        else:
+            raise ProtocolError(f"coordinator received unsupported message {message.kind}")
+
+    def _grant_next(self) -> None:
+        if self.busy_with is not None or not self.queue:
+            return
+        head = self.queue.popleft()
+        self.busy_with = head
+        if head == self.node_id:
+            self.notify_granted()
+        else:
+            self.env.send(head, CentralGrant())
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(
+            {"token_here": self.busy_with is None, "queue": len(self.queue), "busy_with": self.busy_with}
+        )
+        return base
+
+
+class CentralClientNode(MutexNode):
+    """A client: forwards its wishes to the coordinator."""
+
+    def __init__(self, node_id: int, n: int, *, coordinator: int) -> None:
+        super().__init__(node_id, n)
+        self.coordinator = coordinator
+        self.waiting = 0
+
+    def acquire(self) -> None:
+        self.waiting += 1
+        self.env.send(self.coordinator, CentralRequest(requester=self.node_id))
+
+    def release(self) -> None:
+        if not self.in_critical_section:
+            raise ProtocolError(f"node {self.node_id} released a CS it does not hold")
+        self.notify_released()
+        self.env.send(self.coordinator, CentralRelease(requester=self.node_id))
+
+    def on_message(self, sender: int, message: Message) -> None:
+        if isinstance(message, CentralGrant):
+            if self.waiting <= 0:
+                raise ProtocolError(f"node {self.node_id} granted a CS it never asked for")
+            self.waiting -= 1
+            self.notify_granted()
+        else:
+            raise ProtocolError(f"client received unsupported message {message.kind}")
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update({"waiting": self.waiting, "token_here": False})
+        return base
+
+
+def build_central_nodes(n: int, *, coordinator: int = 1) -> dict[int, MutexNode]:
+    """Create a coordinator plus ``n - 1`` clients."""
+    nodes: dict[int, MutexNode] = {}
+    for node in range(1, n + 1):
+        if node == coordinator:
+            nodes[node] = CentralCoordinatorNode(node, n)
+        else:
+            nodes[node] = CentralClientNode(node, n, coordinator=coordinator)
+    return nodes

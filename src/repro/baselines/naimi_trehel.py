@@ -1,0 +1,123 @@
+"""Naimi-Trehel's path-reversal mutual exclusion algorithm (baseline).
+
+M. Naimi, M. Trehel, "An improvement of the log(n) distributed algorithm for
+mutual exclusion", ICDCS 1987 — the *fully dynamic* extreme of the general
+scheme: every node is permanently *transit*, the tree follows the requests
+and can reach any configuration, giving O(log n) messages per request on
+average but O(n) in the worst case.
+
+Variables follow the original presentation: ``father`` (probable owner,
+``None`` when the node is the tail of the distributed waiting queue),
+``next`` (the node to hand the token to after leaving the critical section),
+``requesting`` and ``token_present``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.messages import Message, NaimiTrehelRequest, NaimiTrehelToken
+from repro.exceptions import ProtocolError
+from repro.simulation.process import MutexNode
+
+__all__ = ["NaimiTrehelNode", "build_naimi_trehel_nodes"]
+
+
+class NaimiTrehelNode(MutexNode):
+    """One node of the Naimi-Trehel algorithm."""
+
+    def __init__(self, node_id: int, n: int, *, father: int | None, has_token: bool) -> None:
+        super().__init__(node_id, n)
+        self.father = father
+        self.next: int | None = None
+        self.requesting = False
+        self.token_present = has_token
+        self.pending_local = 0
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def acquire(self) -> None:
+        if self.requesting or self.in_critical_section:
+            # One outstanding request at a time; extra wishes are remembered
+            # and replayed on release.
+            self.pending_local += 1
+            return
+        self.requesting = True
+        if self.father is None:
+            # This node is the current tail and holds (or will hold) the token.
+            if self.token_present:
+                self.notify_granted()
+            return
+        self.env.send(self.father, NaimiTrehelRequest(requester=self.node_id))
+        self.father = None
+
+    def release(self) -> None:
+        if not self.in_critical_section:
+            raise ProtocolError(f"node {self.node_id} released a CS it does not hold")
+        self.requesting = False
+        self.notify_released()
+        if self.next is not None:
+            self.env.send(self.next, NaimiTrehelToken())
+            self.token_present = False
+            self.next = None
+        if self.pending_local:
+            self.pending_local -= 1
+            self.acquire()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, sender: int, message: Message) -> None:
+        if isinstance(message, NaimiTrehelRequest):
+            self._receive_request(message.requester)
+        elif isinstance(message, NaimiTrehelToken):
+            self._receive_token()
+        else:
+            raise ProtocolError(
+                f"Naimi-Trehel node {self.node_id} received unsupported message {message.kind}"
+            )
+
+    def _receive_request(self, requester: int) -> None:
+        if self.father is None:
+            if self.requesting or self.in_critical_section:
+                self.next = requester
+            else:
+                self.token_present = False
+                self.env.send(requester, NaimiTrehelToken())
+        else:
+            self.env.send(self.father, NaimiTrehelRequest(requester=requester))
+        self.father = requester
+
+    def _receive_token(self) -> None:
+        self.token_present = True
+        if self.requesting:
+            self.notify_granted()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(
+            {
+                "father": self.father,
+                "next": self.next,
+                "token_here": self.token_present,
+                "requesting": self.requesting,
+            }
+        )
+        return base
+
+
+def build_naimi_trehel_nodes(n: int, *, root: int = 1) -> dict[int, NaimiTrehelNode]:
+    """Create Naimi-Trehel nodes with a star pointing at the elected root."""
+    return {
+        node: NaimiTrehelNode(
+            node,
+            n,
+            father=None if node == root else root,
+            has_token=(node == root),
+        )
+        for node in range(1, n + 1)
+    }

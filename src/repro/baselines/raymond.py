@@ -1,0 +1,140 @@
+"""Raymond's tree-based mutual exclusion algorithm (baseline).
+
+K. Raymond, "A tree-based algorithm for distributed mutual exclusion", ACM
+TOCS 1989 — the *static tree* extreme of the general scheme, explicitly
+discussed in the paper's introduction: the tree structure never changes,
+only the direction of its edges (the ``holder`` variables) follows the
+token.  Worst-case message cost per request is O(d) where ``d`` is the
+static tree's diameter.
+
+The implementation follows Raymond's original presentation: a ``holder``
+pointer per node, a local FIFO ``request_q`` and the ``asked`` flag that
+prevents duplicate requests on a link.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Mapping
+
+from repro.core.messages import Message, RaymondRequest, RaymondToken
+from repro.core.opencube import OpenCubeTree
+from repro.exceptions import ProtocolError
+from repro.simulation.process import MutexNode
+
+__all__ = ["RaymondNode", "build_raymond_nodes"]
+
+
+class RaymondNode(MutexNode):
+    """One node of Raymond's algorithm.
+
+    Args:
+        node_id: this node's identity.
+        n: number of nodes.
+        neighbours: adjacent nodes in the static (undirected) tree.
+        holder: the neighbour in whose direction the token lies, or the node
+            itself when it holds the token initially.
+    """
+
+    def __init__(self, node_id: int, n: int, *, neighbours: list[int], holder: int) -> None:
+        super().__init__(node_id, n)
+        self.neighbours = list(neighbours)
+        if holder != node_id and holder not in self.neighbours:
+            raise ProtocolError(
+                f"holder {holder} of node {node_id} must be the node itself or a neighbour"
+            )
+        self.holder = holder
+        self.using = False
+        self.asked = False
+        self.request_q: deque[int] = deque()
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def acquire(self) -> None:
+        self.request_q.append(self.node_id)
+        self._assign_privilege()
+        self._make_request()
+
+    def release(self) -> None:
+        if not self.in_critical_section:
+            raise ProtocolError(f"node {self.node_id} released a CS it does not hold")
+        self.using = False
+        self.notify_released()
+        self._assign_privilege()
+        self._make_request()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, sender: int, message: Message) -> None:
+        if isinstance(message, RaymondRequest):
+            self.request_q.append(sender)
+            self._assign_privilege()
+            self._make_request()
+        elif isinstance(message, RaymondToken):
+            self.holder = self.node_id
+            self._assign_privilege()
+            self._make_request()
+        else:
+            raise ProtocolError(
+                f"Raymond node {self.node_id} received unsupported message {message.kind}"
+            )
+
+    # ------------------------------------------------------------------
+    # Raymond's two core procedures
+    # ------------------------------------------------------------------
+    def _assign_privilege(self) -> None:
+        if self.holder == self.node_id and not self.using and self.request_q:
+            head = self.request_q.popleft()
+            self.asked = False
+            if head == self.node_id:
+                self.using = True
+                self.notify_granted()
+            else:
+                self.holder = head
+                self.env.send(head, RaymondToken())
+
+    def _make_request(self) -> None:
+        if self.holder != self.node_id and self.request_q and not self.asked:
+            self.env.send(self.holder, RaymondRequest(sender=self.node_id))
+            self.asked = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(
+            {
+                "holder": self.holder,
+                "token_here": self.holder == self.node_id,
+                "asked": self.asked,
+                "queue": len(self.request_q),
+            }
+        )
+        return base
+
+
+def build_raymond_nodes(
+    n: int, *, tree: OpenCubeTree | Mapping[int, int | None] | None = None
+) -> dict[int, RaymondNode]:
+    """Create Raymond nodes over a static tree (default: the open-cube).
+
+    Using the same tree as the open-cube algorithm makes the comparison
+    benchmarks an apples-to-apples measurement of the *protocols* rather
+    than of the underlying topologies.
+    """
+    resolved = tree if isinstance(tree, OpenCubeTree) else OpenCubeTree(n, tree) if tree else OpenCubeTree.initial(n)
+    neighbours: dict[int, list[int]] = {node: [] for node in resolved.nodes()}
+    for node in resolved.nodes():
+        father = resolved.father(node)
+        if father is not None:
+            neighbours[node].append(father)
+            neighbours[father].append(node)
+    root = resolved.root
+    nodes = {}
+    for node in resolved.nodes():
+        holder = node if node == root else resolved.father(node)
+        nodes[node] = RaymondNode(node, n, neighbours=neighbours[node], holder=holder)
+    return nodes

@@ -1,0 +1,49 @@
+"""Registry mapping algorithm names to cluster factories.
+
+The comparison experiments and benchmarks iterate over this registry so
+adding an algorithm automatically adds it to every comparison table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.baselines.central import build_central_nodes
+from repro.baselines.naimi_trehel import build_naimi_trehel_nodes
+from repro.baselines.raymond import build_raymond_nodes
+from repro.baselines.ricart_agrawala import build_ricart_agrawala_nodes
+from repro.baselines.suzuki_kasami import build_suzuki_kasami_nodes
+from repro.core.builders import build_fault_tolerant_nodes, build_opencube_nodes
+from repro.exceptions import ConfigurationError
+from repro.simulation.cluster import SimulatedCluster
+from repro.simulation.process import MutexNode
+
+__all__ = ["ALGORITHMS", "build_cluster", "algorithm_names"]
+
+NodeFactory = Callable[[int], Mapping[int, MutexNode]]
+
+ALGORITHMS: dict[str, NodeFactory] = {
+    "open-cube": lambda n: build_opencube_nodes(n),
+    "open-cube-ft": lambda n: build_fault_tolerant_nodes(n),
+    "raymond": lambda n: build_raymond_nodes(n),
+    "naimi-trehel": lambda n: build_naimi_trehel_nodes(n),
+    "central": lambda n: build_central_nodes(n),
+    "ricart-agrawala": lambda n: build_ricart_agrawala_nodes(n),
+    "suzuki-kasami": lambda n: build_suzuki_kasami_nodes(n),
+}
+
+
+def algorithm_names() -> list[str]:
+    """Return the registered algorithm names, in registration order."""
+    return list(ALGORITHMS.keys())
+
+
+def build_cluster(algorithm: str, n: int, **cluster_kwargs) -> SimulatedCluster:
+    """Build a simulated cluster running the named algorithm on ``n`` nodes."""
+    try:
+        factory = ALGORITHMS[algorithm]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; choose from {algorithm_names()}"
+        ) from exc
+    return SimulatedCluster(dict(factory(n)), **cluster_kwargs)

@@ -1,0 +1,116 @@
+"""Ricart-Agrawala permission-based mutual exclusion (baseline).
+
+A permission-based (non-token) algorithm: a requester broadcasts a
+timestamped request and enters the critical section once all ``N - 1`` peers
+have replied.  Cost is ``2*(N - 1)`` messages per request — the reference
+point showing why the paper's tree/token approach is attractive for large
+``N``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.core.messages import Message, RicartAgrawalaReply, RicartAgrawalaRequest
+from repro.exceptions import ProtocolError
+from repro.simulation.process import MutexNode
+
+__all__ = ["RicartAgrawalaNode", "build_ricart_agrawala_nodes"]
+
+
+class RicartAgrawalaNode(MutexNode):
+    """One node of the Ricart-Agrawala algorithm."""
+
+    def __init__(self, node_id: int, n: int) -> None:
+        super().__init__(node_id, n)
+        self.clock = 0
+        self.requesting = False
+        self.request_timestamp: int | None = None
+        self.replies_outstanding = 0
+        self.deferred: list[int] = []
+        self.pending_local: deque[int] = deque()
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def acquire(self) -> None:
+        if self.requesting or self.in_critical_section:
+            self.pending_local.append(1)
+            return
+        self.clock += 1
+        self.requesting = True
+        self.request_timestamp = self.clock
+        self.replies_outstanding = self.n - 1
+        if self.replies_outstanding == 0:
+            self.notify_granted()
+            return
+        request = RicartAgrawalaRequest(timestamp=self.request_timestamp, requester=self.node_id)
+        for other in range(1, self.n + 1):
+            if other != self.node_id:
+                self.env.send(other, request)
+
+    def release(self) -> None:
+        if not self.in_critical_section:
+            raise ProtocolError(f"node {self.node_id} released a CS it does not hold")
+        self.notify_released()
+        self.requesting = False
+        self.request_timestamp = None
+        deferred, self.deferred = self.deferred, []
+        for other in deferred:
+            self.env.send(other, RicartAgrawalaReply(replier=self.node_id))
+        if self.pending_local:
+            self.pending_local.popleft()
+            self.acquire()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, sender: int, message: Message) -> None:
+        if isinstance(message, RicartAgrawalaRequest):
+            self._receive_request(sender, message)
+        elif isinstance(message, RicartAgrawalaReply):
+            self._receive_reply(sender)
+        else:
+            raise ProtocolError(
+                f"Ricart-Agrawala node {self.node_id} received unsupported message {message.kind}"
+            )
+
+    def _receive_request(self, sender: int, message: RicartAgrawalaRequest) -> None:
+        self.clock = max(self.clock, message.timestamp)
+        mine = (self.request_timestamp, self.node_id) if self.requesting else None
+        theirs = (message.timestamp, message.requester)
+        defer = self.in_critical_section or (
+            self.requesting and mine is not None and mine < theirs
+        )
+        if defer:
+            self.deferred.append(sender)
+        else:
+            self.env.send(sender, RicartAgrawalaReply(replier=self.node_id))
+
+    def _receive_reply(self, sender: int) -> None:
+        if not self.requesting or self.replies_outstanding <= 0:
+            return
+        self.replies_outstanding -= 1
+        if self.replies_outstanding == 0:
+            self.notify_granted()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(
+            {
+                "clock": self.clock,
+                "requesting": self.requesting,
+                "replies_outstanding": self.replies_outstanding,
+                "deferred": len(self.deferred),
+            }
+        )
+        return base
+
+
+def build_ricart_agrawala_nodes(n: int) -> dict[int, RicartAgrawalaNode]:
+    """Create the ``n`` nodes of a Ricart-Agrawala cluster."""
+    return {node: RicartAgrawalaNode(node, n) for node in range(1, n + 1)}

@@ -1,0 +1,136 @@
+"""Suzuki-Kasami broadcast-token mutual exclusion (baseline).
+
+A token-based algorithm without any routing structure: requests are
+broadcast to everybody and the token carries the queue of waiting nodes plus
+the per-node counters of served requests.  N messages per request (N - 1
+request broadcasts + 1 token transfer) unless the requester already holds
+the token.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.messages import Message, SuzukiKasamiRequest, SuzukiKasamiToken
+from repro.exceptions import ProtocolError
+from repro.simulation.process import MutexNode
+
+__all__ = ["SuzukiKasamiNode", "build_suzuki_kasami_nodes"]
+
+
+class SuzukiKasamiNode(MutexNode):
+    """One node of the Suzuki-Kasami algorithm."""
+
+    def __init__(self, node_id: int, n: int, *, has_token: bool) -> None:
+        super().__init__(node_id, n)
+        self.request_numbers = [0] * (n + 1)  # index 0 unused
+        self.has_token = has_token
+        self.token_last_served = [0] * (n + 1) if has_token else None
+        self.token_queue: list[int] = [] if has_token else None
+        self.requesting = False
+        self.pending_local = 0
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def acquire(self) -> None:
+        if self.requesting or self.in_critical_section:
+            self.pending_local += 1
+            return
+        self.requesting = True
+        if self.has_token:
+            self.notify_granted()
+            return
+        self.request_numbers[self.node_id] += 1
+        sequence = self.request_numbers[self.node_id]
+        request = SuzukiKasamiRequest(requester=self.node_id, sequence=sequence)
+        for other in range(1, self.n + 1):
+            if other != self.node_id:
+                self.env.send(other, request)
+
+    def release(self) -> None:
+        if not self.in_critical_section:
+            raise ProtocolError(f"node {self.node_id} released a CS it does not hold")
+        self.notify_released()
+        self.requesting = False
+        assert self.token_last_served is not None and self.token_queue is not None
+        self.token_last_served[self.node_id] = self.request_numbers[self.node_id]
+        for other in range(1, self.n + 1):
+            if other == self.node_id or other in self.token_queue:
+                continue
+            if self.request_numbers[other] == self.token_last_served[other] + 1:
+                self.token_queue.append(other)
+        self._pass_token()
+        if self.pending_local:
+            self.pending_local -= 1
+            self.acquire()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, sender: int, message: Message) -> None:
+        if isinstance(message, SuzukiKasamiRequest):
+            self._receive_request(message)
+        elif isinstance(message, SuzukiKasamiToken):
+            self._receive_token(message)
+        else:
+            raise ProtocolError(
+                f"Suzuki-Kasami node {self.node_id} received unsupported message {message.kind}"
+            )
+
+    def _receive_request(self, message: SuzukiKasamiRequest) -> None:
+        requester, sequence = message.requester, message.sequence
+        self.request_numbers[requester] = max(self.request_numbers[requester], sequence)
+        if (
+            self.has_token
+            and not self.in_critical_section
+            and not self.requesting
+            and self.token_last_served is not None
+            and self.request_numbers[requester] == self.token_last_served[requester] + 1
+        ):
+            self._send_token_to(requester)
+
+    def _receive_token(self, message: SuzukiKasamiToken) -> None:
+        self.has_token = True
+        self.token_last_served = list(message.last_served)
+        self.token_queue = list(message.queue)
+        if self.requesting:
+            self.notify_granted()
+
+    def _pass_token(self) -> None:
+        assert self.token_queue is not None
+        if self.token_queue:
+            head = self.token_queue.pop(0)
+            self._send_token_to(head)
+
+    def _send_token_to(self, dest: int) -> None:
+        assert self.token_last_served is not None and self.token_queue is not None
+        token = SuzukiKasamiToken(
+            last_served=tuple(self.token_last_served), queue=tuple(self.token_queue)
+        )
+        self.has_token = False
+        self.token_last_served = None
+        self.token_queue = None
+        self.env.send(dest, token)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base.update(
+            {
+                "token_here": self.has_token,
+                "requesting": self.requesting,
+                "queue": len(self.token_queue) if self.token_queue is not None else 0,
+            }
+        )
+        return base
+
+
+def build_suzuki_kasami_nodes(n: int, *, token_holder: int = 1) -> dict[int, SuzukiKasamiNode]:
+    """Create the ``n`` nodes of a Suzuki-Kasami cluster."""
+    return {
+        node: SuzukiKasamiNode(node, n, has_token=(node == token_holder))
+        for node in range(1, n + 1)
+    }

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: the open-cube structure and algorithm."""
+
+from repro.core import distances
+from repro.core.builders import (
+    build_fault_tolerant_cluster,
+    build_fault_tolerant_nodes,
+    build_opencube_cluster,
+    build_opencube_nodes,
+)
+from repro.core.messages import (
+    AnomalyMessage,
+    AnswerKind,
+    AnswerMessage,
+    EnquiryMessage,
+    EnquiryReply,
+    EnquiryStatus,
+    RequestMessage,
+    TestMessage,
+    TokenMessage,
+)
+from repro.core.node import OpenCubeMutexNode
+from repro.core.opencube import BTransformation, OpenCubeTree
+
+__all__ = [
+    "distances",
+    "build_fault_tolerant_cluster",
+    "build_fault_tolerant_nodes",
+    "build_opencube_cluster",
+    "build_opencube_nodes",
+    "AnomalyMessage",
+    "AnswerKind",
+    "AnswerMessage",
+    "EnquiryMessage",
+    "EnquiryReply",
+    "EnquiryStatus",
+    "RequestMessage",
+    "TestMessage",
+    "TokenMessage",
+    "OpenCubeMutexNode",
+    "BTransformation",
+    "OpenCubeTree",
+]

@@ -1,0 +1,141 @@
+"""Factory helpers that wire nodes, trees and clusters together.
+
+These helpers remove the boilerplate of creating ``n`` node objects with a
+consistent initial open-cube, a single token holder and a shared simulated
+cluster.  They are what the examples, tests and benchmarks use; the classes
+they assemble remain usable directly for custom setups.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.node import OpenCubeMutexNode
+from repro.core.opencube import OpenCubeTree
+from repro.exceptions import ConfigurationError
+from repro.simulation.cluster import SimulatedCluster
+from repro.simulation.network import DelayModel
+
+__all__ = [
+    "build_opencube_nodes",
+    "build_opencube_cluster",
+    "build_fault_tolerant_nodes",
+    "build_fault_tolerant_cluster",
+]
+
+
+def _resolve_tree(n: int, tree: OpenCubeTree | Mapping[int, int | None] | None) -> OpenCubeTree:
+    if tree is None:
+        return OpenCubeTree.initial(n)
+    if isinstance(tree, OpenCubeTree):
+        if tree.n != n:
+            raise ConfigurationError(f"tree has {tree.n} nodes but n={n} was requested")
+        return tree
+    return OpenCubeTree(n, tree)
+
+
+def build_opencube_nodes(
+    n: int,
+    *,
+    tree: OpenCubeTree | Mapping[int, int | None] | None = None,
+    token_holder: int | None = None,
+) -> dict[int, OpenCubeMutexNode]:
+    """Create the failure-free nodes of an n-open-cube.
+
+    Args:
+        n: number of nodes (power of two).
+        tree: initial structure; defaults to the canonical open-cube rooted
+            at node 1.
+        token_holder: node initially holding the token; defaults to the root
+            of ``tree`` (the only sensible failure-free initialisation).
+    """
+    resolved = _resolve_tree(n, tree)
+    holder = resolved.root if token_holder is None else token_holder
+    if holder != resolved.root:
+        raise ConfigurationError(
+            f"the initial token holder must be the root ({resolved.root}), got {holder}"
+        )
+    return {
+        node_id: OpenCubeMutexNode(
+            node_id,
+            n,
+            father=resolved.father(node_id),
+            has_token=(node_id == holder),
+        )
+        for node_id in resolved.nodes()
+    }
+
+
+def build_opencube_cluster(
+    n: int,
+    *,
+    tree: OpenCubeTree | Mapping[int, int | None] | None = None,
+    delay_model: DelayModel | None = None,
+    fifo: bool = False,
+    seed: int = 0,
+    trace: bool = True,
+    cs_duration: float = 0.5,
+    **cluster_kwargs: Any,
+) -> SimulatedCluster:
+    """Create a simulated cluster running the failure-free algorithm."""
+    nodes = build_opencube_nodes(n, tree=tree)
+    return SimulatedCluster(
+        nodes,
+        delay_model=delay_model,
+        fifo=fifo,
+        seed=seed,
+        trace=trace,
+        cs_duration=cs_duration,
+        **cluster_kwargs,
+    )
+
+
+def build_fault_tolerant_nodes(
+    n: int,
+    *,
+    tree: OpenCubeTree | Mapping[int, int | None] | None = None,
+    cs_duration_estimate: float = 1.0,
+    enquiry_enabled: bool = True,
+) -> dict[int, "FaultTolerantOpenCubeNode"]:
+    """Create fault-tolerant nodes (Section 5) for an n-open-cube."""
+    from repro.core.fault_tolerant_node import FaultTolerantOpenCubeNode
+
+    resolved = _resolve_tree(n, tree)
+    holder = resolved.root
+    return {
+        node_id: FaultTolerantOpenCubeNode(
+            node_id,
+            n,
+            father=resolved.father(node_id),
+            has_token=(node_id == holder),
+            cs_duration_estimate=cs_duration_estimate,
+            enquiry_enabled=enquiry_enabled,
+        )
+        for node_id in resolved.nodes()
+    }
+
+
+def build_fault_tolerant_cluster(
+    n: int,
+    *,
+    tree: OpenCubeTree | Mapping[int, int | None] | None = None,
+    delay_model: DelayModel | None = None,
+    fifo: bool = False,
+    seed: int = 0,
+    trace: bool = True,
+    cs_duration: float = 0.5,
+    cs_duration_estimate: float | None = None,
+    **cluster_kwargs: Any,
+) -> SimulatedCluster:
+    """Create a simulated cluster running the fault-tolerant algorithm."""
+    estimate = cs_duration_estimate if cs_duration_estimate is not None else cs_duration * 2
+    nodes = build_fault_tolerant_nodes(n, tree=tree, cs_duration_estimate=estimate)
+    return SimulatedCluster(
+        nodes,
+        delay_model=delay_model,
+        fifo=fifo,
+        seed=seed,
+        trace=trace,
+        cs_duration=cs_duration,
+        **cluster_kwargs,
+    )

@@ -1,0 +1,251 @@
+"""Static combinatorics of the open-cube structure.
+
+The open-cube of Hélary & Mostefaoui is a spanning tree of the hypercube on
+``n = 2**p`` nodes (it is the binomial tree of order ``p``).  Two quantities
+attached to the *node labelling* never change while the algorithm runs:
+
+* the **distance** ``dist(i, j)`` — the smallest ``d`` such that ``i`` and
+  ``j`` belong to the same d-group (Definition 2.2), and
+* the **p-groups** themselves — aligned blocks of ``2**d`` consecutive labels
+  (Corollary 2.2 shows b-transformations never change group membership).
+
+Only the *father* relation (and therefore the *power* of each node) evolves.
+This module contains the immutable part; :mod:`repro.core.opencube` contains
+the mutable tree.
+
+Nodes are labelled ``1 .. n`` exactly as in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.exceptions import InvalidTopologyError
+
+__all__ = [
+    "is_power_of_two",
+    "log2_exact",
+    "check_node_count",
+    "distance",
+    "distance_matrix",
+    "group_of",
+    "group_members",
+    "groups_of_size",
+    "all_groups",
+    "nodes_at_distance",
+    "initial_father",
+    "initial_power",
+    "initial_fathers",
+    "hypercube_edges",
+]
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``p`` such that ``value == 2**p``.
+
+    Raises:
+        InvalidTopologyError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise InvalidTopologyError(
+            f"expected a positive power of two, got {value!r}"
+        )
+    return value.bit_length() - 1
+
+
+def check_node_count(n: int) -> int:
+    """Validate a node count and return ``pmax = log2(n)``.
+
+    The paper assumes ``n = 2**p`` "for simplicity"; this reproduction keeps
+    the same assumption and rejects other sizes explicitly rather than
+    silently padding the node set.
+    """
+    if not isinstance(n, int):
+        raise InvalidTopologyError(f"node count must be an int, got {type(n).__name__}")
+    if n < 1:
+        raise InvalidTopologyError(f"node count must be >= 1, got {n}")
+    return log2_exact(n)
+
+
+def _check_node(n: int, node: int) -> None:
+    if not 1 <= node <= n:
+        raise InvalidTopologyError(f"node {node} outside the node set 1..{n}")
+
+
+def distance(i: int, j: int) -> int:
+    """Distance between nodes ``i`` and ``j`` (Definition 2.2).
+
+    ``dist(i, j)`` is the smallest ``d`` such that both nodes belong to the
+    same d-group.  With the paper's labelling the d-groups are the aligned
+    blocks of ``2**d`` consecutive labels, so the distance is the index (from
+    1) of the highest bit in which ``i - 1`` and ``j - 1`` differ.
+
+    ``dist(i, i) == 0`` for every node.
+    """
+    if i < 1 or j < 1:
+        raise InvalidTopologyError(f"node labels start at 1, got ({i}, {j})")
+    return ((i - 1) ^ (j - 1)).bit_length()
+
+
+def distance_matrix(n: int) -> list[list[int]]:
+    """Return the full ``n x n`` distance matrix, 1-indexed via offset.
+
+    ``matrix[i - 1][j - 1] == distance(i, j)``.  Each node of the algorithm
+    stores its own row (the array ``dist_i`` of the paper); the matrix form is
+    convenient for initialisation and for the verification tools.
+    """
+    check_node_count(n)
+    return [[distance(i, j) for j in range(1, n + 1)] for i in range(1, n + 1)]
+
+
+def group_of(node: int, d: int) -> int:
+    """Return the index (0-based) of the d-group containing ``node``.
+
+    Nodes ``i`` and ``j`` are in the same d-group iff
+    ``group_of(i, d) == group_of(j, d)``.
+    """
+    if node < 1:
+        raise InvalidTopologyError(f"node labels start at 1, got {node}")
+    if d < 0:
+        raise InvalidTopologyError(f"group order must be >= 0, got {d}")
+    return (node - 1) >> d
+
+
+def group_members(node: int, d: int, n: int) -> list[int]:
+    """Return the members of the d-group of ``node`` within an n-open-cube."""
+    pmax = check_node_count(n)
+    _check_node(n, node)
+    if d > pmax:
+        raise InvalidTopologyError(f"no {d}-group in a {n}-open-cube (pmax={pmax})")
+    base = ((node - 1) >> d) << d
+    return [base + offset + 1 for offset in range(1 << d)]
+
+
+def groups_of_size(d: int, n: int) -> list[list[int]]:
+    """Return every d-group of an n-open-cube, in label order."""
+    pmax = check_node_count(n)
+    if d < 0 or d > pmax:
+        raise InvalidTopologyError(f"no {d}-groups in a {n}-open-cube (pmax={pmax})")
+    size = 1 << d
+    return [list(range(start + 1, start + size + 1)) for start in range(0, n, size)]
+
+
+def all_groups(n: int) -> dict[int, list[list[int]]]:
+    """Return a mapping ``d -> list of d-groups`` for ``d = 0 .. pmax``."""
+    pmax = check_node_count(n)
+    return {d: groups_of_size(d, n) for d in range(pmax + 1)}
+
+
+def nodes_at_distance(node: int, d: int, n: int) -> list[int]:
+    """Return the nodes at distance exactly ``d`` from ``node``.
+
+    For ``1 <= d <= pmax`` there are exactly ``2**(d-1)`` such nodes (the
+    other half of the d-group of ``node``); this fact drives the cost
+    analysis of the ``search_father`` procedure in Section 5 of the paper.
+    """
+    pmax = check_node_count(n)
+    _check_node(n, node)
+    if d < 0 or d > pmax:
+        raise InvalidTopologyError(f"distance {d} impossible in a {n}-open-cube")
+    if d == 0:
+        return [node]
+    members = group_members(node, d, n)
+    half = 1 << (d - 1)
+    own_half_index = ((node - 1) >> (d - 1)) & 1
+    if own_half_index == 0:
+        return members[half:]
+    return members[:half]
+
+
+def initial_power(node: int, n: int) -> int:
+    """Power of ``node`` in the *initial* open-cube (Definition 2.1).
+
+    In the canonical initial tree, node 1 is the root with power ``pmax`` and
+    every other node's power equals the number of trailing zero bits of
+    ``node - 1``.
+    """
+    pmax = check_node_count(n)
+    _check_node(n, node)
+    if node == 1:
+        return pmax
+    index = node - 1
+    return (index & -index).bit_length() - 1
+
+
+def initial_father(node: int, n: int) -> int | None:
+    """Father of ``node`` in the *initial* open-cube, ``None`` for the root.
+
+    The initial tree follows the recursive construction of Figure 1: the root
+    of the upper half of each d-group points to the root of the lower half.
+    Concretely the father of node ``i != 1`` is obtained by clearing the
+    lowest set bit of ``i - 1``.
+    """
+    check_node_count(n)
+    _check_node(n, node)
+    if node == 1:
+        return None
+    index = node - 1
+    return (index & (index - 1)) + 1
+
+
+def initial_fathers(n: int) -> dict[int, int | None]:
+    """Return the initial father assignment for the whole n-open-cube."""
+    check_node_count(n)
+    return {node: initial_father(node, n) for node in range(1, n + 1)}
+
+
+def hypercube_edges(n: int) -> set[frozenset[int]]:
+    """Return the undirected edge set of the n-node hypercube.
+
+    Used by the structural experiments (Figure 3) to check that every
+    open-cube edge is also a hypercube edge: the open-cube is the hypercube
+    "from which some links have been removed".
+    """
+    pmax = check_node_count(n)
+    edges: set[frozenset[int]] = set()
+    for node in range(1, n + 1):
+        index = node - 1
+        for bit in range(pmax):
+            neighbour = (index ^ (1 << bit)) + 1
+            edges.add(frozenset((node, neighbour)))
+    return edges
+
+
+def iter_branches(fathers: dict[int, int | None]) -> Iterator[list[int]]:
+    """Yield every root-to-leaf branch of a father map as a list of nodes.
+
+    A *branch* is listed from the leaf up to the root, matching the
+    ``i_0, i_1, ..., i_r`` notation of Proposition 2.3.
+    """
+    children: dict[int, list[int]] = {node: [] for node in fathers}
+    for node, father in fathers.items():
+        if father is not None:
+            children[father].append(node)
+    leaves = [node for node, kids in children.items() if not kids]
+    for leaf in leaves:
+        branch = [leaf]
+        current: int | None = leaf
+        while current is not None and fathers[current] is not None:
+            current = fathers[current]
+            branch.append(current)
+        yield branch
+
+
+def branch_bound_holds(branch: Sequence[int], powers: dict[int, int], pmax: int) -> bool:
+    """Check Proposition 2.3 for one branch: ``r <= log2(N) - n1``.
+
+    ``branch`` is a leaf-to-root node sequence, ``powers`` maps nodes to their
+    current powers and ``n1`` is the number of nodes on the branch that are
+    *not* last sons of their father.
+    """
+    r = len(branch) - 1
+    n1 = 0
+    for child, father in zip(branch, branch[1:]):
+        if powers[child] != powers[father] - 1:
+            n1 += 1
+    return r <= pmax - n1

@@ -1,0 +1,326 @@
+"""Protocol messages exchanged by the mutual exclusion algorithms.
+
+Every message is an immutable dataclass.  The failure-free algorithm of
+Section 3 only uses :class:`RequestMessage` and :class:`TokenMessage`; the
+fault-tolerance layer of Section 5 adds the enquiry, test/answer and anomaly
+messages.  Baseline algorithms (Raymond, Naimi–Trehel, Ricart–Agrawala,
+Suzuki–Kasami, centralized) define their own message types here as well so
+that the metrics layer can classify traffic uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Message",
+    "RequestMessage",
+    "TokenMessage",
+    "EnquiryMessage",
+    "EnquiryReply",
+    "EnquiryStatus",
+    "TestMessage",
+    "AnswerMessage",
+    "AnswerKind",
+    "AnomalyMessage",
+    "PingMessage",
+    "PingReply",
+    "RootClaimMessage",
+    "RootClaimReject",
+    "RaymondRequest",
+    "RaymondToken",
+    "NaimiTrehelRequest",
+    "NaimiTrehelToken",
+    "CentralRequest",
+    "CentralGrant",
+    "CentralRelease",
+    "RicartAgrawalaRequest",
+    "RicartAgrawalaReply",
+    "SuzukiKasamiRequest",
+    "SuzukiKasamiToken",
+    "next_request_id",
+]
+
+_request_counter = itertools.count(1)
+
+
+def next_request_id() -> int:
+    """Return a process-wide unique request identifier.
+
+    Request identifiers are only used for bookkeeping (metrics, liveness
+    checking); the algorithms themselves never rely on them, exactly as in
+    the paper where requests carry only node identities.
+    """
+    return next(_request_counter)
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for all protocol messages."""
+
+    @property
+    def kind(self) -> str:
+        """Message classification used by the metrics layer.
+
+        Regenerated requests/tokens (re-issued by the fault-tolerance layer)
+        are reported as a distinct kind so that the failure-overhead
+        experiments can attribute them to failures rather than to the normal
+        per-request cost.
+        """
+        name = type(self).__name__
+        if getattr(self, "regenerated", False):
+            return f"{name}+regenerated"
+        return name
+
+
+# ----------------------------------------------------------------------
+# Open-cube algorithm (Section 3)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RequestMessage(Message):
+    """``request(j)`` of the paper.
+
+    Attributes:
+        requester: the node ``j`` on whose behalf the token is requested;
+            this is the identity the receiving node uses for the last-son
+            test and, when acting as proxy, records as its mandator.
+        source: the node whose wish to enter the critical section originated
+            the whole chain.  Section 5 notes that the root needs this
+            identity to run its enquiry, "this information can be added in
+            the request message"; it is also handy for metrics.
+        regenerated: ``True`` when the request was re-issued after a
+            ``search_father`` reconnection (used only for accounting failure
+            overhead; the algorithm ignores the flag).
+    """
+
+    requester: int
+    source: int
+    regenerated: bool = False
+
+
+@dataclass(frozen=True)
+class TokenMessage(Message):
+    """``token(j)`` of the paper.
+
+    Attributes:
+        lender: the node that lends the token and expects it back, or
+            ``None`` when the token is given up for good (the receiver keeps
+            it and becomes the root).
+        regenerated: ``True`` when this token was regenerated after a loss
+            (accounting only).
+        loan_id: identifier of the loan, assigned by the lender and preserved
+            while the token is forwarded along the mandator chain.  The paper
+            only says the root must know the source of the request; carrying
+            a loan identifier as well lets the source answer the root's
+            enquiry about *this particular* loan instead of guessing from its
+            current state, which matters when requests and failures overlap.
+    """
+
+    lender: int | None
+    regenerated: bool = False
+    loan_id: tuple[int, int] | None = None
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance (Section 5)
+# ----------------------------------------------------------------------
+class EnquiryStatus(enum.Enum):
+    """Replies a request source can give to the root's enquiry."""
+
+    IN_CRITICAL_SECTION = "in_critical_section"
+    TOKEN_RETURNED = "token_returned"
+    TOKEN_NOT_RECEIVED = "token_not_received"
+
+
+@dataclass(frozen=True)
+class EnquiryMessage(Message):
+    """Root-to-source probe sent when the token is overdue."""
+
+    root: int
+    loan_id: tuple[int, int] | None = None
+
+
+@dataclass(frozen=True)
+class EnquiryReply(Message):
+    """Source-to-root reply to an :class:`EnquiryMessage`."""
+
+    status: EnquiryStatus
+
+
+class AnswerKind(enum.Enum):
+    """Replies to a ``test`` probe of the search_father procedure."""
+
+    OK = "ok"
+    TRY_LATER = "try_later"
+
+
+@dataclass(frozen=True)
+class TestMessage(Message):
+    """``test(d)`` probe of the search_father procedure.
+
+    Attributes:
+        phase: the distance ``d`` currently probed by the searcher.
+        searcher_power: the power the searcher currently assumes for itself
+            (``d - 1``); carried so concurrent searchers can apply the
+            tie-breaking rules of Section 5 without extra round trips.
+    """
+
+    phase: int
+    searcher_power: int
+
+
+@dataclass(frozen=True)
+class AnswerMessage(Message):
+    """Reply to a :class:`TestMessage`."""
+
+    answer: AnswerKind
+    phase: int
+
+
+@dataclass(frozen=True)
+class PingMessage(Message):
+    """Liveness probe sent by a waiting node to its father before searching.
+
+    The paper triggers ``search_father`` purely on a timeout.  Under load a
+    request can legitimately wait much longer than the timeout (it queues
+    behind other critical sections), and a reconnection storm triggered by
+    such ill-founded suspicions destabilises the tree.  Probing the father
+    first costs two messages and filters out almost every false alarm; see
+    DESIGN.md ("substitutions and extensions").
+    """
+
+    probe_id: int
+
+
+@dataclass(frozen=True)
+class PingReply(Message):
+    """Answer to a :class:`PingMessage` (its mere arrival proves liveness)."""
+
+    probe_id: int
+
+
+@dataclass(frozen=True)
+class RootClaimMessage(Message):
+    """Broadcast by a node about to regenerate the token.
+
+    The paper resolves *pairwise* regeneration races with its identity
+    tie-break but does not describe how two searchers that never probe each
+    other (both in the same half of the cube at phase ``pmax``) avoid both
+    regenerating.  This reproduction adds an explicit claim round: the
+    would-be root announces itself, and any node that holds the token, is the
+    live root, or is itself claiming with a smaller identity rejects the
+    claim.  See DESIGN.md ("substitutions and extensions").
+    """
+
+    claimant: int
+
+
+@dataclass(frozen=True)
+class RootClaimReject(Message):
+    """Rejection of a :class:`RootClaimMessage`."""
+
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class AnomalyMessage(Message):
+    """Sent by a recovered node that detects it should not be the father.
+
+    Section 5: after recovery a node may still have descendants from before
+    its failure; when such a descendant sends a request and the last-son
+    invariant ``power(father) >= dist(father, son)`` is violated, the father
+    answers with an anomaly message and the son re-runs ``search_father``.
+    """
+
+    detected_by: int
+
+
+# ----------------------------------------------------------------------
+# Raymond's algorithm (baseline)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RaymondRequest(Message):
+    """Request sent towards the token holder along the static tree."""
+
+    sender: int
+
+
+@dataclass(frozen=True)
+class RaymondToken(Message):
+    """Token (privilege) message of Raymond's algorithm."""
+
+
+# ----------------------------------------------------------------------
+# Naimi-Trehel's algorithm (baseline)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NaimiTrehelRequest(Message):
+    """Request forwarded along the dynamic `last` chain."""
+
+    requester: int
+
+
+@dataclass(frozen=True)
+class NaimiTrehelToken(Message):
+    """Token message of Naimi-Trehel's algorithm."""
+
+
+# ----------------------------------------------------------------------
+# Centralized coordinator (baseline)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CentralRequest(Message):
+    """Client request to the central coordinator."""
+
+    requester: int
+
+
+@dataclass(frozen=True)
+class CentralGrant(Message):
+    """Coordinator grant to a waiting client."""
+
+
+@dataclass(frozen=True)
+class CentralRelease(Message):
+    """Client release notification to the coordinator."""
+
+    requester: int
+
+
+# ----------------------------------------------------------------------
+# Ricart-Agrawala (permission-based baseline)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RicartAgrawalaRequest(Message):
+    """Broadcast request carrying the Lamport timestamp of the requester."""
+
+    timestamp: int
+    requester: int
+
+
+@dataclass(frozen=True)
+class RicartAgrawalaReply(Message):
+    """Permission reply."""
+
+    replier: int
+
+
+# ----------------------------------------------------------------------
+# Suzuki-Kasami (broadcast token baseline)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SuzukiKasamiRequest(Message):
+    """Broadcast request carrying the requester's sequence number."""
+
+    requester: int
+    sequence: int
+
+
+@dataclass(frozen=True)
+class SuzukiKasamiToken(Message):
+    """Token carrying the last-served sequence numbers and the waiting queue."""
+
+    last_served: tuple[int, ...] = field(default_factory=tuple)
+    queue: tuple[int, ...] = field(default_factory=tuple)

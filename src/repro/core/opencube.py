@@ -1,0 +1,407 @@
+"""The open-cube rooted tree (Section 2 of the paper).
+
+An :class:`OpenCubeTree` holds a father assignment over nodes ``1 .. n`` and
+offers the structural operations the paper relies on:
+
+* powers, sons, last sons and boundary edges (Definitions 2.1 and 2.3),
+* the b-transformation (Theorem 2.1), which swaps a node with its last son
+  while preserving the open-cube structure, and
+* a full structural validator implementing the recursive definition of
+  Figure 1, used by the tests and by the verification layer to check that the
+  distributed algorithm never breaks the structure.
+
+The tree is the *global* view; the distributed algorithm itself only keeps
+per-node ``father`` variables.  The global object exists for initialisation,
+verification and analysis — exactly the split the paper makes between the
+structure (Section 2) and the algorithm (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.core import distances
+from repro.exceptions import InvalidTopologyError, InvalidTransformationError
+
+__all__ = ["OpenCubeTree", "BTransformation"]
+
+
+@dataclass(frozen=True)
+class BTransformation:
+    """Record of one b-transformation: ``son`` swapped above ``father``.
+
+    After the transformation, ``son`` has taken the place of ``father``
+    (power increased by one) and ``father`` has become the last son of
+    ``son`` (power decreased by one).
+    """
+
+    son: int
+    father: int
+    new_grandfather: int | None
+
+
+class OpenCubeTree:
+    """A mutable open-cube (binomial-tree shaped) father assignment.
+
+    Args:
+        n: number of nodes; must be a power of two.
+        fathers: optional initial father map (``node -> father`` with the root
+            mapped to ``None``).  When omitted the canonical initial structure
+            of the paper's figures is used.
+        validate: when ``True`` (the default) the supplied father map is
+            checked against the recursive open-cube definition.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        fathers: Mapping[int, int | None] | None = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self._pmax = distances.check_node_count(n)
+        self._n = n
+        if fathers is None:
+            self._fathers: dict[int, int | None] = distances.initial_fathers(n)
+        else:
+            self._fathers = {node: fathers.get(node) for node in range(1, n + 1)}
+            missing = [node for node in range(1, n + 1) if node not in fathers]
+            if missing:
+                raise InvalidTopologyError(f"father map misses nodes {missing}")
+            if validate:
+                self.validate()
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes in the tree."""
+        return self._n
+
+    @property
+    def pmax(self) -> int:
+        """Power of the root, ``log2(n)``."""
+        return self._pmax
+
+    @property
+    def root(self) -> int:
+        """The unique node whose father is ``None``."""
+        roots = [node for node, father in self._fathers.items() if father is None]
+        if len(roots) != 1:
+            raise InvalidTopologyError(f"expected exactly one root, found {roots}")
+        return roots[0]
+
+    def nodes(self) -> range:
+        """Return the node labels ``1 .. n``."""
+        return range(1, self._n + 1)
+
+    def father(self, node: int) -> int | None:
+        """Return the father of ``node`` (``None`` for the root)."""
+        self._check_node(node)
+        return self._fathers[node]
+
+    def fathers(self) -> dict[int, int | None]:
+        """Return a copy of the whole father map."""
+        return dict(self._fathers)
+
+    def set_father(self, node: int, father: int | None) -> None:
+        """Set the father of ``node`` without structural checks.
+
+        The distributed algorithm updates fathers through partial
+        b-transformations whose intermediate states are *not* open-cubes;
+        this raw setter mirrors the per-node variable assignment.  Use
+        :meth:`b_transform` when the caller wants the checked operation.
+        """
+        self._check_node(node)
+        if father is not None:
+            self._check_node(father)
+            if father == node:
+                raise InvalidTopologyError(f"node {node} cannot be its own father")
+        self._fathers[node] = father
+
+    def sons(self, node: int) -> list[int]:
+        """Return the sons of ``node`` sorted by increasing power."""
+        self._check_node(node)
+        kids = [child for child, father in self._fathers.items() if father == node]
+        kids.sort(key=lambda child: distances.distance(child, node))
+        return kids
+
+    def power(self, node: int) -> int:
+        """Power of ``node`` (Definition 2.1), derived as in the paper.
+
+        ``power(i) = dist(i, father(i)) - 1`` when ``i`` has a father and
+        ``pmax`` when ``i`` is the root (Proposition 2.1).
+        """
+        self._check_node(node)
+        father = self._fathers[node]
+        if father is None:
+            return self._pmax
+        return distances.distance(node, father) - 1
+
+    def powers(self) -> dict[int, int]:
+        """Return the power of every node."""
+        return {node: self.power(node) for node in self.nodes()}
+
+    def distance(self, i: int, j: int) -> int:
+        """Distance between two nodes (static, never changes)."""
+        self._check_node(i)
+        self._check_node(j)
+        return distances.distance(i, j)
+
+    def depth(self, node: int) -> int:
+        """Number of edges between ``node`` and the root."""
+        self._check_node(node)
+        depth = 0
+        current = node
+        seen = {node}
+        while self._fathers[current] is not None:
+            current = self._fathers[current]
+            if current in seen:
+                raise InvalidTopologyError("father map contains a cycle")
+            seen.add(current)
+            depth += 1
+        return depth
+
+    def path_to_root(self, node: int) -> list[int]:
+        """Return ``[node, father, grandfather, ..., root]``."""
+        self._check_node(node)
+        path = [node]
+        current = node
+        seen = {node}
+        while self._fathers[current] is not None:
+            current = self._fathers[current]
+            if current in seen:
+                raise InvalidTopologyError("father map contains a cycle")
+            seen.add(current)
+            path.append(current)
+        return path
+
+    def edges(self) -> set[tuple[int, int]]:
+        """Return the directed edges ``(son, father)`` of the tree."""
+        return {
+            (node, father)
+            for node, father in self._fathers.items()
+            if father is not None
+        }
+
+    def undirected_edges(self) -> set[frozenset[int]]:
+        """Return the edges ignoring direction (for hypercube comparison)."""
+        return {frozenset(edge) for edge in self.edges()}
+
+    # ------------------------------------------------------------------
+    # Paper-specific structure
+    # ------------------------------------------------------------------
+    def last_son(self, node: int) -> int | None:
+        """Return the last son of ``node`` (its son of power ``power(node)-1``).
+
+        Nodes of power 0 have no sons and therefore no last son.
+        """
+        power = self.power(node)
+        if power == 0:
+            return None
+        for child in self.sons(node):
+            if self.power(child) == power - 1:
+                return child
+        return None
+
+    def is_last_son(self, son: int, father: int) -> bool:
+        """Return ``True`` when ``(son, father)`` is a boundary edge."""
+        self._check_node(son)
+        self._check_node(father)
+        if self._fathers[son] != father:
+            return False
+        return distances.distance(son, father) == self.power(father)
+
+    def is_boundary_edge(self, son: int, father: int) -> bool:
+        """Alias of :meth:`is_last_son` using the paper's terminology."""
+        return self.is_last_son(son, father)
+
+    def boundary_edges(self) -> set[tuple[int, int]]:
+        """Return every boundary edge ``(last_son, father)`` of the tree."""
+        result: set[tuple[int, int]] = set()
+        for node in self.nodes():
+            last = self.last_son(node)
+            if last is not None:
+                result.add((last, node))
+        return result
+
+    def b_transform(self, son: int, father: int) -> BTransformation:
+        """Swap ``son`` over ``father`` (Theorem 2.1).
+
+        Performs ``father(son) := father(father); father(father) := son`` and
+        returns a record of the transformation.  Raises
+        :class:`InvalidTransformationError` when ``(son, father)`` is not a
+        boundary edge, because the theorem proves the structure would then be
+        destroyed.
+        """
+        self._check_node(son)
+        self._check_node(father)
+        if self._fathers[son] != father:
+            raise InvalidTransformationError(
+                f"({son}, {father}) is not an edge: father({son}) is {self._fathers[son]}"
+            )
+        if not self.is_last_son(son, father):
+            raise InvalidTransformationError(
+                f"({son}, {father}) is not a boundary edge; "
+                "b-transformations are only defined on boundary edges"
+            )
+        grandfather = self._fathers[father]
+        self._fathers[son] = grandfather
+        self._fathers[father] = son
+        return BTransformation(son=son, father=father, new_grandfather=grandfather)
+
+    def promote_along_branch(self, node: int) -> list[BTransformation]:
+        """Promote ``node`` to the root through successive b-transformations.
+
+        This mirrors the failure-free token hand-off of Section 4 case 1 (a
+        path made only of boundary edges): each ancestor is swapped below
+        ``node`` until ``node`` becomes the root.  Raises
+        :class:`InvalidTransformationError` as soon as a non-boundary edge is
+        met.
+        """
+        transformations: list[BTransformation] = []
+        while self._fathers[node] is not None:
+            father = self._fathers[node]
+            transformations.append(self.b_transform(node, father))
+        return transformations
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the father map against the recursive open-cube definition.
+
+        The check follows Figure 1 directly: an n-open-cube is two
+        (n/2)-open-cubes on the aligned halves of the label range, joined by a
+        single edge from the root of one half to the root of the other half.
+
+        Raises:
+            InvalidTopologyError: when the structure is violated, with a
+                message describing the offending group.
+        """
+        self._validate_group(list(self.nodes()))
+
+    def is_valid(self) -> bool:
+        """Return ``True`` when the current father map is an open-cube."""
+        try:
+            self.validate()
+        except InvalidTopologyError:
+            return False
+        return True
+
+    def _validate_group(self, group: list[int]) -> int:
+        """Validate ``group`` as an open-cube subtree and return its root."""
+        if len(group) == 1:
+            return group[0]
+        half = len(group) // 2
+        lower, upper = group[:half], group[half:]
+        lower_root = self._validate_group(lower)
+        upper_root = self._validate_group(upper)
+        lower_set, upper_set = set(lower), set(upper)
+        group_set = lower_set | upper_set
+        crossing: list[tuple[int, int]] = []
+        for node in group:
+            father = self._fathers[node]
+            if father is None or father not in group_set:
+                continue
+            if (node in lower_set) != (father in lower_set):
+                crossing.append((node, father))
+        if len(crossing) != 1:
+            raise InvalidTopologyError(
+                f"group {group[0]}..{group[-1]} must have exactly one crossing "
+                f"edge between its halves, found {crossing}"
+            )
+        son, father = crossing[0]
+        if {son, father} != {lower_root, upper_root}:
+            raise InvalidTopologyError(
+                f"crossing edge {crossing[0]} of group {group[0]}..{group[-1]} "
+                f"does not connect the half roots {lower_root} and {upper_root}"
+            )
+        return father
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def branches(self) -> Iterator[list[int]]:
+        """Yield every leaf-to-root branch (see Proposition 2.3)."""
+        return distances.iter_branches(self._fathers)
+
+    def diameter_bound_holds(self) -> bool:
+        """Check Proposition 2.3 on every branch of the current tree."""
+        powers = self.powers()
+        return all(
+            distances.branch_bound_holds(branch, powers, self._pmax)
+            for branch in self.branches()
+        )
+
+    def copy(self) -> "OpenCubeTree":
+        """Return an independent copy of the tree."""
+        return OpenCubeTree(self._n, self._fathers, validate=False)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OpenCubeTree):
+            return NotImplemented
+        return self._n == other._n and self._fathers == other._fathers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"OpenCubeTree(n={self._n}, root={self.root})"
+
+    def _check_node(self, node: int) -> None:
+        if not isinstance(node, int) or not 1 <= node <= self._n:
+            raise InvalidTopologyError(
+                f"node {node!r} outside the node set 1..{self._n}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def initial(cls, n: int) -> "OpenCubeTree":
+        """Return the canonical initial n-open-cube rooted at node 1."""
+        return cls(n)
+
+    @classmethod
+    def from_fathers(cls, fathers: Mapping[int, int | None]) -> "OpenCubeTree":
+        """Build (and validate) a tree from an explicit father map."""
+        return cls(len(fathers), fathers)
+
+    @classmethod
+    def rooted_at(cls, n: int, root: int) -> "OpenCubeTree":
+        """Return an open-cube with the given root.
+
+        This exists mainly for tests and workload setup: the recursive
+        construction of Figure 1 is replayed with ``root`` chosen as the root
+        of its half at every level.
+        """
+        return cls._build_rooted(n, root)
+
+    @classmethod
+    def _build_rooted(cls, n: int, root: int) -> "OpenCubeTree":
+        """Construct an open-cube on ``1..n`` whose root is ``root``."""
+        distances.check_node_count(n)
+        if not 1 <= root <= n:
+            raise InvalidTopologyError(f"root {root} outside the node set 1..{n}")
+        fathers: dict[int, int | None] = {}
+
+        def build(group: list[int], group_root: int) -> None:
+            if len(group) == 1:
+                return
+            half = len(group) // 2
+            lower, upper = group[:half], group[half:]
+            if group_root in lower:
+                own, other = lower, upper
+            else:
+                own, other = upper, lower
+            # Any node of `other` can be its root; pick the smallest label so
+            # the construction is deterministic.
+            other_root = other[0]
+            fathers[other_root] = group_root
+            build(own, group_root)
+            build(other, other_root)
+
+        nodes = list(range(1, n + 1))
+        fathers[root] = None
+        build(nodes, root)
+        return cls(n, fathers)

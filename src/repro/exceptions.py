@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library errors with a single ``except`` clause without
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class InvalidTopologyError(ReproError):
+    """Raised when a node count or father map cannot form an open-cube.
+
+    The open-cube of the paper is only defined for ``n = 2**p`` nodes; this
+    error is also raised when a user-supplied father assignment violates the
+    recursive open-cube structure (see ``OpenCubeTree.validate``).
+    """
+
+
+class InvalidTransformationError(ReproError):
+    """Raised when a b-transformation is attempted on a non-boundary edge.
+
+    Theorem 2.1 of the paper states that swapping a node with one of its sons
+    preserves the open-cube structure if and only if the son is the *last*
+    son.  Attempting the swap on any other edge is a programming error in the
+    caller and is reported with this exception.
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a node receives a message that violates the protocol.
+
+    Examples include a token received by a node that never asked for it, or a
+    request naming a node outside the configured node set.  In a correct
+    deployment these indicate either message corruption (excluded by the
+    paper's model) or a bug, so they are surfaced loudly instead of being
+    ignored.
+    """
+
+
+class SafetyViolationError(ReproError):
+    """Raised by the verification layer when mutual exclusion is violated.
+
+    The safety property of the paper is that at most one process is in the
+    critical section at any time.  The trace checker raises this error, with a
+    description of the overlapping critical-section intervals, when the
+    property does not hold.
+    """
+
+
+class LivenessViolationError(ReproError):
+    """Raised by the verification layer when a request is never satisfied.
+
+    Liveness means every request to enter the critical section is satisfied
+    after a finite time.  In a finite simulation this is checked as "every
+    issued request was granted before the end of the run (in the absence of
+    unrecovered failures)".
+    """
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation engine."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when experiment or cluster configuration values are invalid."""

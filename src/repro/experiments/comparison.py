@@ -1,0 +1,141 @@
+"""EXP-CMP: open-cube versus the baseline algorithms.
+
+Reproduces the comparison implicit in the paper's introduction: Raymond
+(static tree, O(d) worst case), Naimi-Trehel (dynamic tree, O(n) worst case
+but O(log n) average), plus a centralized coordinator, Ricart-Agrawala and
+Suzuki-Kasami for context.  Who wins, and by roughly what factor, should
+match the cited complexities; absolute values depend on the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import theory
+from repro.experiments.runner import run_workload
+from repro.simulation.network import ConstantDelay
+from repro.workload.arrivals import Workload, poisson_arrivals, serial_random, single_requester
+
+__all__ = ["ComparisonRow", "compare_algorithms", "adaptivity_experiment"]
+
+DEFAULT_ALGORITHMS = (
+    "open-cube",
+    "raymond",
+    "naimi-trehel",
+    "central",
+    "ricart-agrawala",
+    "suzuki-kasami",
+)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One algorithm's measurements on one workload."""
+
+    algorithm: str
+    n: int
+    workload: str
+    requests: int
+    mean_messages: float
+    max_messages: int
+    mean_waiting: float
+    reference: str
+
+    def as_row(self) -> dict:
+        """Dictionary form for table rendering."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "requests": self.requests,
+            "mean_msgs_per_request": self.mean_messages,
+            "max_msgs_per_request": self.max_messages,
+            "mean_waiting_time": self.mean_waiting,
+            "reference_complexity": self.reference,
+        }
+
+
+def _reference(algorithm: str, n: int) -> str:
+    if algorithm in ("open-cube", "open-cube-ft"):
+        return f"avg {theory.average_messages_closed_form(n):.2f}, worst {theory.worst_case_messages(n):.0f}"
+    if algorithm == "raymond":
+        return f"O(d), d=2*log2N={2 * theory.log2n(n):.0f}"
+    if algorithm == "naimi-trehel":
+        return f"avg O(log2 N)~{theory.naimi_trehel_average(n):.0f}, worst O(N)={n}"
+    if algorithm == "central":
+        return "3 per request"
+    if algorithm == "ricart-agrawala":
+        return f"2(N-1)={theory.ricart_agrawala_messages(n):.0f}"
+    if algorithm == "suzuki-kasami":
+        return f"N={n} per request"
+    return "-"
+
+
+def compare_algorithms(
+    n: int,
+    *,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    workload: Workload | None = None,
+    serial: bool = True,
+    seed: int = 0,
+    requests: int | None = None,
+) -> list[ComparisonRow]:
+    """Run the same workload under every algorithm and tabulate the costs."""
+    count = requests if requests is not None else 4 * n
+    if workload is None:
+        if serial:
+            workload = serial_random(n, count, seed=seed, spacing=60.0, hold=0.25)
+        else:
+            workload = poisson_arrivals(n, count, rate=0.05, seed=seed, hold=0.25)
+    rows = []
+    for algorithm in algorithms:
+        result = run_workload(
+            algorithm,
+            n,
+            workload,
+            seed=seed,
+            delay_model=ConstantDelay(1.0),
+            serial=serial,
+        )
+        rows.append(
+            ComparisonRow(
+                algorithm=algorithm,
+                n=n,
+                workload=workload.name,
+                requests=result.requests_granted,
+                mean_messages=result.mean_messages_per_request,
+                max_messages=result.max_messages_per_request,
+                mean_waiting=result.mean_waiting_time,
+                reference=_reference(algorithm, n),
+            )
+        )
+    return rows
+
+
+def adaptivity_experiment(
+    n: int,
+    *,
+    requester: int | None = None,
+    requests: int = 64,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Workload-adaptivity claim: a frequent requester gets cheaper over time.
+
+    The introduction argues that, unlike Raymond's algorithm, the dynamic
+    algorithms let a node that requests often drift towards the root so its
+    per-request cost drops.  This experiment has a single node request
+    repeatedly and reports the cost of the first request and the average
+    cost of the remaining ones, for the open-cube algorithm and for Raymond.
+    """
+    requester = requester if requester is not None else n  # farthest label from the root
+    workload = single_requester(n, requester, requests, spacing=60.0, hold=0.25)
+    output: dict[str, float] = {"n": n, "requester": requester, "requests": requests}
+    for algorithm in ("open-cube", "raymond"):
+        result = run_workload(
+            algorithm, n, workload, seed=seed, delay_model=ConstantDelay(1.0), serial=True
+        )
+        per_request = result.messages_per_request
+        first = float(per_request[0]) if per_request else 0.0
+        rest = per_request[1:]
+        output[f"{algorithm}_first_request"] = first
+        output[f"{algorithm}_steady_state"] = sum(rest) / len(rest) if rest else 0.0
+    return output

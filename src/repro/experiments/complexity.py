@@ -1,0 +1,160 @@
+"""EXP-WC / EXP-AVG: message complexity per request versus the closed forms.
+
+Reproduces the quantitative claims of Section 4:
+
+* worst case per request is ``log2 N + 1`` messages,
+* the average over all nodes (each requesting once, serially) follows the
+  recurrence ``alpha_{p+1} = 2 alpha_p + 3*2^(p-1) + p`` and the
+  approximation ``3/4 log2 N + 5/4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import theory
+from repro.experiments.runner import RunResult, run_workload
+from repro.simulation.network import ConstantDelay
+from repro.workload.arrivals import serial_random, serial_round_robin
+
+__all__ = [
+    "ComplexityPoint",
+    "measure_complexity",
+    "measure_complexity_from_initial",
+    "complexity_sweep",
+]
+
+
+@dataclass(frozen=True)
+class ComplexityPoint:
+    """One row of the complexity table."""
+
+    n: int
+    requests: int
+    measured_mean: float
+    measured_max: int
+    predicted_mean_exact: float
+    predicted_mean_approx: float
+    predicted_worst: float
+
+    @property
+    def predicted_worst_counted(self) -> float:
+        """Worst case counting every sent message (``log2 N + 2``)."""
+        return theory.worst_case_messages_counted(self.n)
+
+    def as_row(self) -> dict:
+        """Dictionary form for table rendering."""
+        return {
+            "n": self.n,
+            "requests": self.requests,
+            "measured_mean": self.measured_mean,
+            "paper_mean_exact": self.predicted_mean_exact,
+            "paper_mean_approx": self.predicted_mean_approx,
+            "measured_max": self.measured_max,
+            "paper_worst_case": self.predicted_worst,
+            "worst_case_counted": self.predicted_worst_counted,
+            "worst_case_holds": self.measured_max <= self.predicted_worst_counted + 1e-9,
+        }
+
+
+def measure_complexity(
+    n: int,
+    *,
+    algorithm: str = "open-cube",
+    rounds: int = 1,
+    seed: int = 0,
+    randomised: bool = False,
+    request_count: int | None = None,
+) -> tuple[ComplexityPoint, RunResult]:
+    """Measure per-request message cost on a serial workload of size ``n``.
+
+    The default workload visits every node once in label order, which is the
+    exact summation the paper performs when deriving the ``alpha_p``
+    recurrence (every node requests starting from the structure left by the
+    previous request).  ``randomised=True`` instead samples requesters
+    uniformly, matching the "average over a long run" reading of the claim.
+    """
+    if randomised:
+        count = request_count if request_count is not None else 4 * n
+        workload = serial_random(n, count, seed=seed, spacing=60.0, hold=0.25)
+    else:
+        workload = serial_round_robin(n, rounds=rounds, spacing=60.0, hold=0.25)
+    result = run_workload(
+        algorithm,
+        n,
+        workload,
+        seed=seed,
+        delay_model=ConstantDelay(1.0),
+        serial=True,
+    )
+    per_request = result.messages_per_request
+    measured_mean = sum(per_request) / len(per_request) if per_request else 0.0
+    point = ComplexityPoint(
+        n=n,
+        requests=len(per_request),
+        measured_mean=measured_mean,
+        measured_max=max(per_request) if per_request else 0,
+        predicted_mean_exact=theory.average_messages_exact(n),
+        predicted_mean_approx=theory.average_messages_closed_form(n),
+        predicted_worst=theory.worst_case_messages(n),
+    )
+    return point, result
+
+
+def measure_complexity_from_initial(n: int, *, algorithm: str = "open-cube") -> ComplexityPoint:
+    """Measure ``c(i)`` for every node from the *initial* configuration.
+
+    This is exactly the quantity the paper sums when deriving the ``alpha_p``
+    recurrence: for each node ``i``, the open-cube is reset to its initial
+    shape (token at node 1), node ``i`` issues a single request, and every
+    message needed to satisfy it — including the token return after the
+    critical section — is counted.  The measured mean should match
+    ``alpha_p / 2**p`` exactly and the measured maximum should match the
+    worst-case bound ``log2 N + 1``.
+    """
+    from repro.workload.arrivals import single_requester
+
+    per_request: list[int] = []
+    for node in range(1, n + 1):
+        workload = single_requester(n, node, 1, spacing=60.0, hold=0.25)
+        result = run_workload(
+            algorithm, n, workload, seed=0, delay_model=ConstantDelay(1.0), serial=True
+        )
+        per_request.extend(result.messages_per_request)
+    measured_mean = sum(per_request) / len(per_request) if per_request else 0.0
+    return ComplexityPoint(
+        n=n,
+        requests=len(per_request),
+        measured_mean=measured_mean,
+        measured_max=max(per_request) if per_request else 0,
+        predicted_mean_exact=theory.average_messages_exact(n),
+        predicted_mean_approx=theory.average_messages_closed_form(n),
+        predicted_worst=theory.worst_case_messages(n),
+    )
+
+
+def complexity_sweep(
+    sizes: list[int] | None = None,
+    *,
+    algorithm: str = "open-cube",
+    randomised: bool = False,
+    from_initial: bool = True,
+    seed: int = 0,
+) -> list[ComplexityPoint]:
+    """Measure the complexity table for a range of cube sizes.
+
+    ``from_initial=True`` (default) uses the per-node measurement from the
+    initial configuration, which is the paper's own averaging; otherwise a
+    serial workload over an evolving tree is used.
+    """
+    sizes = sizes or [2, 4, 8, 16, 32, 64, 128, 256]
+    points = []
+    for n in sizes:
+        if from_initial:
+            points.append(measure_complexity_from_initial(n, algorithm=algorithm))
+        else:
+            point, _ = measure_complexity(
+                n, algorithm=algorithm, randomised=randomised, seed=seed
+            )
+            points.append(point)
+    return points

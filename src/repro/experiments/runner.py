@@ -1,0 +1,149 @@
+"""Generic experiment runner: workload + algorithm + (optional) failures.
+
+The benchmark scripts are thin wrappers around the functions here; keeping
+the logic in the library makes it unit-testable and reusable from the
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.baselines.registry import build_cluster
+from repro.simulation.cluster import SimulatedCluster
+from repro.simulation.failures import FailureSchedule
+from repro.simulation.network import DelayModel, UniformDelay
+from repro.verification.liveness import analyse_liveness
+from repro.verification.safety import crashed_in_critical_section, find_overlaps
+from repro.workload.arrivals import Workload
+
+__all__ = ["RunResult", "run_workload"]
+
+#: Message kinds that only exist because of the fault-tolerance machinery.
+FT_MESSAGE_KINDS = frozenset(
+    {
+        "TestMessage",
+        "AnswerMessage",
+        "EnquiryMessage",
+        "EnquiryReply",
+        "AnomalyMessage",
+        "PingMessage",
+        "PingReply",
+        "RootClaimMessage",
+        "RootClaimReject",
+        "RequestMessage+regenerated",
+        "TokenMessage+regenerated",
+    }
+)
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs to know about one run."""
+
+    algorithm: str
+    n: int
+    workload_name: str
+    cluster: SimulatedCluster = field(repr=False)
+    requests_issued: int = 0
+    requests_granted: int = 0
+    total_messages: int = 0
+    messages_per_request: list[int] = field(default_factory=list)
+    mean_messages_per_request: float = 0.0
+    max_messages_per_request: int = 0
+    mean_waiting_time: float = 0.0
+    overhead_messages: int = 0
+    failures: int = 0
+    safety_ok: bool = True
+    liveness_ok: bool = True
+    end_time: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, Any]:
+        """Flatten into a dictionary usable as a table row."""
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "requests": self.requests_granted,
+            "total_messages": self.total_messages,
+            "mean_msgs_per_request": self.mean_messages_per_request,
+            "max_msgs_per_request": self.max_messages_per_request,
+            "mean_waiting_time": self.mean_waiting_time,
+            "failures": self.failures,
+            "overhead_messages": self.overhead_messages,
+            "safety_ok": self.safety_ok,
+            "liveness_ok": self.liveness_ok,
+        }
+
+
+def run_workload(
+    algorithm: str,
+    n: int,
+    workload: Workload,
+    *,
+    seed: int = 0,
+    delay_model: DelayModel | None = None,
+    fifo: bool = False,
+    failure_schedule: FailureSchedule | None = None,
+    trace: bool = False,
+    serial: bool = False,
+    max_events: int | None = 5_000_000,
+    cluster_kwargs: Mapping[str, Any] | None = None,
+) -> RunResult:
+    """Run ``workload`` under ``algorithm`` on ``n`` simulated nodes.
+
+    Args:
+        serial: set to ``True`` for workloads guaranteed to have at most one
+            outstanding request at a time; per-request message counts are
+            then exact (difference of the global counter around each
+            request) rather than an average.
+        failure_schedule: optional fail-stop crash/recovery schedule.
+    """
+    kwargs = dict(cluster_kwargs or {})
+    cluster = build_cluster(
+        algorithm,
+        n,
+        delay_model=delay_model or UniformDelay(),
+        fifo=fifo,
+        seed=seed,
+        trace=trace,
+        **kwargs,
+    )
+    workload.apply(cluster)
+    if failure_schedule is not None:
+        failure_schedule.apply(cluster)
+    cluster.run_until_quiescent(max_events=max_events)
+
+    metrics = cluster.metrics
+    crashed_in_cs = crashed_in_critical_section(metrics)
+    overlaps = find_overlaps(
+        metrics, end_of_time=cluster.now, exclude_nodes=sorted(crashed_in_cs)
+    )
+    liveness = analyse_liveness(metrics)
+    per_request = metrics.messages_per_request() if serial else []
+    overhead = metrics.messages_of_kinds(FT_MESSAGE_KINDS)
+
+    result = RunResult(
+        algorithm=algorithm,
+        n=n,
+        workload_name=workload.name,
+        cluster=cluster,
+        requests_issued=len(metrics.requests),
+        requests_granted=len(metrics.satisfied_requests()),
+        total_messages=metrics.total_messages(),
+        messages_per_request=per_request,
+        mean_messages_per_request=(
+            (sum(per_request) / len(per_request))
+            if per_request
+            else metrics.mean_messages_per_request()
+        ),
+        max_messages_per_request=max(per_request) if per_request else 0,
+        mean_waiting_time=metrics.mean_waiting_time(),
+        overhead_messages=overhead,
+        failures=len(metrics.failures),
+        safety_ok=not overlaps,
+        liveness_ok=liveness.ok,
+        end_time=cluster.now,
+    )
+    return result

@@ -1,0 +1,119 @@
+"""EXP-F2 / EXP-F3 / EXP-T21 / EXP-P23: structural experiments (Section 2).
+
+These regenerate the paper's structural figures and check its structural
+propositions exhaustively for a range of sizes:
+
+* Figure 2: the open-cubes for n = 2, 4, 8, 16 (fathers and powers).
+* Figure 3: the open-cube's edges are a subset of the hypercube's edges.
+* Theorem 2.1: the b-transformation preserves the structure exactly on
+  boundary edges, and only on them.
+* Proposition 2.3: every branch satisfies ``r <= log2 N - n1``.
+"""
+
+from __future__ import annotations
+
+from repro.core import distances
+from repro.core.opencube import OpenCubeTree
+from repro.exceptions import InvalidTransformationError
+
+__all__ = [
+    "figure2_tables",
+    "hypercube_subset_report",
+    "b_transformation_report",
+    "branch_bound_report",
+]
+
+
+def figure2_tables(sizes: tuple[int, ...] = (2, 4, 8, 16)) -> list[dict]:
+    """Fathers and powers of the canonical open-cubes of Figure 2."""
+    rows = []
+    for n in sizes:
+        tree = OpenCubeTree.initial(n)
+        rows.append(
+            {
+                "n": n,
+                "root": tree.root,
+                "fathers": {node: tree.father(node) for node in tree.nodes()},
+                "powers": tree.powers(),
+                "valid": tree.is_valid(),
+            }
+        )
+    return rows
+
+
+def hypercube_subset_report(sizes: tuple[int, ...] = (2, 4, 8, 16, 32, 64)) -> list[dict]:
+    """Check that every open-cube edge is a hypercube edge (Figure 3)."""
+    rows = []
+    for n in sizes:
+        tree = OpenCubeTree.initial(n)
+        cube_edges = distances.hypercube_edges(n)
+        tree_edges = tree.undirected_edges()
+        rows.append(
+            {
+                "n": n,
+                "tree_edges": len(tree_edges),
+                "hypercube_edges": len(cube_edges),
+                "is_subset": tree_edges.issubset(cube_edges),
+                "removed_links": len(cube_edges) - len(tree_edges),
+            }
+        )
+    return rows
+
+
+def b_transformation_report(n: int = 16) -> dict:
+    """Exhaustively check Theorem 2.1 on the initial n-open-cube.
+
+    Every boundary edge must swap into another valid open-cube with the
+    powers exchanged; every non-boundary edge must be rejected.
+    """
+    tree = OpenCubeTree.initial(n)
+    boundary_ok = 0
+    boundary_total = 0
+    non_boundary_rejected = 0
+    non_boundary_total = 0
+    for son, father in sorted(tree.edges()):
+        if tree.is_boundary_edge(son, father):
+            boundary_total += 1
+            candidate = tree.copy()
+            old_power_father = candidate.power(father)
+            old_power_son = candidate.power(son)
+            candidate.b_transform(son, father)
+            if (
+                candidate.is_valid()
+                and candidate.power(son) == old_power_son + 1
+                and candidate.power(father) == old_power_father - 1
+            ):
+                boundary_ok += 1
+        else:
+            non_boundary_total += 1
+            candidate = tree.copy()
+            try:
+                candidate.b_transform(son, father)
+            except InvalidTransformationError:
+                non_boundary_rejected += 1
+    return {
+        "n": n,
+        "boundary_edges": boundary_total,
+        "boundary_transformations_valid": boundary_ok,
+        "non_boundary_edges": non_boundary_total,
+        "non_boundary_rejected": non_boundary_rejected,
+        "theorem_holds": boundary_ok == boundary_total
+        and non_boundary_rejected == non_boundary_total,
+    }
+
+
+def branch_bound_report(sizes: tuple[int, ...] = (4, 8, 16, 32, 64, 128)) -> list[dict]:
+    """Check Proposition 2.3 on the initial open-cubes of several sizes."""
+    rows = []
+    for n in sizes:
+        tree = OpenCubeTree.initial(n)
+        longest = max((len(branch) - 1 for branch in tree.branches()), default=0)
+        rows.append(
+            {
+                "n": n,
+                "log2n": tree.pmax,
+                "longest_branch": longest,
+                "bound_holds": tree.diameter_bound_holds(),
+            }
+        )
+    return rows

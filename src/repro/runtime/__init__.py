@@ -1,0 +1,5 @@
+"""asyncio runtime for running nodes outside the discrete-event simulator."""
+
+from repro.runtime.asyncio_cluster import AsyncioCluster, AsyncioEnvironment
+
+__all__ = ["AsyncioCluster", "AsyncioEnvironment"]

@@ -1,0 +1,220 @@
+"""asyncio runtime for running the mutual-exclusion nodes concurrently.
+
+The same sans-I/O node classes that run on the discrete-event simulator run
+here on a real :mod:`asyncio` event loop: messages travel through per-node
+queues (optionally with injected delays), timers are ``call_later`` handles,
+and the application acquires the critical section with ``await
+cluster.acquire(node_id)``.
+
+This runtime exists to demonstrate the algorithms outside the simulator (the
+examples use it); quantitative experiments use the simulator, whose
+determinism makes them reproducible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any, Mapping
+
+from repro.core.messages import Message
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.simulation.process import Environment, MutexNode
+
+__all__ = ["AsyncioEnvironment", "AsyncioCluster"]
+
+
+class AsyncioEnvironment(Environment):
+    """Environment backed by an asyncio event loop."""
+
+    def __init__(self, cluster: "AsyncioCluster", node_id: int) -> None:
+        self._cluster = cluster
+        self._node_id = node_id
+        self._timers: dict[int, asyncio.TimerHandle] = {}
+        self._next_timer_id = 0
+
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._cluster.start_time
+
+    @property
+    def max_delay(self) -> float:
+        return self._cluster.max_delay
+
+    def send(self, dest: int, message: Message) -> None:
+        self._cluster._post(self._node_id, dest, message)
+
+    def set_timer(self, delay: float, name: str, payload: Any = None) -> int:
+        self._next_timer_id += 1
+        timer_id = self._next_timer_id
+        loop = self._cluster.loop
+
+        def fire() -> None:
+            self._timers.pop(timer_id, None)
+            self._cluster._post_timer(self._node_id, name, payload)
+
+        self._timers[timer_id] = loop.call_later(delay, fire)
+        return timer_id
+
+    def cancel_timer(self, timer_id: int) -> None:
+        handle = self._timers.pop(timer_id, None)
+        if handle is not None:
+            handle.cancel()
+
+    def cancel_all(self) -> None:
+        """Cancel every outstanding timer (used at shutdown)."""
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+
+
+class AsyncioCluster:
+    """Hosts :class:`MutexNode` instances on an asyncio event loop.
+
+    Args:
+        nodes: mapping of node id to node instance (any algorithm).
+        message_delay: fixed extra delay added to every message, emulating a
+            network; ``jitter`` adds a uniform random component.
+        seed: seed for the jitter RNG.
+    """
+
+    def __init__(
+        self,
+        nodes: Mapping[int, MutexNode],
+        *,
+        message_delay: float = 0.001,
+        jitter: float = 0.001,
+        seed: int = 0,
+    ) -> None:
+        if not nodes:
+            raise ConfigurationError("a cluster needs at least one node")
+        self.nodes: dict[int, MutexNode] = dict(nodes)
+        self.message_delay = message_delay
+        self.jitter = jitter
+        self.max_delay = message_delay + jitter + 0.05
+        self.rng = random.Random(seed)
+        self.start_time = time.monotonic()
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.messages_sent = 0
+        self._inboxes: dict[int, asyncio.Queue] = {}
+        self._environments: dict[int, AsyncioEnvironment] = {}
+        self._pumps: list[asyncio.Task] = []
+        self._grant_events: dict[int, asyncio.Event] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the nodes and start the message pumps."""
+        if self._started:
+            raise SimulationError("cluster already started")
+        self.loop = asyncio.get_running_loop()
+        self.start_time = time.monotonic()
+        for node_id, node in self.nodes.items():
+            env = AsyncioEnvironment(self, node_id)
+            self._environments[node_id] = env
+            self._inboxes[node_id] = asyncio.Queue()
+            self._grant_events[node_id] = asyncio.Event()
+            node.bind(env)
+            node.set_granted_callback(self._on_granted)
+            self._pumps.append(asyncio.create_task(self._pump(node_id)))
+        self._started = True
+
+    async def stop(self) -> None:
+        """Stop the pumps and cancel all timers."""
+        for task in self._pumps:
+            task.cancel()
+        for task in self._pumps:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        for env in self._environments.values():
+            env.cancel_all()
+        self._pumps.clear()
+        self._started = False
+
+    async def __aenter__(self) -> "AsyncioCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Messaging internals
+    # ------------------------------------------------------------------
+    def _post(self, sender: int, dest: int, message: Message) -> None:
+        if dest not in self._inboxes:
+            raise SimulationError(f"message to unknown node {dest}")
+        self.messages_sent += 1
+        delay = self.message_delay + self.rng.uniform(0.0, self.jitter)
+        assert self.loop is not None
+        self.loop.call_later(
+            delay, self._inboxes[dest].put_nowait, ("message", sender, message)
+        )
+
+    def _post_timer(self, node_id: int, name: str, payload: Any) -> None:
+        self._inboxes[node_id].put_nowait(("timer", name, payload))
+
+    async def _pump(self, node_id: int) -> None:
+        inbox = self._inboxes[node_id]
+        node = self.nodes[node_id]
+        while True:
+            kind, first, second = await inbox.get()
+            if kind == "message":
+                node.on_message(first, second)
+            else:
+                node.on_timer(first, second)
+
+    def _on_granted(self, node_id: int) -> None:
+        self._grant_events[node_id].set()
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    async def acquire(self, node_id: int, timeout: float | None = 30.0) -> None:
+        """Acquire the critical section on behalf of ``node_id``."""
+        if not self._started:
+            raise SimulationError("cluster not started; use `async with` or await start()")
+        event = self._grant_events[node_id]
+        event.clear()
+        # Run the (synchronous, non-blocking) acquire inside the loop thread.
+        self.nodes[node_id].acquire()
+        if self.nodes[node_id].in_critical_section:
+            return
+        await asyncio.wait_for(event.wait(), timeout=timeout)
+
+    def release(self, node_id: int) -> None:
+        """Release the critical section held by ``node_id``."""
+        self.nodes[node_id].release()
+
+    def locked(self, node_id: int, timeout: float | None = 30.0) -> "_LockContext":
+        """Async context manager: ``async with cluster.locked(3): ...``."""
+        return _LockContext(self, node_id, timeout)
+
+    def snapshot(self) -> dict[int, dict[str, Any]]:
+        """State snapshot of every node (for debugging / examples)."""
+        return {node_id: node.snapshot() for node_id, node in self.nodes.items()}
+
+
+class _LockContext:
+    """Async context manager returned by :meth:`AsyncioCluster.locked`."""
+
+    def __init__(self, cluster: AsyncioCluster, node_id: int, timeout: float | None) -> None:
+        self._cluster = cluster
+        self._node_id = node_id
+        self._timeout = timeout
+
+    async def __aenter__(self) -> int:
+        await self._cluster.acquire(self._node_id, timeout=self._timeout)
+        return self._node_id
+
+    async def __aexit__(self, *exc_info) -> None:
+        self._cluster.release(self._node_id)

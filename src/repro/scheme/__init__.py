@@ -1,0 +1,23 @@
+"""The general token-and-tree scheme of Hélary, Mostefaoui & Raynal [1]."""
+
+from repro.scheme.behaviors import (
+    POLICIES,
+    AlwaysProxyPolicy,
+    AlwaysTransitPolicy,
+    BehaviourPolicy,
+    OpenCubePolicy,
+    RaymondLikePolicy,
+)
+from repro.scheme.generic import GenericTreeTokenNode, build_scheme_cluster, build_scheme_nodes
+
+__all__ = [
+    "POLICIES",
+    "AlwaysProxyPolicy",
+    "AlwaysTransitPolicy",
+    "BehaviourPolicy",
+    "OpenCubePolicy",
+    "RaymondLikePolicy",
+    "GenericTreeTokenNode",
+    "build_scheme_cluster",
+    "build_scheme_nodes",
+]

@@ -1,0 +1,85 @@
+"""The general token-and-tree scheme node with a pluggable behaviour rule.
+
+:class:`GenericTreeTokenNode` is the open-cube node with its behaviour
+decision replaced by an arbitrary :class:`BehaviourPolicy`.  The open-cube
+policy reproduces the paper's algorithm exactly; other policies explore the
+static/dynamic spectrum discussed in the introduction.
+
+Note: with policies other than the open-cube rule the tree is *not*
+guaranteed to remain an open-cube (that is the whole point of the paper),
+so structural invariants should not be asserted on those runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.messages import RequestMessage
+from repro.core.node import OpenCubeMutexNode
+from repro.core.opencube import OpenCubeTree
+from repro.exceptions import ConfigurationError
+from repro.scheme.behaviors import BehaviourPolicy, OpenCubePolicy, POLICIES
+from repro.simulation.cluster import SimulatedCluster
+
+__all__ = ["GenericTreeTokenNode", "build_scheme_nodes", "build_scheme_cluster"]
+
+
+class GenericTreeTokenNode(OpenCubeMutexNode):
+    """A token-and-tree node whose transit/proxy rule is a policy object."""
+
+    def __init__(self, node_id: int, n: int, *, father: int | None, has_token: bool,
+                 policy: BehaviourPolicy | None = None, dist_row=None) -> None:
+        super().__init__(node_id, n, father=father, has_token=has_token, dist_row=dist_row)
+        self.policy = policy or OpenCubePolicy()
+
+    def _decide_behaviour(self, message: RequestMessage) -> str:
+        decision = self.policy.decide(self, message)
+        if decision not in ("transit", "proxy"):
+            raise ConfigurationError(
+                f"policy {self.policy.name!r} returned {decision!r}; "
+                "expected 'transit' or 'proxy'"
+            )
+        return decision
+
+    def snapshot(self) -> dict[str, Any]:
+        base = super().snapshot()
+        base["policy"] = self.policy.name
+        return base
+
+
+def build_scheme_nodes(
+    n: int,
+    policy: BehaviourPolicy | str,
+    *,
+    tree: OpenCubeTree | Mapping[int, int | None] | None = None,
+) -> dict[int, GenericTreeTokenNode]:
+    """Create generic scheme nodes over an initial open-cube structure."""
+    if isinstance(policy, str):
+        try:
+            policy = POLICIES[policy]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"unknown policy {policy!r}; choose from {sorted(POLICIES)}"
+            ) from exc
+    if tree is None:
+        resolved = OpenCubeTree.initial(n)
+    elif isinstance(tree, OpenCubeTree):
+        resolved = tree
+    else:
+        resolved = OpenCubeTree(n, tree)
+    root = resolved.root
+    return {
+        node: GenericTreeTokenNode(
+            node,
+            n,
+            father=resolved.father(node),
+            has_token=(node == root),
+            policy=policy,
+        )
+        for node in resolved.nodes()
+    }
+
+
+def build_scheme_cluster(n: int, policy: BehaviourPolicy | str, **cluster_kwargs) -> SimulatedCluster:
+    """Create a simulated cluster running the general scheme with a policy."""
+    return SimulatedCluster(build_scheme_nodes(n, policy), **cluster_kwargs)

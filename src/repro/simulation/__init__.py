@@ -1,0 +1,41 @@
+"""Discrete-event simulation substrate.
+
+This subpackage replaces the paper's physical testbed (an Intel iPSC/2
+hypercube running an Estelle implementation) with a deterministic,
+seed-reproducible simulator.  See DESIGN.md section 5 for why this
+substitution preserves the quantities the paper reports (message counts).
+"""
+
+from repro.simulation.cluster import SimEnvironment, SimulatedCluster
+from repro.simulation.events import MessageDelivery, ScheduledAction, ScheduledEvent, TimerExpiry
+from repro.simulation.failures import FailureEvent, FailurePlanner, FailureSchedule
+from repro.simulation.metrics import MetricsCollector, RequestRecord
+from repro.simulation.network import ChannelState, ConstantDelay, DelayModel, PerHopDelay, UniformDelay
+from repro.simulation.process import Environment, MutexNode
+from repro.simulation.simulator import Simulator
+from repro.simulation.trace import TraceCategory, TraceRecord, Tracer
+
+__all__ = [
+    "SimEnvironment",
+    "SimulatedCluster",
+    "MessageDelivery",
+    "ScheduledAction",
+    "ScheduledEvent",
+    "TimerExpiry",
+    "FailureEvent",
+    "FailurePlanner",
+    "FailureSchedule",
+    "MetricsCollector",
+    "RequestRecord",
+    "ChannelState",
+    "ConstantDelay",
+    "DelayModel",
+    "PerHopDelay",
+    "UniformDelay",
+    "Environment",
+    "MutexNode",
+    "Simulator",
+    "TraceCategory",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,380 @@
+"""The simulated cluster: nodes + network + failures + metrics.
+
+:class:`SimulatedCluster` is the main entry point for running any of the
+mutual exclusion algorithms on the discrete-event simulator.  It owns the
+:class:`~repro.simulation.simulator.Simulator`, creates one
+:class:`SimEnvironment` per node, routes messages through the configured
+delay model, injects fail-stop failures, and records everything in a
+:class:`~repro.simulation.metrics.MetricsCollector` and a
+:class:`~repro.simulation.trace.Tracer`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Mapping
+
+from repro.core.messages import Message, next_request_id
+from repro.exceptions import SimulationError
+from repro.simulation.events import MessageDelivery, TimerExpiry
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.network import ChannelState, DelayModel, UniformDelay
+from repro.simulation.process import Environment, MutexNode
+from repro.simulation.simulator import Simulator
+from repro.simulation.trace import TraceCategory, Tracer
+
+__all__ = ["SimEnvironment", "SimulatedCluster"]
+
+
+class SimEnvironment(Environment):
+    """Environment implementation backed by a :class:`SimulatedCluster`."""
+
+    def __init__(self, cluster: "SimulatedCluster", node_id: int) -> None:
+        self._cluster = cluster
+        self._node_id = node_id
+        self._next_timer_id = 0
+        self._timers: dict[int, Any] = {}
+
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def now(self) -> float:
+        return self._cluster.simulator.now
+
+    @property
+    def max_delay(self) -> float:
+        return self._cluster.delay_model.max_delay
+
+    def send(self, dest: int, message: Message) -> None:
+        self._cluster._send(self._node_id, dest, message)
+
+    def set_timer(self, delay: float, name: str, payload: Any = None) -> int:
+        self._next_timer_id += 1
+        timer_id = self._next_timer_id
+        event = self._cluster.simulator.schedule(
+            delay,
+            TimerExpiry(node=self._node_id, timer_id=timer_id, name=name, payload=payload),
+        )
+        self._timers[timer_id] = event
+        return timer_id
+
+    def cancel_timer(self, timer_id: int) -> None:
+        event = self._timers.pop(timer_id, None)
+        if event is not None:
+            Simulator.cancel(event)
+
+    def cancel_all_timers(self) -> None:
+        """Cancel every outstanding timer of the node (used on crash)."""
+        for event in self._timers.values():
+            Simulator.cancel(event)
+        self._timers.clear()
+
+
+class SimulatedCluster:
+    """Hosts a set of :class:`MutexNode` instances on the simulator.
+
+    Args:
+        nodes: mapping from node id to the node instance implementing the
+            algorithm under test.
+        delay_model: message delay model (default: uniform delays in
+            ``[0.5, 1.0]``).
+        fifo: when ``True`` channels deliver messages in order; the paper's
+            default model allows out-of-order delivery (``False``).
+        seed: seed of the simulator RNG (delays, workload sampling).
+        trace: enable trace collection (disable for large benchmark runs).
+        cs_duration: default critical-section hold time used by
+            :meth:`request_cs` when the caller does not specify one.
+    """
+
+    def __init__(
+        self,
+        nodes: Mapping[int, MutexNode],
+        *,
+        delay_model: DelayModel | None = None,
+        fifo: bool = False,
+        seed: int = 0,
+        trace: bool = True,
+        max_trace_records: int | None = None,
+        cs_duration: float = 0.5,
+    ) -> None:
+        self.nodes: dict[int, MutexNode] = dict(nodes)
+        if not self.nodes:
+            raise SimulationError("a cluster needs at least one node")
+        self.simulator = Simulator(seed=seed)
+        self.delay_model = delay_model or UniformDelay()
+        self.channels = ChannelState(fifo=fifo)
+        self.metrics = MetricsCollector()
+        self.tracer = Tracer(enabled=trace, max_records=max_trace_records)
+        self.cs_duration = cs_duration
+        self.failed: set[int] = set()
+        self._environments: dict[int, SimEnvironment] = {}
+        self._pending_request_ids: dict[int, deque[int]] = {
+            node_id: deque() for node_id in self.nodes
+        }
+        self._active_request: dict[int, int | None] = {node_id: None for node_id in self.nodes}
+        self._auto_release: dict[int, float | None] = {node_id: None for node_id in self.nodes}
+        self._grant_listeners: list[Callable[[int, float], None]] = []
+
+        self.simulator.set_delivery_handler(self._deliver)
+        self.simulator.set_timer_handler(self._fire_timer)
+        for node_id, node in self.nodes.items():
+            env = SimEnvironment(self, node_id)
+            self._environments[node_id] = env
+            node.bind(env)
+            node.set_granted_callback(self._on_granted)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes in the cluster."""
+        return len(self.nodes)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.simulator.now
+
+    def node(self, node_id: int) -> MutexNode:
+        """Return the node instance with the given id."""
+        return self.nodes[node_id]
+
+    def environment(self, node_id: int) -> SimEnvironment:
+        """Return the environment of a node (mainly for tests)."""
+        return self._environments[node_id]
+
+    def is_failed(self, node_id: int) -> bool:
+        """Whether the node is currently crashed."""
+        return node_id in self.failed
+
+    def add_grant_listener(self, listener: Callable[[int, float], None]) -> None:
+        """Register a callable invoked as ``listener(node_id, time)`` on grants."""
+        self._grant_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Message plumbing
+    # ------------------------------------------------------------------
+    def _send(self, sender: int, dest: int, message: Message) -> None:
+        if dest not in self.nodes:
+            raise SimulationError(f"node {sender} sent a message to unknown node {dest}")
+        if sender in self.failed:
+            # A crashed node cannot act; silently ignore (defensive, the
+            # cluster never invokes handlers of crashed nodes).
+            return
+        dropped = dest in self.failed
+        now = self.simulator.now
+        self.metrics.record_send(now, sender, dest, message.kind, dropped=False)
+        self.tracer.emit(now, TraceCategory.SEND, sender, dest=dest, kind=message.kind)
+        delay = self.delay_model.sample(sender, dest, self.simulator.rng)
+        arrival = self.channels.delivery_time(sender, dest, now, delay)
+        self.simulator.schedule_at(
+            arrival, MessageDelivery(sender=sender, dest=dest, message=message, sent_at=now)
+        )
+        del dropped
+
+    def _deliver(self, delivery: MessageDelivery) -> None:
+        now = self.simulator.now
+        if delivery.dest in self.failed:
+            # Fail-stop: messages in transit towards a crashed node are lost.
+            self.metrics.dropped_messages += 1
+            self.tracer.emit(
+                now,
+                TraceCategory.DROP,
+                delivery.dest,
+                sender=delivery.sender,
+                kind=delivery.message.kind,
+            )
+            return
+        self.tracer.emit(
+            now,
+            TraceCategory.DELIVER,
+            delivery.dest,
+            sender=delivery.sender,
+            kind=delivery.message.kind,
+        )
+        self.nodes[delivery.dest].on_message(delivery.sender, delivery.message)
+
+    def _fire_timer(self, expiry: TimerExpiry) -> None:
+        if expiry.node in self.failed:
+            return
+        env = self._environments[expiry.node]
+        env._timers.pop(expiry.timer_id, None)
+        self.tracer.emit(self.simulator.now, TraceCategory.TIMER, expiry.node, name=expiry.name)
+        self.nodes[expiry.node].on_timer(expiry.name, expiry.payload)
+
+    # ------------------------------------------------------------------
+    # Application-level operations
+    # ------------------------------------------------------------------
+    def request_cs(
+        self,
+        node_id: int,
+        *,
+        at: float | None = None,
+        hold: float | None = None,
+        auto_release: bool = True,
+    ) -> int:
+        """Issue a critical-section request on behalf of ``node_id``.
+
+        Args:
+            at: simulated time at which the request is issued (default: now).
+            hold: how long the node stays in the critical section once
+                granted (default: the cluster's ``cs_duration``); the release
+                is scheduled automatically.
+            auto_release: pass ``False`` to keep the critical section until
+                :meth:`release_cs` is called explicitly.
+
+        Returns:
+            The request id used in the metrics records.
+        """
+        if node_id not in self.nodes:
+            raise SimulationError(f"unknown node {node_id}")
+        request_id = next_request_id()
+        hold_time: float | None = self.cs_duration if hold is None else hold
+        if not auto_release:
+            hold_time = None
+
+        def issue() -> None:
+            if node_id in self.failed:
+                # The requester itself is down; the request never happens.
+                return
+            self.metrics.record_request_issued(request_id, node_id, self.simulator.now)
+            self.tracer.emit(self.simulator.now, TraceCategory.REQUEST, node_id, request=request_id)
+            self._pending_request_ids[node_id].append(request_id)
+            self._auto_release[node_id] = hold_time
+            self.nodes[node_id].acquire()
+
+        if at is None or at <= self.simulator.now:
+            issue()
+        else:
+            self.simulator.call_at(at, issue, label=f"request-{node_id}")
+        return request_id
+
+    def release_cs(self, node_id: int) -> None:
+        """Explicitly release the critical section held by ``node_id``."""
+        self._do_release(node_id)
+
+    def _on_granted(self, node_id: int) -> None:
+        now = self.simulator.now
+        pending = self._pending_request_ids[node_id]
+        request_id = pending.popleft() if pending else None
+        self._active_request[node_id] = request_id
+        self.metrics.record_cs_enter(node_id, now)
+        self.tracer.emit(now, TraceCategory.CS_ENTER, node_id, request=request_id)
+        if request_id is not None:
+            self.metrics.record_request_granted(request_id, now)
+            self.tracer.emit(now, TraceCategory.GRANT, node_id, request=request_id)
+        for listener in self._grant_listeners:
+            listener(node_id, now)
+        hold = self._auto_release[node_id]
+        if hold is not None:
+            self.simulator.call_after(hold, lambda: self._do_release(node_id), label=f"release-{node_id}")
+
+    def _do_release(self, node_id: int) -> None:
+        if node_id in self.failed:
+            return
+        node = self.nodes[node_id]
+        if not node.in_critical_section:
+            return
+        now = self.simulator.now
+        request_id = self._active_request.get(node_id)
+        self.metrics.record_cs_exit(node_id, now)
+        self.tracer.emit(now, TraceCategory.CS_EXIT, node_id, request=request_id)
+        if request_id is not None:
+            self.metrics.record_request_released(request_id, now)
+            self.tracer.emit(now, TraceCategory.RELEASE, node_id, request=request_id)
+        self._active_request[node_id] = None
+        node.release()
+
+    # ------------------------------------------------------------------
+    # Failure injection (fail-stop model of Section 5)
+    # ------------------------------------------------------------------
+    def fail_node(self, node_id: int, *, at: float | None = None) -> None:
+        """Crash ``node_id`` now or at a scheduled time.
+
+        A crashed node stops processing messages and timers; messages in
+        transit towards it are lost; its volatile state is wiped through
+        :meth:`MutexNode.on_crash`.
+        """
+        if node_id not in self.nodes:
+            raise SimulationError(f"unknown node {node_id}")
+
+        def crash() -> None:
+            if node_id in self.failed:
+                return
+            self.failed.add(node_id)
+            self._environments[node_id].cancel_all_timers()
+            self.metrics.record_failure(node_id, self.simulator.now)
+            self.tracer.emit(self.simulator.now, TraceCategory.FAILURE, node_id)
+            # Requests the node had issued (or was serving) die with it;
+            # forgetting them keeps later grants matched to the right
+            # request records after a recovery.
+            self._pending_request_ids[node_id].clear()
+            self._active_request[node_id] = None
+            self._auto_release[node_id] = None
+            self.nodes[node_id].on_crash()
+
+        if at is None or at <= self.simulator.now:
+            crash()
+        else:
+            self.simulator.call_at(at, crash, label=f"fail-{node_id}")
+
+    def recover_node(self, node_id: int, *, at: float | None = None) -> None:
+        """Recover a crashed node now or at a scheduled time."""
+        if node_id not in self.nodes:
+            raise SimulationError(f"unknown node {node_id}")
+
+        def recover() -> None:
+            if node_id not in self.failed:
+                return
+            self.failed.discard(node_id)
+            self.metrics.record_recovery(node_id, self.simulator.now)
+            self.tracer.emit(self.simulator.now, TraceCategory.RECOVERY, node_id)
+            self.nodes[node_id].on_recover()
+
+        if at is None or at <= self.simulator.now:
+            recover()
+        else:
+            self.simulator.call_at(at, recover, label=f"recover-{node_id}")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None, max_events: int | None = 2_000_000) -> None:
+        """Run the simulation (see :meth:`Simulator.run`)."""
+        self.simulator.run(until=until, max_events=max_events)
+
+    def run_until_quiescent(self, max_events: int | None = 2_000_000) -> None:
+        """Run until no pending events remain."""
+        self.simulator.run(until=None, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshots(self) -> dict[int, dict[str, Any]]:
+        """Return the state snapshot of every node."""
+        return {node_id: node.snapshot() for node_id, node in self.nodes.items()}
+
+    def father_map(self) -> dict[int, int | None]:
+        """Return the ``father`` variable of every node exposing one.
+
+        Only meaningful for the tree-based algorithms; nodes that do not have
+        a ``father`` attribute are skipped.
+        """
+        fathers: dict[int, int | None] = {}
+        for node_id, node in self.nodes.items():
+            snapshot = node.snapshot()
+            if "father" in snapshot:
+                fathers[node_id] = snapshot["father"]
+        return fathers
+
+    def token_holders(self) -> list[int]:
+        """Return the nodes that currently believe they hold the token."""
+        holders = []
+        for node_id, node in self.nodes.items():
+            snapshot = node.snapshot()
+            if snapshot.get("token_here"):
+                holders.append(node_id)
+        return holders

@@ -1,0 +1,62 @@
+"""Event records used by the discrete-event simulator.
+
+The simulator's agenda is a priority queue of :class:`ScheduledEvent` items.
+Each item carries a concrete payload describing what must happen at that
+simulated time: a message delivery, a timer expiry, or an arbitrary scheduled
+action (used by workload drivers and failure injectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "MessageDelivery",
+    "TimerExpiry",
+    "ScheduledAction",
+    "ScheduledEvent",
+]
+
+
+@dataclass(frozen=True)
+class MessageDelivery:
+    """A message arriving at ``dest`` that was sent by ``sender``."""
+
+    sender: int
+    dest: int
+    message: Any
+    sent_at: float
+
+
+@dataclass(frozen=True)
+class TimerExpiry:
+    """A timer set by ``node`` firing; carried name/payload are opaque."""
+
+    node: int
+    timer_id: int
+    name: str
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class ScheduledAction:
+    """A plain callable to run at the scheduled time (workloads, failures)."""
+
+    label: str
+    action: Callable[[], None]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """Agenda entry: events are ordered by ``(time, sequence)``.
+
+    The monotonically increasing ``sequence`` makes the order of simultaneous
+    events deterministic (insertion order), which keeps every run exactly
+    reproducible for a given seed.
+    """
+
+    time: float
+    sequence: int
+    payload: MessageDelivery | TimerExpiry | ScheduledAction = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)

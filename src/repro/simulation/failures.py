@@ -1,0 +1,168 @@
+"""Failure-injection schedules for the fault-tolerance experiments.
+
+The paper's conclusion reports the average number of overhead messages per
+failure measured over 300 injected failures (N=32) and 200 failures (N=64).
+This module builds comparable schedules: sequences of (time, node) crash
+events, optionally followed by recoveries, generated from a seeded RNG so
+that every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FailureEvent", "FailureSchedule", "FailurePlanner"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One crash (and optional recovery) of one node."""
+
+    node: int
+    fail_at: float
+    recover_at: float | None = None
+
+
+@dataclass
+class FailureSchedule:
+    """An ordered collection of :class:`FailureEvent` items."""
+
+    events: list[FailureEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def nodes(self) -> set[int]:
+        """Return the set of nodes that fail at least once."""
+        return {event.node for event in self.events}
+
+    def apply(self, cluster) -> None:
+        """Schedule every crash/recovery on a :class:`SimulatedCluster`."""
+        for event in self.events:
+            cluster.fail_node(event.node, at=event.fail_at)
+            if event.recover_at is not None:
+                cluster.recover_node(event.node, at=event.recover_at)
+
+    def last_event_time(self) -> float:
+        """Return the time of the last scheduled crash or recovery."""
+        times = [event.fail_at for event in self.events]
+        times.extend(event.recover_at for event in self.events if event.recover_at is not None)
+        return max(times, default=0.0)
+
+
+class FailurePlanner:
+    """Builds failure schedules over a node population.
+
+    Args:
+        n: number of nodes (labels 1..n).
+        seed: RNG seed for node and time selection.
+        protected_nodes: nodes that must never be crashed (e.g. a node the
+            experiment uses as an observer).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        seed: int = 0,
+        protected_nodes: Iterable[int] = (),
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError("failure planning needs at least two nodes")
+        self.n = n
+        self.rng = random.Random(seed)
+        self.protected = set(protected_nodes)
+        if len(self.protected) >= n:
+            raise ConfigurationError("cannot protect every node from failures")
+
+    def _pick_node(self, exclude: set[int]) -> int:
+        candidates = [
+            node
+            for node in range(1, self.n + 1)
+            if node not in self.protected and node not in exclude
+        ]
+        if not candidates:
+            raise ConfigurationError("no node left to fail")
+        return self.rng.choice(candidates)
+
+    def single_failure(self, node: int, fail_at: float, recover_at: float | None = None) -> FailureSchedule:
+        """Schedule a single, explicitly chosen failure."""
+        return FailureSchedule([FailureEvent(node=node, fail_at=fail_at, recover_at=recover_at)])
+
+    def periodic_failures(
+        self,
+        count: int,
+        *,
+        start: float,
+        spacing: float,
+        recover_after: float | None = None,
+        jitter: float = 0.0,
+    ) -> FailureSchedule:
+        """Crash a random node every ``spacing`` time units, ``count`` times.
+
+        The same node is never crashed twice in a row, and — when
+        ``recover_after`` is given — a node recovers before the next crash is
+        injected, matching the "at most one failed node at a time" regime the
+        paper uses to present the recovery protocol (the multi-failure case
+        is exercised by :meth:`burst_failures`).
+        """
+        if count < 1 or spacing <= 0:
+            raise ConfigurationError("count must be >= 1 and spacing > 0")
+        events: list[FailureEvent] = []
+        previous: int | None = None
+        time = start
+        for _ in range(count):
+            exclude = {previous} if previous is not None else set()
+            node = self._pick_node(exclude)
+            fail_at = time + (self.rng.uniform(0, jitter) if jitter else 0.0)
+            recover_at = fail_at + recover_after if recover_after is not None else None
+            events.append(FailureEvent(node=node, fail_at=fail_at, recover_at=recover_at))
+            previous = node
+            time += spacing
+        return FailureSchedule(events)
+
+    def burst_failures(
+        self,
+        count: int,
+        *,
+        at: float,
+        recover_after: float | None = None,
+    ) -> FailureSchedule:
+        """Crash ``count`` distinct nodes (almost) simultaneously.
+
+        Exercises the "several failures" case of Section 5; the network is
+        assumed to stay connected, which the simulator guarantees since every
+        pair of surviving nodes can still exchange messages.
+        """
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        chosen: set[int] = set()
+        events: list[FailureEvent] = []
+        for index in range(count):
+            node = self._pick_node(chosen)
+            chosen.add(node)
+            fail_at = at + index * 1e-3
+            recover_at = fail_at + recover_after if recover_after is not None else None
+            events.append(FailureEvent(node=node, fail_at=fail_at, recover_at=recover_at))
+        return FailureSchedule(events)
+
+    def targeted_failures(
+        self, nodes: Sequence[int], *, start: float, spacing: float, recover_after: float | None = None
+    ) -> FailureSchedule:
+        """Crash an explicit list of nodes, one after the other."""
+        events = []
+        time = start
+        for node in nodes:
+            if not 1 <= node <= self.n:
+                raise ConfigurationError(f"node {node} outside 1..{self.n}")
+            recover_at = time + recover_after if recover_after is not None else None
+            events.append(FailureEvent(node=node, fail_at=time, recover_at=recover_at))
+            time += spacing
+        return FailureSchedule(events)

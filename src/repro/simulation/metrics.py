@@ -1,0 +1,219 @@
+"""Metrics collection for simulation runs.
+
+The paper's quantitative claims are *message counts*: messages per request in
+the failure-free case, extra messages per failure in the fault-tolerant case.
+The :class:`MetricsCollector` therefore records every send (classified by
+message type), every critical-section entry/exit, every request issue/grant
+pair, and every injected failure, so the experiment harness can compute those
+quantities without instrumenting the algorithms themselves.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "SentMessage",
+    "CriticalSectionInterval",
+    "RequestRecord",
+    "MetricsCollector",
+]
+
+
+@dataclass(frozen=True)
+class SentMessage:
+    """One message send event."""
+
+    time: float
+    sender: int
+    dest: int
+    kind: str
+    dropped: bool = False
+
+
+@dataclass
+class CriticalSectionInterval:
+    """One critical-section occupancy interval of a node."""
+
+    node: int
+    entered_at: float
+    exited_at: float | None = None
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of one critical-section request."""
+
+    request_id: int
+    node: int
+    issued_at: float
+    granted_at: float | None = None
+    released_at: float | None = None
+    messages_at_issue: int = 0
+    messages_at_grant: int | None = None
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the request was eventually granted."""
+        return self.granted_at is not None
+
+    @property
+    def waiting_time(self) -> float | None:
+        """Time between issuing the request and entering the CS."""
+        if self.granted_at is None:
+            return None
+        return self.granted_at - self.issued_at
+
+
+class MetricsCollector:
+    """Accumulates counters and per-request records during a run."""
+
+    def __init__(self) -> None:
+        self.sent_messages: list[SentMessage] = []
+        self.messages_by_kind: Counter[str] = Counter()
+        self.messages_by_sender: Counter[int] = Counter()
+        self.dropped_messages: int = 0
+        self.cs_intervals: list[CriticalSectionInterval] = []
+        self.requests: dict[int, RequestRecord] = {}
+        self.failures: list[tuple[float, int]] = []
+        self.recoveries: list[tuple[float, int]] = []
+        self.custom: dict[str, Any] = {}
+        self._open_cs: dict[int, CriticalSectionInterval] = {}
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called by the simulator / cluster)
+    # ------------------------------------------------------------------
+    def record_send(
+        self, time: float, sender: int, dest: int, kind: str, dropped: bool = False
+    ) -> None:
+        """Record a message send; ``dropped`` marks sends to failed nodes."""
+        self.sent_messages.append(SentMessage(time, sender, dest, kind, dropped))
+        self.messages_by_kind[kind] += 1
+        self.messages_by_sender[sender] += 1
+        if dropped:
+            self.dropped_messages += 1
+
+    def record_request_issued(self, request_id: int, node: int, time: float) -> None:
+        """Record the moment a node asks to enter the critical section."""
+        self.requests[request_id] = RequestRecord(
+            request_id=request_id,
+            node=node,
+            issued_at=time,
+            messages_at_issue=self.total_messages(),
+        )
+
+    def record_request_granted(self, request_id: int, time: float) -> None:
+        """Record the moment the corresponding critical section is entered."""
+        record = self.requests.get(request_id)
+        if record is None:
+            return
+        record.granted_at = time
+        record.messages_at_grant = self.total_messages()
+
+    def record_request_released(self, request_id: int, time: float) -> None:
+        """Record the moment the corresponding critical section is left."""
+        record = self.requests.get(request_id)
+        if record is not None:
+            record.released_at = time
+
+    def record_cs_enter(self, node: int, time: float) -> None:
+        """Record a critical-section entry (for the safety checker)."""
+        interval = CriticalSectionInterval(node=node, entered_at=time)
+        self.cs_intervals.append(interval)
+        self._open_cs[node] = interval
+
+    def record_cs_exit(self, node: int, time: float) -> None:
+        """Record a critical-section exit."""
+        interval = self._open_cs.pop(node, None)
+        if interval is not None:
+            interval.exited_at = time
+
+    def record_failure(self, node: int, time: float) -> None:
+        """Record an injected fail-stop failure."""
+        self.failures.append((time, node))
+
+    def record_recovery(self, node: int, time: float) -> None:
+        """Record a node recovery."""
+        self.recoveries.append((time, node))
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def total_messages(self, *, include_dropped: bool = True) -> int:
+        """Total number of messages sent so far."""
+        if include_dropped:
+            return len(self.sent_messages)
+        return len(self.sent_messages) - self.dropped_messages
+
+    def messages_of_kinds(self, kinds: set[str] | frozenset[str]) -> int:
+        """Total number of messages whose kind is in ``kinds``."""
+        return sum(count for kind, count in self.messages_by_kind.items() if kind in kinds)
+
+    def satisfied_requests(self) -> list[RequestRecord]:
+        """Return the requests that were granted, ordered by grant time."""
+        granted = [r for r in self.requests.values() if r.granted_at is not None]
+        granted.sort(key=lambda r: r.granted_at)
+        return granted
+
+    def unsatisfied_requests(self) -> list[RequestRecord]:
+        """Return the requests never granted during the run."""
+        return [r for r in self.requests.values() if r.granted_at is None]
+
+    def messages_per_request(self) -> list[int]:
+        """Messages attributable to each request, in issue order.
+
+        For *serial* workloads (at most one outstanding request at a time,
+        spaced widely enough that all traffic of a request — including the
+        possible token-return message after the critical section — settles
+        before the next request is issued) this is exact: request ``k`` is
+        charged every message sent between its issue and the next issue (or
+        the end of the run for the last request).  For concurrent workloads
+        use :meth:`mean_messages_per_request`, which divides the total
+        traffic by the number of grants instead.
+        """
+        ordered = sorted(self.requests.values(), key=lambda r: r.issued_at)
+        counts: list[int] = []
+        for record, successor in zip(ordered, ordered[1:]):
+            counts.append(successor.messages_at_issue - record.messages_at_issue)
+        if ordered:
+            counts.append(self.total_messages() - ordered[-1].messages_at_issue)
+        return counts
+
+    def mean_messages_per_request(self) -> float:
+        """Total messages divided by the number of granted requests."""
+        granted = self.satisfied_requests()
+        if not granted:
+            return 0.0
+        return self.total_messages() / len(granted)
+
+    def mean_waiting_time(self) -> float:
+        """Average time between issuing a request and entering the CS."""
+        waits = [r.waiting_time for r in self.satisfied_requests() if r.waiting_time is not None]
+        if not waits:
+            return 0.0
+        return sum(waits) / len(waits)
+
+    def per_node_request_counts(self) -> dict[int, int]:
+        """Number of requests issued by each node."""
+        counts: dict[int, int] = defaultdict(int)
+        for record in self.requests.values():
+            counts[record.node] += 1
+        return dict(counts)
+
+    def summary(self) -> dict[str, Any]:
+        """Return a dictionary summary convenient for table printing."""
+        per_request = self.messages_per_request()
+        return {
+            "total_messages": self.total_messages(),
+            "dropped_messages": self.dropped_messages,
+            "messages_by_kind": dict(self.messages_by_kind),
+            "requests_issued": len(self.requests),
+            "requests_granted": len(self.satisfied_requests()),
+            "mean_messages_per_request": self.mean_messages_per_request(),
+            "max_messages_per_request": max(per_request) if per_request else 0,
+            "mean_waiting_time": self.mean_waiting_time(),
+            "failures": len(self.failures),
+            "recoveries": len(self.recoveries),
+        }

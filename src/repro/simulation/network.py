@@ -1,0 +1,138 @@
+"""Network models for the simulator.
+
+The paper's system model is: reliable channels (no loss, no corruption),
+asynchronous communication with finite but unpredictable delay, channels that
+may or may not be FIFO, and — for the fault-tolerance layer — a known upper
+bound ``delta`` on the transmission delay between non-failed nodes.
+
+A :class:`DelayModel` turns that model into numbers: it samples a delay for
+each message and exposes the bound ``max_delay`` (the paper's ``delta``) that
+the failure detectors rely on.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "DelayModel",
+    "ConstantDelay",
+    "UniformDelay",
+    "PerHopDelay",
+    "ChannelState",
+]
+
+
+class DelayModel(abc.ABC):
+    """Samples per-message transmission delays.
+
+    Attributes:
+        max_delay: the bound ``delta`` guaranteed by the underlying
+            communication service.  Sampled delays never exceed it.
+    """
+
+    max_delay: float
+
+    @abc.abstractmethod
+    def sample(self, sender: int, dest: int, rng: random.Random) -> float:
+        """Return the transmission delay of one message from sender to dest."""
+
+    def validate(self) -> None:
+        """Check the configured bounds; raise ConfigurationError when invalid."""
+        if self.max_delay <= 0:
+            raise ConfigurationError(
+                f"max_delay must be positive, got {self.max_delay}"
+            )
+
+
+@dataclass
+class ConstantDelay(DelayModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.max_delay = self.delay
+        self.validate()
+
+    def sample(self, sender: int, dest: int, rng: random.Random) -> float:
+        return self.delay
+
+
+@dataclass
+class UniformDelay(DelayModel):
+    """Delays drawn uniformly from ``[low, high]``; ``high`` is ``delta``."""
+
+    low: float = 0.5
+    high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ConfigurationError(
+                f"invalid uniform delay bounds [{self.low}, {self.high}]"
+            )
+        self.max_delay = self.high
+        self.validate()
+
+    def sample(self, sender: int, dest: int, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass
+class PerHopDelay(DelayModel):
+    """Delay proportional to the hypercube (Hamming) distance of the labels.
+
+    This loosely models the iPSC/2 testbed of the paper's conclusion, where
+    messages between distant hypercube corners traverse more physical links.
+    The delay is ``base * hamming(sender-1, dest-1)`` plus a uniform jitter,
+    capped at ``max_delay``.
+    """
+
+    base: float = 0.2
+    jitter: float = 0.1
+    dimensions: int = 5
+
+    def __post_init__(self) -> None:
+        if self.base <= 0 or self.jitter < 0 or self.dimensions < 1:
+            raise ConfigurationError(
+                "PerHopDelay requires base > 0, jitter >= 0, dimensions >= 1"
+            )
+        self.max_delay = self.base * self.dimensions + self.jitter
+        self.validate()
+
+    def sample(self, sender: int, dest: int, rng: random.Random) -> float:
+        hops = bin((sender - 1) ^ (dest - 1)).count("1")
+        hops = max(1, min(hops, self.dimensions))
+        return min(self.max_delay, self.base * hops + rng.uniform(0.0, self.jitter))
+
+
+class ChannelState:
+    """Per-ordered-pair channel bookkeeping.
+
+    When ``fifo`` is ``True`` the delivery time of a message is forced to be
+    at least the delivery time of the previously sent message on the same
+    channel, so messages between the same pair of nodes arrive in sending
+    order.  When ``False`` (the paper's default assumption: "messages can be
+    delivered out of order") each message gets an independent delay.
+    """
+
+    def __init__(self, fifo: bool = False) -> None:
+        self.fifo = fifo
+        self._last_delivery: dict[tuple[int, int], float] = {}
+
+    def delivery_time(self, sender: int, dest: int, send_time: float, delay: float) -> float:
+        """Compute the delivery time of a message and update channel state."""
+        arrival = send_time + delay
+        if self.fifo:
+            key = (sender, dest)
+            arrival = max(arrival, self._last_delivery.get(key, 0.0))
+            self._last_delivery[key] = arrival
+        return arrival
+
+    def reset(self) -> None:
+        """Forget all channel history (used when a simulation is reset)."""
+        self._last_delivery.clear()

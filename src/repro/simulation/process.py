@@ -1,0 +1,145 @@
+"""Abstractions shared by every mutual-exclusion algorithm implementation.
+
+Algorithm nodes are written *sans-I/O*: they are plain state machines that
+react to messages, timers and local application calls, and perform all their
+effects through an :class:`Environment`.  The same node classes therefore run
+unchanged on the deterministic simulator (tests, benchmarks) and on the
+asyncio runtime (examples).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable
+
+from repro.core.messages import Message
+
+__all__ = ["Environment", "MutexNode"]
+
+
+class Environment(abc.ABC):
+    """Effect interface injected into every node.
+
+    The environment is the node's only way to interact with the outside
+    world: sending messages, reading the clock and managing timers.  The
+    paper's model (asynchronous reliable channels, known delay bound
+    ``delta``) is realised behind this interface by the simulator or by the
+    asyncio runtime.
+    """
+
+    @property
+    @abc.abstractmethod
+    def node_id(self) -> int:
+        """Identity of the node this environment belongs to."""
+
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time (simulated or wall-clock seconds)."""
+
+    @property
+    @abc.abstractmethod
+    def max_delay(self) -> float:
+        """The bound ``delta`` on message transmission delay."""
+
+    @abc.abstractmethod
+    def send(self, dest: int, message: Message) -> None:
+        """Send ``message`` to node ``dest`` (asynchronous, reliable)."""
+
+    @abc.abstractmethod
+    def set_timer(self, delay: float, name: str, payload: Any = None) -> int:
+        """Arm a timer; returns an identifier usable with :meth:`cancel_timer`."""
+
+    @abc.abstractmethod
+    def cancel_timer(self, timer_id: int) -> None:
+        """Cancel a timer previously returned by :meth:`set_timer`."""
+
+
+class MutexNode(abc.ABC):
+    """Base class of every mutual exclusion node implementation.
+
+    Lifecycle: construct, :meth:`bind` to an environment, then feed events
+    through :meth:`on_message` / :meth:`on_timer` and the local application
+    calls :meth:`acquire` / :meth:`release`.
+
+    Subclasses signal critical-section entry by calling
+    :meth:`notify_granted`, which forwards to the callback registered by the
+    hosting cluster or workload driver.
+    """
+
+    def __init__(self, node_id: int, n: int) -> None:
+        self.node_id = node_id
+        self.n = n
+        self._env: Environment | None = None
+        self._granted_callback: Callable[[int], None] | None = None
+        self.in_critical_section = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, env: Environment) -> None:
+        """Attach the node to its environment (called once by the host)."""
+        self._env = env
+
+    @property
+    def env(self) -> Environment:
+        """The bound environment; raises if :meth:`bind` was never called."""
+        if self._env is None:
+            raise RuntimeError(f"node {self.node_id} is not bound to an environment")
+        return self._env
+
+    def set_granted_callback(self, callback: Callable[[int], None]) -> None:
+        """Register the callable invoked when this node enters the CS."""
+        self._granted_callback = callback
+
+    def notify_granted(self) -> None:
+        """Mark CS entry and invoke the granted callback (if any)."""
+        self.in_critical_section = True
+        if self._granted_callback is not None:
+            self._granted_callback(self.node_id)
+
+    def notify_released(self) -> None:
+        """Mark CS exit (subclasses call this from :meth:`release`)."""
+        self.in_critical_section = False
+
+    # ------------------------------------------------------------------
+    # Event interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def on_message(self, sender: int, message: Message) -> None:
+        """Handle a protocol message delivered to this node."""
+
+    def on_timer(self, name: str, payload: Any = None) -> None:
+        """Handle a timer expiry (default: ignore; failure-free nodes need none)."""
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def acquire(self) -> None:
+        """Ask to enter the critical section (the paper's ``enter_cs``)."""
+
+    @abc.abstractmethod
+    def release(self) -> None:
+        """Leave the critical section (the paper's ``exit_cs``)."""
+
+    # ------------------------------------------------------------------
+    # Failure hooks (fail-stop model of Section 5)
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Called when the node fail-stops; volatile state is lost.
+
+        The default is a no-op: failure-free nodes are never crashed by the
+        experiments.  Fault-tolerant nodes override this to wipe their
+        volatile variables.
+        """
+
+    def on_recover(self) -> None:
+        """Called when the node recovers; only stable storage survives."""
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Return a picture of the node state for verification and debugging."""
+        return {"node_id": self.node_id, "in_critical_section": self.in_critical_section}

@@ -1,0 +1,184 @@
+"""A small deterministic discrete-event simulation engine.
+
+The engine is intentionally minimal: an agenda (priority queue) of
+:class:`~repro.simulation.events.ScheduledEvent` items processed in
+``(time, insertion order)`` order.  All randomness flows through a single
+seeded :class:`random.Random` instance owned by the simulator, so every run
+is exactly reproducible from its seed.
+
+The engine knows nothing about mutual exclusion; the
+:class:`~repro.simulation.cluster.SimulatedCluster` layers the network,
+failure and metrics semantics on top by registering delivery and timer
+handlers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import (
+    MessageDelivery,
+    ScheduledAction,
+    ScheduledEvent,
+    TimerExpiry,
+)
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Deterministic discrete-event loop.
+
+    Args:
+        seed: seed of the simulator-owned random number generator.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._time: float = 0.0
+        self._sequence: int = 0
+        self._processed: int = 0
+        self.rng = random.Random(seed)
+        self._delivery_handler: Callable[[MessageDelivery], None] | None = None
+        self._timer_handler: Callable[[TimerExpiry], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def set_delivery_handler(self, handler: Callable[[MessageDelivery], None]) -> None:
+        """Register the callable invoked for each message delivery event."""
+        self._delivery_handler = handler
+
+    def set_timer_handler(self, handler: Callable[[TimerExpiry], None]) -> None:
+        """Register the callable invoked for each timer expiry event."""
+        self._timer_handler = handler
+
+    # ------------------------------------------------------------------
+    # Clock and agenda
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._time
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-processed (and not cancelled) agenda entries."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events processed since the simulator was created."""
+        return self._processed
+
+    def schedule_at(
+        self, time: float, payload: MessageDelivery | TimerExpiry | ScheduledAction
+    ) -> ScheduledEvent:
+        """Schedule ``payload`` at absolute simulated time ``time``."""
+        if time < self._time:
+            raise SimulationError(
+                f"cannot schedule an event at {time} before current time {self._time}"
+            )
+        self._sequence += 1
+        event = ScheduledEvent(time=time, sequence=self._sequence, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(
+        self, delay: float, payload: MessageDelivery | TimerExpiry | ScheduledAction
+    ) -> ScheduledEvent:
+        """Schedule ``payload`` after a relative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._time + delay, payload)
+
+    def call_at(self, time: float, action: Callable[[], None], label: str = "action") -> ScheduledEvent:
+        """Schedule an arbitrary callable at absolute time ``time``."""
+        return self.schedule_at(time, ScheduledAction(label=label, action=action))
+
+    def call_after(self, delay: float, action: Callable[[], None], label: str = "action") -> ScheduledEvent:
+        """Schedule an arbitrary callable after ``delay`` time units."""
+        return self.schedule(delay, ScheduledAction(label=label, action=action))
+
+    @staticmethod
+    def cancel(event: ScheduledEvent) -> None:
+        """Mark a scheduled event as cancelled (it will be skipped)."""
+        event.cancelled = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next event; return ``False`` when the agenda is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._time = event.time
+            self._processed += 1
+            self._dispatch(event)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the agenda is empty, ``until`` is reached, or a budget hit.
+
+        Args:
+            until: stop before processing any event scheduled after this time
+                (the clock is left at the last processed event).
+            max_events: safety valve against runaway protocols; raises
+                :class:`SimulationError` when exceeded so bugs surface as
+                failures rather than hangs.
+        """
+        processed = 0
+        while self._heap:
+            next_event = self._peek()
+            if next_event is None:
+                break
+            if until is not None and next_event.time > until:
+                break
+            if not self.step():
+                break
+            processed += 1
+            if max_events is not None and processed > max_events:
+                raise SimulationError(
+                    f"exceeded the event budget of {max_events} events; "
+                    "the protocol is probably not quiescing"
+                )
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock to ``time`` without processing events.
+
+        Only valid when no pending event is scheduled before ``time``.
+        """
+        next_event = self._peek()
+        if next_event is not None and next_event.time < time:
+            raise SimulationError(
+                "cannot advance the clock past pending events; call run() instead"
+            )
+        if time < self._time:
+            raise SimulationError("cannot move the clock backwards")
+        self._time = time
+
+    def _peek(self) -> ScheduledEvent | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    def _dispatch(self, event: ScheduledEvent) -> None:
+        payload = event.payload
+        if isinstance(payload, MessageDelivery):
+            if self._delivery_handler is None:
+                raise SimulationError("no delivery handler registered")
+            self._delivery_handler(payload)
+        elif isinstance(payload, TimerExpiry):
+            if self._timer_handler is None:
+                raise SimulationError("no timer handler registered")
+            self._timer_handler(payload)
+        elif isinstance(payload, ScheduledAction):
+            payload.action()
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event payload {payload!r}")

@@ -1,0 +1,100 @@
+"""Structured tracing of simulation runs.
+
+Traces serve two purposes:
+
+* debugging — a human-readable log of who sent what to whom and when, and
+* verification — the safety/liveness checkers in :mod:`repro.verification`
+  operate on trace records rather than on live state, so any run (simulator
+  or asyncio runtime) can be checked after the fact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+__all__ = ["TraceCategory", "TraceRecord", "Tracer"]
+
+
+class TraceCategory(enum.Enum):
+    """Coarse classification of trace records."""
+
+    SEND = "send"
+    DELIVER = "deliver"
+    DROP = "drop"
+    TIMER = "timer"
+    REQUEST = "request"
+    GRANT = "grant"
+    RELEASE = "release"
+    CS_ENTER = "cs_enter"
+    CS_EXIT = "cs_exit"
+    FAILURE = "failure"
+    RECOVERY = "recovery"
+    STRUCTURE = "structure"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: TraceCategory
+    node: int | None
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Return a single-line human readable rendering."""
+        where = f"node {self.node}" if self.node is not None else "-"
+        payload = " ".join(f"{key}={value}" for key, value in sorted(self.details.items()))
+        return f"[{self.time:10.3f}] {self.category.value:<9} {where:<9} {payload}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` items during a run.
+
+    Tracing can be disabled (``enabled=False``) for large benchmark runs;
+    the record list then stays empty but the API keeps working, so callers
+    never need to guard their calls.
+    """
+
+    def __init__(self, enabled: bool = True, max_records: int | None = None) -> None:
+        self.enabled = enabled
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self.truncated = False
+
+    def emit(
+        self,
+        time: float,
+        category: TraceCategory,
+        node: int | None = None,
+        **details: Any,
+    ) -> None:
+        """Append a record (no-op when tracing is disabled or full)."""
+        if not self.enabled:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.truncated = True
+            return
+        self.records.append(TraceRecord(time, category, node, details))
+
+    def by_category(self, category: TraceCategory) -> list[TraceRecord]:
+        """Return all records of one category, in time order."""
+        return [record for record in self.records if record.category is category]
+
+    def for_node(self, node: int) -> list[TraceRecord]:
+        """Return all records attributed to one node."""
+        return [record for record in self.records if record.node == node]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def format(self, records: Iterable[TraceRecord] | None = None) -> str:
+        """Render the given records (default: all) as a multi-line string."""
+        chosen = self.records if records is None else list(records)
+        return "\n".join(record.format() for record in chosen)

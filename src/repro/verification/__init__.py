@@ -1,0 +1,33 @@
+"""Mechanical checks of the properties the paper proves or assumes."""
+
+from repro.verification.invariants import (
+    check_branch_bound,
+    check_open_cube,
+    check_powers_consistent,
+    check_single_root,
+    check_single_token,
+    quiescent_structure_report,
+)
+from repro.verification.liveness import LivenessReport, analyse_liveness, assert_liveness
+from repro.verification.safety import (
+    Overlap,
+    assert_mutual_exclusion,
+    crashed_in_critical_section,
+    find_overlaps,
+)
+
+__all__ = [
+    "check_branch_bound",
+    "check_open_cube",
+    "check_powers_consistent",
+    "check_single_root",
+    "check_single_token",
+    "quiescent_structure_report",
+    "LivenessReport",
+    "analyse_liveness",
+    "assert_liveness",
+    "Overlap",
+    "assert_mutual_exclusion",
+    "crashed_in_critical_section",
+    "find_overlaps",
+]

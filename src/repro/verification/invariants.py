@@ -1,0 +1,128 @@
+"""Structural invariant checks for the open-cube algorithms.
+
+These checks operate on cluster snapshots (the per-node ``father`` /
+``token_here`` variables) and are used by the test-suite and by the
+experiment harness to assert that the distributed algorithm preserves the
+properties proved in Section 2 and Section 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core import distances
+from repro.core.opencube import OpenCubeTree
+from repro.exceptions import InvalidTopologyError
+
+__all__ = [
+    "check_single_root",
+    "check_open_cube",
+    "check_powers_consistent",
+    "check_branch_bound",
+    "check_single_token",
+    "quiescent_structure_report",
+]
+
+
+def check_single_root(fathers: Mapping[int, int | None]) -> int:
+    """Return the unique root of a father map, or raise.
+
+    Raises:
+        InvalidTopologyError: when zero or several nodes have no father.
+    """
+    roots = [node for node, father in fathers.items() if father is None]
+    if len(roots) != 1:
+        raise InvalidTopologyError(f"expected exactly one root, found {sorted(roots)}")
+    return roots[0]
+
+
+def check_open_cube(fathers: Mapping[int, int | None]) -> OpenCubeTree:
+    """Validate that a father map is an open-cube and return the tree."""
+    tree = OpenCubeTree(len(fathers), fathers)
+    return tree
+
+
+def check_powers_consistent(fathers: Mapping[int, int | None]) -> None:
+    """Check Proposition 2.1 on every node of a father map.
+
+    Every node of power ``p > 0`` must have exactly ``p`` sons whose powers
+    are ``0 .. p-1``.
+    """
+    tree = OpenCubeTree(len(fathers), fathers, validate=False)
+    for node in tree.nodes():
+        power = tree.power(node)
+        son_powers = sorted(tree.power(son) for son in tree.sons(node))
+        if son_powers != list(range(power)):
+            raise InvalidTopologyError(
+                f"node {node} of power {power} has sons of powers {son_powers}, "
+                f"expected {list(range(power))}"
+            )
+
+
+def check_branch_bound(fathers: Mapping[int, int | None]) -> None:
+    """Check Proposition 2.3 (branch-length bound) on every branch."""
+    tree = OpenCubeTree(len(fathers), fathers, validate=False)
+    if not tree.diameter_bound_holds():
+        raise InvalidTopologyError("a branch violates the log2(N) - n1 length bound")
+
+
+def check_single_token(snapshots: Mapping[int, Mapping]) -> int:
+    """Return the unique token holder from node snapshots, or raise.
+
+    Note that between a hand-over send and the matching receive the token is
+    legitimately "nowhere"; this check is meant for *quiescent* states
+    (between requests / after the run), where exactly one node must hold it.
+    """
+    holders = [node for node, snap in snapshots.items() if snap.get("token_here")]
+    if len(holders) != 1:
+        raise InvalidTopologyError(f"expected exactly one token holder, found {holders}")
+    return holders[0]
+
+
+def quiescent_structure_report(cluster) -> dict:
+    """Check every quiescent-state invariant of a cluster and report.
+
+    Returns a dictionary with the root, the token holder, and booleans for
+    each invariant; raises nothing (intended for experiment summaries).
+    Crashed nodes are excluded from the father map before checking, because
+    the open-cube property is only claimed for the surviving population once
+    their reconnections are done (and only when no node is mid-repair).
+    """
+    fathers = cluster.father_map()
+    snapshots = cluster.snapshots()
+    report: dict = {"n": len(fathers)}
+    alive_fathers = {
+        node: father for node, father in fathers.items() if not cluster.is_failed(node)
+    }
+    try:
+        report["root"] = check_single_root(alive_fathers)
+        report["single_root"] = True
+    except InvalidTopologyError:
+        report["root"] = None
+        report["single_root"] = False
+    try:
+        report["token_holder"] = check_single_token(
+            {n: s for n, s in snapshots.items() if not cluster.is_failed(n)}
+        )
+        report["single_token"] = True
+    except InvalidTopologyError:
+        report["token_holder"] = None
+        report["single_token"] = False
+    if not cluster.failed and len(fathers) == cluster.n:
+        try:
+            check_open_cube(fathers)
+            report["open_cube"] = True
+        except InvalidTopologyError:
+            report["open_cube"] = False
+    else:
+        report["open_cube"] = None
+    return report
+
+
+def distance_matrix_is_symmetric(n: int) -> bool:
+    """Sanity property used by the tests: dist(i, j) == dist(j, i)."""
+    return all(
+        distances.distance(i, j) == distances.distance(j, i)
+        for i in range(1, n + 1)
+        for j in range(1, n + 1)
+    )

@@ -1,0 +1,23 @@
+"""Workload generation for the evaluation experiments."""
+
+from repro.workload.arrivals import (
+    RequestArrival,
+    Workload,
+    burst_arrivals,
+    hotspot_arrivals,
+    poisson_arrivals,
+    serial_random,
+    serial_round_robin,
+    single_requester,
+)
+
+__all__ = [
+    "RequestArrival",
+    "Workload",
+    "burst_arrivals",
+    "hotspot_arrivals",
+    "poisson_arrivals",
+    "serial_random",
+    "serial_round_robin",
+    "single_requester",
+]

@@ -1,0 +1,156 @@
+"""Tests of the baseline algorithms, individually and uniformly."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import theory
+from repro.baselines.registry import ALGORITHMS, algorithm_names, build_cluster
+from repro.exceptions import ConfigurationError
+from repro.simulation.network import ConstantDelay, UniformDelay
+from repro.verification.liveness import analyse_liveness
+from repro.verification.safety import find_overlaps
+
+from tests.conftest import run_serial_requests
+
+ALL_ALGORITHMS = algorithm_names()
+
+
+def make(algorithm, n, **kwargs):
+    kwargs.setdefault("delay_model", ConstantDelay(1.0))
+    kwargs.setdefault("seed", 1)
+    return build_cluster(algorithm, n, **kwargs)
+
+
+class TestRegistry:
+    def test_all_expected_algorithms_registered(self):
+        assert {
+            "open-cube",
+            "open-cube-ft",
+            "raymond",
+            "naimi-trehel",
+            "central",
+            "ricart-agrawala",
+            "suzuki-kasami",
+        } <= set(ALGORITHMS)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_cluster("does-not-exist", 8)
+
+
+class TestUniformCorrectness:
+    """Every algorithm must satisfy safety and liveness on shared workloads."""
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_serial_round_robin(self, algorithm):
+        cluster = make(algorithm, 16)
+        run_serial_requests(cluster, list(range(1, 17)))
+        metrics = cluster.metrics
+        assert len(metrics.satisfied_requests()) == 16
+        assert not find_overlaps(metrics, end_of_time=cluster.now)
+        assert analyse_liveness(metrics).ok
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_concurrent_random_workload(self, algorithm):
+        cluster = make(algorithm, 16, delay_model=UniformDelay(0.2, 1.0), trace=False)
+        rng = random.Random(7)
+        time = 1.0
+        for _ in range(30):
+            time += rng.uniform(0.5, 4.0)
+            cluster.request_cs(rng.randint(1, 16), at=time, hold=rng.uniform(0.1, 0.8))
+        cluster.run_until_quiescent()
+        metrics = cluster.metrics
+        assert len(metrics.satisfied_requests()) == 30
+        assert not find_overlaps(metrics, end_of_time=cluster.now)
+        assert analyse_liveness(metrics).ok
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_repeated_requests_by_one_node(self, algorithm):
+        cluster = make(algorithm, 8)
+        run_serial_requests(cluster, [7, 7, 7, 7])
+        assert len(cluster.metrics.satisfied_requests()) == 4
+
+
+class TestRaymond:
+    def test_message_cost_bounded_by_diameter(self):
+        cluster = make("raymond", 16)
+        run_serial_requests(cluster, list(range(1, 17)))
+        per_request = cluster.metrics.messages_per_request()
+        assert max(per_request) <= theory.raymond_worst_case(16)
+
+    def test_token_stays_with_last_user(self):
+        cluster = make("raymond", 8)
+        run_serial_requests(cluster, [8])
+        assert cluster.node(8).holder == 8
+        assert cluster.node(1).holder != 1
+
+    def test_static_structure_never_changes(self):
+        cluster = make("raymond", 16)
+        neighbours_before = {i: sorted(cluster.node(i).neighbours) for i in range(1, 17)}
+        run_serial_requests(cluster, [5, 12, 3, 16])
+        neighbours_after = {i: sorted(cluster.node(i).neighbours) for i in range(1, 17)}
+        assert neighbours_before == neighbours_after
+
+
+class TestNaimiTrehel:
+    def test_average_cost_is_logarithmic(self):
+        cluster = make("naimi-trehel", 32, trace=False)
+        run_serial_requests(cluster, list(random.Random(3).choices(range(1, 33), k=64)))
+        per_request = cluster.metrics.messages_per_request()
+        mean = sum(per_request) / len(per_request)
+        assert mean <= 2 * theory.naimi_trehel_average(32) + 2
+
+    def test_worst_case_is_bounded_by_n(self):
+        cluster = make("naimi-trehel", 16)
+        run_serial_requests(cluster, list(range(1, 17)))
+        assert max(cluster.metrics.messages_per_request()) <= 16
+
+    def test_next_pointer_chains_waiting_requests(self):
+        cluster = make("naimi-trehel", 8)
+        cluster.request_cs(5, at=1.0, hold=4.0)
+        cluster.request_cs(6, at=2.0, hold=0.5)
+        cluster.run(until=5.0)
+        assert cluster.node(5).next == 6 or cluster.node(6).token_present
+
+
+class TestCentral:
+    def test_three_messages_per_remote_request(self):
+        cluster = make("central", 16)
+        run_serial_requests(cluster, [5, 9, 13])
+        assert cluster.metrics.messages_per_request() == [3, 3, 3]
+
+    def test_coordinator_request_is_free(self):
+        cluster = make("central", 16)
+        run_serial_requests(cluster, [1])
+        assert cluster.metrics.total_messages() == 0
+
+
+class TestRicartAgrawala:
+    def test_cost_is_2_n_minus_1(self):
+        cluster = make("ricart-agrawala", 8)
+        run_serial_requests(cluster, [3, 6])
+        assert cluster.metrics.messages_per_request() == [14, 14]
+
+    def test_concurrent_requests_ordered_by_timestamp(self):
+        cluster = make("ricart-agrawala", 8, delay_model=UniformDelay(0.1, 0.5))
+        cluster.request_cs(3, at=1.0, hold=1.0)
+        cluster.request_cs(6, at=1.05, hold=1.0)
+        cluster.run_until_quiescent()
+        grants = cluster.metrics.satisfied_requests()
+        assert [g.node for g in grants] == [3, 6]
+
+
+class TestSuzukiKasami:
+    def test_cost_is_n_per_remote_request(self):
+        cluster = make("suzuki-kasami", 8)
+        run_serial_requests(cluster, [5])
+        # N-1 broadcast requests + 1 token message.
+        assert cluster.metrics.total_messages() == 8
+
+    def test_holder_requests_are_free(self):
+        cluster = make("suzuki-kasami", 8)
+        run_serial_requests(cluster, [1, 1])
+        assert cluster.metrics.total_messages() == 0

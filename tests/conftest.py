@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.builders import build_fault_tolerant_cluster, build_opencube_cluster
+from repro.core.opencube import OpenCubeTree
+from repro.simulation.network import ConstantDelay
+from repro.verification.liveness import analyse_liveness
+from repro.verification.safety import crashed_in_critical_section, find_overlaps
+
+
+def run_serial_requests(cluster, nodes, *, spacing=60.0, hold=0.25, start=1.0):
+    """Issue one request per entry of ``nodes``, strictly serially."""
+    time = start
+    for node in nodes:
+        cluster.request_cs(node, at=time, hold=hold)
+        time += spacing
+    cluster.run_until_quiescent()
+    return cluster
+
+
+def run_random_workload(cluster, *, requests, seed, min_gap, max_gap, hold=0.3):
+    """Issue ``requests`` CS requests from random nodes with random gaps."""
+    rng = random.Random(seed)
+    time = 0.0
+    for _ in range(requests):
+        time += rng.uniform(min_gap, max_gap)
+        cluster.request_cs(rng.randint(1, cluster.n), at=time, hold=hold)
+    cluster.run_until_quiescent()
+    return cluster
+
+
+def assert_run_correct(cluster, *, expect_structure=True):
+    """Safety + liveness + (optionally) structural checks on a finished run."""
+    metrics = cluster.metrics
+    excluded = crashed_in_critical_section(metrics)
+    overlaps = find_overlaps(metrics, end_of_time=cluster.now, exclude_nodes=sorted(excluded))
+    assert not overlaps, f"mutual exclusion violated: {[o.describe() for o in overlaps]}"
+    liveness = analyse_liveness(metrics)
+    assert liveness.ok, f"{len(liveness.starved)} requests starved"
+    if expect_structure and not cluster.failed:
+        fathers = cluster.father_map()
+        if fathers and len(fathers) == cluster.n:
+            tree = OpenCubeTree(cluster.n, fathers)
+            assert tree.is_valid()
+    return metrics
+
+
+@pytest.fixture
+def cluster16():
+    """A 16-node failure-free open-cube cluster with deterministic delays."""
+    return build_opencube_cluster(16, seed=1, delay_model=ConstantDelay(1.0))
+
+
+@pytest.fixture
+def ft_cluster16():
+    """A 16-node fault-tolerant open-cube cluster."""
+    return build_fault_tolerant_cluster(16, seed=1, delay_model=ConstantDelay(1.0))

@@ -1,0 +1,216 @@
+"""Tests for the static open-cube combinatorics (Section 2 definitions)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import distances
+from repro.exceptions import InvalidTopologyError
+
+SIZES = [2, 4, 8, 16, 32, 64]
+
+
+class TestNodeCounts:
+    def test_powers_of_two_accepted(self):
+        for n, p in [(1, 0), (2, 1), (16, 4), (1024, 10)]:
+            assert distances.check_node_count(n) == p
+
+    @pytest.mark.parametrize("n", [0, -4, 3, 6, 12, 100])
+    def test_non_powers_rejected(self, n):
+        with pytest.raises(InvalidTopologyError):
+            distances.check_node_count(n)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(InvalidTopologyError):
+            distances.check_node_count(2.0)  # type: ignore[arg-type]
+
+    def test_is_power_of_two(self):
+        assert distances.is_power_of_two(1)
+        assert distances.is_power_of_two(64)
+        assert not distances.is_power_of_two(0)
+        assert not distances.is_power_of_two(48)
+
+
+class TestDistance:
+    def test_paper_examples_for_16_cube(self):
+        # "dist(1,2)=1, dist(1,j)=2 if j=3 or 4, dist(1,j)=3 for j=5..8,
+        #  dist(1,j)=4 for j=9..16"
+        assert distances.distance(1, 2) == 1
+        for j in (3, 4):
+            assert distances.distance(1, j) == 2
+        for j in range(5, 9):
+            assert distances.distance(1, j) == 3
+        for j in range(9, 17):
+            assert distances.distance(1, j) == 4
+
+    def test_distance_to_self_is_zero(self):
+        for node in range(1, 33):
+            assert distances.distance(node, node) == 0
+
+    def test_symmetry(self):
+        for i in range(1, 17):
+            for j in range(1, 17):
+                assert distances.distance(i, j) == distances.distance(j, i)
+
+    def test_rejects_labels_below_one(self):
+        with pytest.raises(InvalidTopologyError):
+            distances.distance(0, 5)
+
+    @given(i=st.integers(1, 1024), j=st.integers(1, 1024), k=st.integers(1, 1024))
+    @settings(max_examples=200)
+    def test_distance_is_an_ultrametric(self, i, j, k):
+        """dist is the order of the smallest common group: an ultrametric."""
+        dij = distances.distance(i, j)
+        djk = distances.distance(j, k)
+        dik = distances.distance(i, k)
+        assert dik <= max(dij, djk)
+
+    @given(i=st.integers(1, 256), j=st.integers(1, 256))
+    @settings(max_examples=200)
+    def test_same_group_iff_distance_bound(self, i, j):
+        d = distances.distance(i, j)
+        if i != j:
+            assert distances.group_of(i, d) == distances.group_of(j, d)
+            assert distances.group_of(i, d - 1) != distances.group_of(j, d - 1)
+
+    def test_distance_matrix_matches_scalar(self):
+        matrix = distances.distance_matrix(16)
+        for i in range(1, 17):
+            for j in range(1, 17):
+                assert matrix[i - 1][j - 1] == distances.distance(i, j)
+
+
+class TestGroups:
+    def test_paper_group_examples(self):
+        # In the 16-open-cube: {1,2} is a 1-group, {1,2,3,4} a 2-group, etc.
+        assert distances.group_members(1, 1, 16) == [1, 2]
+        assert distances.group_members(3, 2, 16) == [1, 2, 3, 4]
+        assert distances.group_members(6, 3, 16) == [1, 2, 3, 4, 5, 6, 7, 8]
+        assert distances.group_members(12, 4, 16) == list(range(1, 17))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_groups_partition_the_nodes(self, n):
+        pmax = distances.check_node_count(n)
+        for d in range(pmax + 1):
+            groups = distances.groups_of_size(d, n)
+            flattened = [node for group in groups for node in group]
+            assert sorted(flattened) == list(range(1, n + 1))
+            assert all(len(group) == 2**d for group in groups)
+
+    def test_all_groups_has_every_order(self):
+        groups = distances.all_groups(16)
+        assert set(groups.keys()) == {0, 1, 2, 3, 4}
+
+    def test_group_order_out_of_range_rejected(self):
+        with pytest.raises(InvalidTopologyError):
+            distances.group_members(1, 5, 16)
+        with pytest.raises(InvalidTopologyError):
+            distances.groups_of_size(-1, 16)
+
+
+class TestNodesAtDistance:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_count_is_two_to_d_minus_one(self, n):
+        """Section 5: exactly 2^(d-1) nodes lie at distance d from any node."""
+        pmax = distances.check_node_count(n)
+        for node in range(1, n + 1):
+            for d in range(1, pmax + 1):
+                assert len(distances.nodes_at_distance(node, d, n)) == 2 ** (d - 1)
+
+    def test_distance_zero_is_the_node_itself(self):
+        assert distances.nodes_at_distance(7, 0, 16) == [7]
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_membership_matches_distance_function(self, n):
+        pmax = distances.check_node_count(n)
+        for node in (1, n // 2, n):
+            for d in range(1, pmax + 1):
+                members = set(distances.nodes_at_distance(node, d, n))
+                expected = {
+                    other
+                    for other in range(1, n + 1)
+                    if distances.distance(node, other) == d
+                }
+                assert members == expected
+
+    def test_partition_of_all_other_nodes(self):
+        n = 32
+        node = 13
+        union: set[int] = set()
+        for d in range(1, 6):
+            at_d = set(distances.nodes_at_distance(node, d, n))
+            assert not (union & at_d)
+            union |= at_d
+        assert union == set(range(1, n + 1)) - {node}
+
+
+class TestInitialStructure:
+    def test_initial_fathers_for_figure_2c(self):
+        """Figure 2c: the 8-open-cube."""
+        fathers = distances.initial_fathers(8)
+        assert fathers == {1: None, 2: 1, 3: 1, 4: 3, 5: 1, 6: 5, 7: 5, 8: 7}
+
+    def test_initial_powers_for_figure_2d(self):
+        """Paper: in the 16-open-cube, powers of 1,2,3,5,9 are 4,0,1,2,3."""
+        assert distances.initial_power(1, 16) == 4
+        assert distances.initial_power(2, 16) == 0
+        assert distances.initial_power(3, 16) == 1
+        assert distances.initial_power(5, 16) == 2
+        assert distances.initial_power(9, 16) == 3
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_father_is_at_distance_power_plus_one(self, n):
+        """Proposition 2.1 on the initial structure."""
+        for node in range(2, n + 1):
+            father = distances.initial_father(node, n)
+            assert father is not None
+            assert distances.distance(node, father) == distances.initial_power(node, n) + 1
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_node_of_power_p_has_p_sons(self, n):
+        fathers = distances.initial_fathers(n)
+        sons: dict[int, list[int]] = {node: [] for node in fathers}
+        for node, father in fathers.items():
+            if father is not None:
+                sons[father].append(node)
+        for node in fathers:
+            son_powers = sorted(distances.initial_power(son, n) for son in sons[node])
+            assert son_powers == list(range(distances.initial_power(node, n)))
+
+    def test_hypercube_edge_count(self):
+        # The n-hypercube has n/2 * log2(n) edges.
+        assert len(distances.hypercube_edges(16)) == 16 // 2 * 4
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_initial_tree_is_subgraph_of_hypercube(self, n):
+        """Figure 3: the open-cube is the hypercube minus some links."""
+        cube = distances.hypercube_edges(n)
+        for node in range(2, n + 1):
+            father = distances.initial_father(node, n)
+            assert frozenset((node, father)) in cube
+
+
+class TestBranches:
+    def test_iter_branches_covers_every_leaf(self):
+        fathers = distances.initial_fathers(16)
+        branches = list(distances.iter_branches(fathers))
+        leaves = {branch[0] for branch in branches}
+        internal = {father for father in fathers.values() if father is not None}
+        assert leaves == set(fathers) - internal
+
+    def test_branches_end_at_the_root(self):
+        fathers = distances.initial_fathers(32)
+        for branch in distances.iter_branches(fathers):
+            assert branch[-1] == 1
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_branch_bound_proposition_2_3(self, n):
+        fathers = distances.initial_fathers(n)
+        powers = {
+            node: distances.initial_power(node, n) for node in range(1, n + 1)
+        }
+        pmax = distances.check_node_count(n)
+        for branch in distances.iter_branches(fathers):
+            assert distances.branch_bound_holds(branch, powers, pmax)

@@ -1,0 +1,220 @@
+"""Tests of the fault-tolerant node: Section 5 scenarios and random runs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.builders import build_fault_tolerant_cluster
+from repro.core.opencube import OpenCubeTree
+from repro.simulation.failures import FailurePlanner
+from repro.simulation.network import ConstantDelay, UniformDelay
+from repro.verification.liveness import analyse_liveness
+from repro.verification.safety import crashed_in_critical_section, find_overlaps
+
+from tests.conftest import assert_run_correct, run_serial_requests
+
+
+def make_cluster(n, **kwargs):
+    kwargs.setdefault("delay_model", ConstantDelay(1.0))
+    kwargs.setdefault("seed", 1)
+    return build_fault_tolerant_cluster(n, **kwargs)
+
+
+class TestFailureFreeEquivalence:
+    """Without failures the FT node must behave exactly like the base node."""
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_serial_round_robin(self, n):
+        cluster = make_cluster(n)
+        run_serial_requests(cluster, list(range(1, n + 1)))
+        metrics = assert_run_correct(cluster)
+        assert len(metrics.satisfied_requests()) == n
+        # No fault-tolerance machinery should have triggered.
+        ft_kinds = {"TestMessage", "AnswerMessage", "EnquiryMessage", "AnomalyMessage"}
+        assert metrics.messages_of_kinds(ft_kinds) == 0
+
+    def test_same_message_counts_as_base_algorithm(self):
+        from repro.core.builders import build_opencube_cluster
+
+        base = build_opencube_cluster(16, seed=3, delay_model=ConstantDelay(1.0))
+        ft = make_cluster(16, seed=3)
+        for cluster in (base, ft):
+            run_serial_requests(cluster, [10, 4, 16, 7, 1, 12])
+        assert (
+            base.metrics.messages_per_request() == ft.metrics.messages_per_request()
+        )
+
+
+class TestSingleFailureScenarios:
+    def test_failed_proxy_is_bypassed(self):
+        """Figure 14/15: node 9 fails, requesters 10 and 12 reconnect."""
+        cluster = make_cluster(16)
+        cluster.fail_node(9, at=0.5)
+        cluster.request_cs(10, at=1.0, hold=0.5)
+        cluster.request_cs(12, at=1.1, hold=0.5)
+        cluster.run_until_quiescent()
+        metrics = cluster.metrics
+        assert len(metrics.satisfied_requests()) == 2
+        # Both requesters reattached below live nodes.
+        assert cluster.node(10).father != 9 or cluster.node(10).father is None
+        assert cluster.node(12).father != 9
+        assert len(cluster.token_holders()) == 1
+        assert metrics.messages_by_kind.get("TestMessage", 0) > 0
+
+    def test_token_holder_crash_triggers_regeneration(self):
+        """The root lends the token, the borrower dies in its CS."""
+        cluster = make_cluster(16)
+        cluster.request_cs(6, at=0.5, hold=5.0)
+        cluster.request_cs(11, at=1.0, hold=0.5)
+        cluster.simulator.call_at(3.0, lambda: cluster.fail_node(6))
+        cluster.run_until_quiescent()
+        snaps = cluster.snapshots()
+        regenerated = sum(s["tokens_regenerated"] for s in snaps.values())
+        assert regenerated == 1
+        # Node 11's request is still satisfied after the regeneration.
+        granted_nodes = {r.node for r in cluster.metrics.satisfied_requests()}
+        assert 11 in granted_nodes
+        assert len(cluster.token_holders()) == 1
+
+    def test_token_lost_in_transit_to_crashed_node(self):
+        """The token is dropped at a node that crashed before receiving it."""
+        cluster = make_cluster(16)
+        cluster.request_cs(6, at=0.5, hold=1.0)
+        cluster.fail_node(6, at=2.0)  # before the loan can arrive
+        cluster.request_cs(11, at=3.0, hold=0.5)
+        cluster.run_until_quiescent()
+        granted_nodes = {r.node for r in cluster.metrics.satisfied_requests()}
+        assert 11 in granted_nodes
+        assert len(cluster.token_holders()) == 1
+
+    def test_leaf_failure_costs_nothing_if_nobody_needs_it(self):
+        cluster = make_cluster(16)
+        cluster.fail_node(16, at=0.5)
+        cluster.request_cs(2, at=1.0, hold=0.5)
+        cluster.run_until_quiescent()
+        metrics = cluster.metrics
+        assert len(metrics.satisfied_requests()) == 1
+        assert metrics.messages_by_kind.get("TestMessage", 0) == 0
+
+    def test_search_father_probe_counts_within_bound(self):
+        from repro.analysis import theory
+
+        cluster = make_cluster(16)
+        cluster.fail_node(9, at=0.5)
+        cluster.request_cs(10, at=1.0, hold=0.25)
+        cluster.run_until_quiescent()
+        tests = cluster.metrics.messages_by_kind.get("TestMessage", 0)
+        assert 0 < tests <= theory.search_father_worst_probes(16)
+
+
+class TestRecoveryAndAnomaly:
+    def test_recovered_node_reconnects_as_leaf(self):
+        cluster = make_cluster(16)
+        cluster.request_cs(10, at=1.0, hold=0.5)
+        cluster.fail_node(9, at=0.5)
+        cluster.recover_node(9, at=40.0)
+        cluster.run_until_quiescent()
+        node9 = cluster.node(9)
+        assert node9.father is not None or node9.token_here
+        assert len(cluster.token_holders()) == 1
+
+    def test_recovered_node_can_acquire_again(self):
+        cluster = make_cluster(16)
+        cluster.fail_node(9, at=0.5)
+        cluster.recover_node(9, at=10.0)
+        cluster.request_cs(9, at=60.0, hold=0.5)
+        cluster.run_until_quiescent()
+        granted_nodes = {r.node for r in cluster.metrics.satisfied_requests()}
+        assert 9 in granted_nodes
+
+    def test_anomaly_repair_after_recovery(self):
+        """Figures 16/17: a stale descendant of a recovered node reattaches."""
+        cluster = make_cluster(16)
+        # Node 9 fails and recovers; its descendant 13 never noticed.  The
+        # recovery happens only after node 10's request has been served (10
+        # has then become the root, as in Figure 15), so the recovered node 9
+        # reattaches below 10 as a leaf and later detects the anomaly when
+        # its stale descendant 13 asks for the token.
+        cluster.fail_node(9, at=0.5)
+        cluster.request_cs(10, at=1.0, hold=0.5)  # promotes 10 over the failure
+        cluster.recover_node(9, at=400.0)
+        cluster.request_cs(13, at=500.0, hold=0.5)  # stale father 9
+        cluster.run_until_quiescent()
+        metrics = cluster.metrics
+        granted_nodes = {r.node for r in metrics.satisfied_requests()}
+        assert 13 in granted_nodes
+        assert metrics.messages_by_kind.get("AnomalyMessage", 0) >= 1
+        assert cluster.node(13).father != 9
+        assert len(cluster.token_holders()) == 1
+
+    def test_crash_wipes_volatile_state(self):
+        cluster = make_cluster(8)
+        cluster.request_cs(6, at=1.0, hold=10.0)
+        cluster.run(until=5.0)
+        node6 = cluster.node(6)
+        assert node6.in_critical_section
+        cluster.fail_node(6)
+        assert not node6.in_critical_section
+        assert not node6.token_here
+        assert not node6.asking
+        assert node6.mandator is None
+        assert len(node6.pending) == 0
+
+
+class TestMultipleFailures:
+    def test_burst_of_failures_eventually_recovers(self):
+        cluster = make_cluster(32, seed=5)
+        planner = FailurePlanner(32, seed=9, protected_nodes=(1,))
+        schedule = planner.burst_failures(3, at=5.0, recover_after=100.0)
+        schedule.apply(cluster)
+        for index, node in enumerate((10, 20, 30, 7)):
+            cluster.request_cs(node, at=50.0 + index * 60.0, hold=0.5)
+        cluster.run_until_quiescent(max_events=3_000_000)
+        metrics = cluster.metrics
+        excluded = crashed_in_critical_section(metrics)
+        assert not find_overlaps(metrics, end_of_time=cluster.now, exclude_nodes=sorted(excluded))
+        assert len(cluster.token_holders()) == 1
+
+    @pytest.mark.parametrize("seed", [15, 20, 23])
+    def test_sustained_workload_with_periodic_failures(self, seed):
+        cluster = build_fault_tolerant_cluster(
+            32, seed=seed, trace=False, delay_model=UniformDelay(0.5, 1.0)
+        )
+        rng = random.Random(seed * 7)
+        time = 0.0
+        for _ in range(120):
+            time += rng.uniform(3.0, 6.0)
+            cluster.request_cs(rng.randint(1, 32), at=time, hold=0.3)
+        planner = FailurePlanner(32, seed=seed * 13)
+        schedule = planner.periodic_failures(5, start=50.0, spacing=120.0, recover_after=60.0)
+        schedule.apply(cluster)
+        cluster.run_until_quiescent(max_events=3_000_000)
+        metrics = cluster.metrics
+        excluded = crashed_in_critical_section(metrics)
+        overlaps = find_overlaps(
+            metrics, end_of_time=cluster.now, exclude_nodes=sorted(excluded)
+        )
+        assert not overlaps
+        assert len(cluster.token_holders()) == 1
+        liveness = analyse_liveness(metrics)
+        # Requests whose requester crashed are excused; nearly everything
+        # else must have been served.
+        assert len(liveness.starved) <= 3
+
+    def test_final_structure_is_open_cube_after_full_recovery(self):
+        cluster = make_cluster(16, seed=2)
+        cluster.fail_node(9, at=5.0)
+        cluster.recover_node(9, at=100.0)
+        run_serial_requests(cluster, [10, 13, 9, 2, 16], start=200.0)
+        # After every node recovered and the dust settled, the surviving
+        # father map must again be a single tree with one token.
+        assert len(cluster.token_holders()) == 1
+        fathers = cluster.father_map()
+        roots = [node for node, father in fathers.items() if father is None]
+        assert len(roots) == 1
+        tree = OpenCubeTree(16, fathers, validate=False)
+        # Every node can reach the root (no cycles, single component).
+        for node in range(1, 17):
+            assert tree.path_to_root(node)[-1] == roots[0]

@@ -1,0 +1,193 @@
+"""Behavioural tests of the failure-free open-cube node (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builders import build_opencube_cluster, build_opencube_nodes
+from repro.core.messages import RequestMessage, TokenMessage
+from repro.core.opencube import OpenCubeTree
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.simulation.network import ConstantDelay
+
+from tests.conftest import assert_run_correct, run_serial_requests
+
+
+def make_cluster(n, **kwargs):
+    kwargs.setdefault("delay_model", ConstantDelay(1.0))
+    kwargs.setdefault("seed", 1)
+    return build_opencube_cluster(n, **kwargs)
+
+
+class TestBuilders:
+    def test_exactly_one_token_holder(self):
+        nodes = build_opencube_nodes(16)
+        holders = [node_id for node_id, node in nodes.items() if node.token_here]
+        assert holders == [1]
+
+    def test_initial_fathers_match_tree(self):
+        nodes = build_opencube_nodes(16)
+        tree = OpenCubeTree.initial(16)
+        for node_id, node in nodes.items():
+            assert node.father == tree.father(node_id)
+            assert node.power == tree.power(node_id)
+
+    def test_token_holder_must_be_root(self):
+        with pytest.raises(ConfigurationError):
+            build_opencube_nodes(8, token_holder=5)
+
+    def test_wrong_tree_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_opencube_nodes(8, tree=OpenCubeTree.initial(16))
+
+
+class TestSingleRequests:
+    def test_root_enters_immediately_without_messages(self):
+        cluster = make_cluster(8)
+        cluster.request_cs(1, at=1.0, hold=0.5)
+        cluster.run_until_quiescent()
+        assert cluster.metrics.total_messages() == 0
+        assert len(cluster.metrics.satisfied_requests()) == 1
+        assert cluster.token_holders() == [1]
+
+    def test_last_son_request_takes_over_the_token(self):
+        # Node 9 is the last son of the root in the 16-cube: pure transit,
+        # 1 request + 1 token, no return, node 9 becomes the new root.
+        cluster = make_cluster(16)
+        cluster.request_cs(9, at=1.0, hold=0.5)
+        cluster.run_until_quiescent()
+        kinds = cluster.metrics.messages_by_kind
+        assert kinds["RequestMessage"] == 1
+        assert kinds["TokenMessage"] == 1
+        assert cluster.token_holders() == [9]
+        assert cluster.node(9).father is None
+        assert cluster.node(1).father == 9
+
+    def test_non_last_son_request_borrows_the_token(self):
+        # Node 2 is not the last son of 1: the root lends and gets it back.
+        cluster = make_cluster(16)
+        cluster.request_cs(2, at=1.0, hold=0.5)
+        cluster.run_until_quiescent()
+        kinds = cluster.metrics.messages_by_kind
+        assert kinds["RequestMessage"] == 1
+        assert kinds["TokenMessage"] == 2  # loan + return
+        assert cluster.token_holders() == [1]
+        assert cluster.node(2).father == 1
+
+    def test_leaf_request_through_proxy_chain(self):
+        cluster = make_cluster(16)
+        cluster.request_cs(10, at=1.0, hold=0.5)
+        cluster.run_until_quiescent()
+        assert len(cluster.metrics.satisfied_requests()) == 1
+        # 10 borrowed through the proxy 9; the structure must stay valid.
+        assert OpenCubeTree(16, cluster.father_map()).is_valid()
+        assert cluster.token_holders() == [9]
+
+    def test_every_single_request_keeps_structure(self):
+        for requester in range(1, 17):
+            cluster = make_cluster(16)
+            cluster.request_cs(requester, at=1.0, hold=0.25)
+            cluster.run_until_quiescent()
+            assert len(cluster.metrics.satisfied_requests()) == 1
+            tree = OpenCubeTree(16, cluster.father_map())
+            assert tree.is_valid(), f"structure broken after request by {requester}"
+            assert cluster.token_holders() == [tree.root] or cluster.node(
+                tree.root
+            ).token_here
+
+
+class TestSerialWorkloads:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_round_robin_preserves_structure_and_properties(self, n):
+        cluster = make_cluster(n)
+        run_serial_requests(cluster, list(range(1, n + 1)))
+        metrics = assert_run_correct(cluster)
+        assert len(metrics.satisfied_requests()) == n
+
+    def test_repeated_requests_from_one_node(self):
+        cluster = make_cluster(16)
+        run_serial_requests(cluster, [16] * 5)
+        metrics = assert_run_correct(cluster)
+        assert len(metrics.satisfied_requests()) == 5
+        # After the first acquisition node 16 is the root: later requests cost 0.
+        per_request = metrics.messages_per_request()
+        assert per_request[1:] == [0, 0, 0, 0]
+
+    def test_worst_case_bound_on_serial_runs(self):
+        from repro.analysis import theory
+
+        cluster = make_cluster(32)
+        run_serial_requests(cluster, list(range(1, 33)))
+        per_request = cluster.metrics.messages_per_request()
+        assert max(per_request) <= theory.worst_case_messages_counted(32)
+
+
+class TestConcurrentRequests:
+    def test_two_concurrent_requests_both_served(self):
+        cluster = make_cluster(16)
+        cluster.request_cs(10, at=1.0, hold=1.0)
+        cluster.request_cs(8, at=1.2, hold=1.0)
+        cluster.run_until_quiescent()
+        assert_run_correct(cluster)
+        assert len(cluster.metrics.satisfied_requests()) == 2
+
+    def test_requests_queue_while_asking(self):
+        cluster = make_cluster(16)
+        # All sons of the root request at once; the root serialises them.
+        for index, node in enumerate((2, 3, 5, 9)):
+            cluster.request_cs(node, at=1.0 + 0.01 * index, hold=0.5)
+        cluster.run_until_quiescent()
+        assert_run_correct(cluster)
+        assert len(cluster.metrics.satisfied_requests()) == 4
+
+    def test_local_wish_while_asking_is_queued(self):
+        cluster = make_cluster(8)
+        cluster.request_cs(6, at=1.0, hold=0.5)
+        cluster.request_cs(6, at=1.1, hold=0.5)  # second wish queues locally
+        cluster.run_until_quiescent()
+        assert_run_correct(cluster)
+        assert len(cluster.metrics.satisfied_requests()) == 2
+
+
+class TestProtocolErrors:
+    def test_release_without_holding_raises(self):
+        nodes = build_opencube_nodes(4)
+        cluster = make_cluster(4)
+        with pytest.raises(ProtocolError):
+            cluster.node(2).release()
+        del nodes
+
+    def test_unexpected_token_raises(self):
+        cluster = make_cluster(4)
+        with pytest.raises(ProtocolError):
+            cluster.node(2).on_message(1, TokenMessage(lender=None))
+
+    def test_request_for_unknown_node_raises(self):
+        cluster = make_cluster(4)
+        with pytest.raises(ProtocolError):
+            cluster.node(1).on_message(2, RequestMessage(requester=99, source=99))
+
+    def test_distance_to_unknown_node_raises(self):
+        cluster = make_cluster(4)
+        with pytest.raises(ProtocolError):
+            cluster.node(1).distance_to(17)
+
+    def test_unbound_node_has_no_environment(self):
+        node = build_opencube_nodes(4)[2]
+        with pytest.raises(RuntimeError):
+            _ = node.env
+
+
+class TestSnapshot:
+    def test_snapshot_contains_paper_variables(self):
+        cluster = make_cluster(8)
+        snap = cluster.node(3).snapshot()
+        for key in ("father", "token_here", "asking", "mandator", "lender", "power"):
+            assert key in snap
+
+    def test_counters_track_roles(self):
+        cluster = make_cluster(16)
+        cluster.request_cs(10, at=1.0, hold=0.5)
+        cluster.run_until_quiescent()
+        assert cluster.node(9).requests_proxied == 1
+        assert cluster.node(10).cs_entries == 1

@@ -1,0 +1,88 @@
+"""Property-based tests: invariants hold over randomly generated workloads."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import theory
+from repro.core.builders import build_opencube_cluster
+from repro.core.opencube import OpenCubeTree
+from repro.simulation.network import ConstantDelay, UniformDelay
+from repro.verification.liveness import analyse_liveness
+from repro.verification.safety import find_overlaps
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_power=st.integers(1, 5),
+    requests=st.integers(1, 20),
+)
+@settings(max_examples=40, deadline=None)
+def test_serial_requests_preserve_every_invariant(seed, n_power, requests):
+    """Any serial request sequence keeps the open-cube, safety and liveness."""
+    n = 2**n_power
+    rng = random.Random(seed)
+    cluster = build_opencube_cluster(n, seed=seed, delay_model=ConstantDelay(1.0), trace=False)
+    time = 1.0
+    for _ in range(requests):
+        cluster.request_cs(rng.randint(1, n), at=time, hold=0.25)
+        time += 50.0
+    cluster.run_until_quiescent()
+    metrics = cluster.metrics
+    assert len(metrics.satisfied_requests()) == requests
+    assert not find_overlaps(metrics, end_of_time=cluster.now)
+    assert analyse_liveness(metrics).ok
+    tree = OpenCubeTree(n, cluster.father_map())
+    assert tree.is_valid()
+    assert cluster.token_holders() == [tree.root]
+    per_request = metrics.messages_per_request()
+    assert max(per_request, default=0) <= theory.worst_case_messages_counted(n)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_power=st.integers(2, 5),
+    requests=st.integers(2, 25),
+)
+@settings(max_examples=30, deadline=None)
+def test_concurrent_requests_preserve_safety_liveness_and_structure(seed, n_power, requests):
+    """Concurrent (overlapping) requests never violate safety or starve."""
+    n = 2**n_power
+    rng = random.Random(seed)
+    cluster = build_opencube_cluster(
+        n, seed=seed, delay_model=UniformDelay(0.2, 1.0), trace=False
+    )
+    time = 1.0
+    for _ in range(requests):
+        time += rng.uniform(0.5, 6.0)
+        cluster.request_cs(rng.randint(1, n), at=time, hold=rng.uniform(0.1, 1.0))
+    cluster.run_until_quiescent()
+    metrics = cluster.metrics
+    assert len(metrics.satisfied_requests()) == requests
+    assert not find_overlaps(metrics, end_of_time=cluster.now)
+    assert analyse_liveness(metrics).ok
+    assert OpenCubeTree(n, cluster.father_map()).is_valid()
+    assert len(cluster.token_holders()) == 1
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_non_fifo_channels_do_not_break_the_algorithm(seed):
+    """The paper allows out-of-order delivery; the algorithm must cope."""
+    n = 16
+    rng = random.Random(seed)
+    cluster = build_opencube_cluster(
+        n, seed=seed, fifo=False, delay_model=UniformDelay(0.1, 2.0), trace=False
+    )
+    time = 1.0
+    for _ in range(15):
+        time += rng.uniform(0.5, 4.0)
+        cluster.request_cs(rng.randint(1, n), at=time, hold=0.3)
+    cluster.run_until_quiescent()
+    metrics = cluster.metrics
+    assert not find_overlaps(metrics, end_of_time=cluster.now)
+    assert analyse_liveness(metrics).ok
+    assert OpenCubeTree(n, cluster.father_map()).is_valid()

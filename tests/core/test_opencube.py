@@ -1,0 +1,232 @@
+"""Tests for the OpenCubeTree structure and b-transformations (Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.opencube import OpenCubeTree
+from repro.exceptions import InvalidTopologyError, InvalidTransformationError
+
+SIZES = [2, 4, 8, 16, 32, 64]
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_initial_tree_is_valid(self, n):
+        tree = OpenCubeTree.initial(n)
+        tree.validate()
+        assert tree.root == 1
+        assert tree.pmax == n.bit_length() - 1
+
+    def test_figure_2d_structure(self):
+        tree = OpenCubeTree.initial(16)
+        assert tree.sons(1) == [2, 3, 5, 9]
+        assert tree.sons(9) == [10, 11, 13]
+        assert tree.father(13) == 9
+        assert tree.father(16) == 15
+
+    def test_single_node_tree(self):
+        tree = OpenCubeTree.initial(1)
+        assert tree.root == 1
+        assert tree.power(1) == 0
+        assert tree.sons(1) == []
+
+    def test_from_fathers_round_trip(self):
+        original = OpenCubeTree.initial(32)
+        rebuilt = OpenCubeTree.from_fathers(original.fathers())
+        assert rebuilt == original
+
+    def test_rejects_invalid_node_count(self):
+        with pytest.raises(InvalidTopologyError):
+            OpenCubeTree(6)
+
+    def test_rejects_missing_father_entries(self):
+        with pytest.raises(InvalidTopologyError):
+            OpenCubeTree(4, {1: None, 2: 1})
+
+    def test_rejects_broken_structure(self):
+        # Swapping a non-boundary pair destroys the open-cube (Figure 5).
+        with pytest.raises(InvalidTopologyError):
+            OpenCubeTree(4, {1: 2, 2: None, 3: 1, 4: 3})
+
+    def test_rejects_self_father(self):
+        tree = OpenCubeTree.initial(4)
+        with pytest.raises(InvalidTopologyError):
+            tree.set_father(2, 2)
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32])
+    def test_rooted_at_every_node_is_valid(self, n):
+        for root in range(1, n + 1):
+            tree = OpenCubeTree.rooted_at(n, root)
+            assert tree.root == root
+            assert tree.is_valid()
+
+
+class TestPowersAndSons:
+    def test_paper_power_examples(self):
+        tree = OpenCubeTree.initial(16)
+        assert tree.power(1) == 4
+        assert tree.power(2) == 0
+        assert tree.power(3) == 1
+        assert tree.power(5) == 2
+        assert tree.power(9) == 3
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_node_of_power_p_has_p_sons_with_powers_0_to_p_minus_1(self, n):
+        tree = OpenCubeTree.initial(n)
+        for node in tree.nodes():
+            son_powers = sorted(tree.power(son) for son in tree.sons(node))
+            assert son_powers == list(range(tree.power(node)))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_proposition_2_1(self, n):
+        """power(j) == dist(i, j) - 1 whenever j is a son of i."""
+        tree = OpenCubeTree.initial(n)
+        for node in tree.nodes():
+            for son in tree.sons(node):
+                assert tree.power(son) == tree.distance(node, son) - 1
+
+    def test_last_son(self):
+        tree = OpenCubeTree.initial(16)
+        assert tree.last_son(1) == 9
+        assert tree.last_son(9) == 13
+        assert tree.last_son(2) is None
+
+    def test_boundary_edges_count_equals_internal_nodes(self):
+        tree = OpenCubeTree.initial(32)
+        # Every node of power > 0 has exactly one last son.
+        expected = sum(1 for node in tree.nodes() if tree.power(node) > 0)
+        assert len(tree.boundary_edges()) == expected
+
+    def test_corollary_2_1_father_is_unique_qualified_node(self):
+        """father(i) is the only j with dist(i,j)=power(i)+1 and power(j)>power(i)."""
+        tree = OpenCubeTree.initial(16)
+        for node in tree.nodes():
+            if tree.father(node) is None:
+                continue
+            qualified = [
+                j
+                for j in tree.nodes()
+                if j != node
+                and tree.distance(node, j) == tree.power(node) + 1
+                and tree.power(j) > tree.power(node)
+            ]
+            assert qualified == [tree.father(node)]
+
+
+class TestBTransformation:
+    def test_boundary_swap_keeps_structure_and_exchanges_powers(self):
+        tree = OpenCubeTree.initial(16)
+        old_power_father = tree.power(1)
+        old_power_son = tree.power(9)
+        record = tree.b_transform(9, 1)
+        tree.validate()
+        assert record.new_grandfather is None
+        assert tree.root == 9
+        assert tree.power(9) == old_power_son + 1
+        assert tree.power(1) == old_power_father - 1
+        assert tree.father(1) == 9
+
+    def test_non_boundary_swap_rejected(self):
+        """Figure 5: swapping node 1 with its non-last son 2 is illegal."""
+        tree = OpenCubeTree.initial(4)
+        with pytest.raises(InvalidTransformationError):
+            tree.b_transform(2, 1)
+
+    def test_swap_of_non_edge_rejected(self):
+        tree = OpenCubeTree.initial(8)
+        with pytest.raises(InvalidTransformationError):
+            tree.b_transform(4, 1)
+
+    def test_corollary_2_2_groups_unchanged(self):
+        """b-transformations never change p-group membership (label blocks)."""
+        tree = OpenCubeTree.initial(16)
+        tree.b_transform(9, 1)
+        # After the swap, (1, 9) is the new boundary edge and can swap back.
+        tree.b_transform(1, 9)
+        assert tree == OpenCubeTree.initial(16)
+        # Distances (hence groups) are label-based and unaffected.
+        assert tree.distance(9, 13) == 3
+        assert tree.distance(1, 2) == 1
+        tree.validate()
+
+    def test_promote_along_branch_makes_leaf_the_root(self):
+        tree = OpenCubeTree.initial(16)
+        # The chain of last sons from the root is 1 -> 9 -> 13 -> 15 -> 16.
+        transformations = tree.promote_along_branch(16)
+        assert [t.father for t in transformations] == [15, 13, 9, 1]
+        assert tree.root == 16
+        tree.validate()
+
+    def test_promote_along_non_boundary_branch_fails(self):
+        tree = OpenCubeTree.initial(16)
+        with pytest.raises(InvalidTransformationError):
+            tree.promote_along_branch(2)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_random_boundary_swaps_preserve_structure(self, seed):
+        """Property: any sequence of b-transformations keeps a valid open-cube."""
+        import random
+
+        rng = random.Random(seed)
+        tree = OpenCubeTree.initial(16)
+        for _ in range(12):
+            boundary = sorted(tree.boundary_edges())
+            son, father = rng.choice(boundary)
+            tree.b_transform(son, father)
+            assert tree.is_valid()
+        assert sorted(tree.powers().values()) == sorted(
+            OpenCubeTree.initial(16).powers().values()
+        )
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_random_swaps_preserve_branch_bound(self, seed):
+        """Proposition 2.3 keeps holding while the tree evolves."""
+        import random
+
+        rng = random.Random(seed)
+        tree = OpenCubeTree.initial(32)
+        for _ in range(20):
+            son, father = rng.choice(sorted(tree.boundary_edges()))
+            tree.b_transform(son, father)
+        assert tree.diameter_bound_holds()
+
+
+class TestPathsAndEdges:
+    def test_path_to_root(self):
+        tree = OpenCubeTree.initial(16)
+        assert tree.path_to_root(16) == [16, 15, 13, 9, 1]
+        assert tree.path_to_root(1) == [1]
+
+    def test_depth(self):
+        tree = OpenCubeTree.initial(16)
+        assert tree.depth(1) == 0
+        assert tree.depth(2) == 1
+        assert tree.depth(16) == 4
+
+    def test_cycle_detection(self):
+        tree = OpenCubeTree.initial(4)
+        tree.set_father(1, 4)  # introduces a cycle 1 -> 4 -> 3 -> 1
+        with pytest.raises(InvalidTopologyError):
+            tree.path_to_root(4)
+
+    def test_edges_and_undirected_edges(self):
+        tree = OpenCubeTree.initial(8)
+        assert (8, 7) in tree.edges()
+        assert frozenset({7, 8}) in tree.undirected_edges()
+        assert len(tree.edges()) == 7
+
+    def test_copy_is_independent(self):
+        tree = OpenCubeTree.initial(8)
+        clone = tree.copy()
+        clone.b_transform(5, 1)
+        assert tree.root == 1
+        assert clone.root == 5
+
+    def test_equality(self):
+        assert OpenCubeTree.initial(8) == OpenCubeTree.initial(8)
+        assert OpenCubeTree.initial(8) != OpenCubeTree.initial(16)

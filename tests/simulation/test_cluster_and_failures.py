@@ -1,0 +1,148 @@
+"""Tests of the simulated cluster plumbing and failure injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builders import build_fault_tolerant_cluster, build_opencube_cluster
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.simulation.cluster import SimulatedCluster
+from repro.simulation.failures import FailurePlanner, FailureSchedule
+from repro.simulation.network import ConstantDelay
+from repro.simulation.trace import TraceCategory
+
+
+class TestClusterBasics:
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulatedCluster({})
+
+    def test_unknown_request_target_rejected(self):
+        cluster = build_opencube_cluster(4)
+        with pytest.raises(SimulationError):
+            cluster.request_cs(9)
+
+    def test_send_to_unknown_node_rejected(self):
+        cluster = build_opencube_cluster(4)
+        with pytest.raises(SimulationError):
+            cluster.environment(1).send(99, object())
+
+    def test_auto_release_after_hold(self):
+        cluster = build_opencube_cluster(4, delay_model=ConstantDelay(1.0))
+        cluster.request_cs(1, at=1.0, hold=2.0)
+        cluster.run_until_quiescent()
+        record = next(iter(cluster.metrics.requests.values()))
+        assert record.released_at == pytest.approx(record.granted_at + 2.0)
+
+    def test_manual_release(self):
+        cluster = build_opencube_cluster(4, delay_model=ConstantDelay(1.0))
+        cluster.request_cs(1, at=1.0, auto_release=False)
+        cluster.run_until_quiescent()
+        assert cluster.node(1).in_critical_section
+        cluster.release_cs(1)
+        cluster.run_until_quiescent()
+        assert not cluster.node(1).in_critical_section
+
+    def test_grant_listener_invoked(self):
+        cluster = build_opencube_cluster(4, delay_model=ConstantDelay(1.0))
+        grants = []
+        cluster.add_grant_listener(lambda node, time: grants.append((node, time)))
+        cluster.request_cs(3, at=1.0, hold=0.5)
+        cluster.run_until_quiescent()
+        assert grants and grants[0][0] == 3
+
+    def test_trace_contains_full_request_lifecycle(self):
+        cluster = build_opencube_cluster(8, delay_model=ConstantDelay(1.0))
+        cluster.request_cs(6, at=1.0, hold=0.5)
+        cluster.run_until_quiescent()
+        categories = {record.category for record in cluster.tracer}
+        assert {
+            TraceCategory.REQUEST,
+            TraceCategory.SEND,
+            TraceCategory.DELIVER,
+            TraceCategory.CS_ENTER,
+            TraceCategory.CS_EXIT,
+        } <= categories
+
+    def test_father_map_and_snapshots(self):
+        cluster = build_opencube_cluster(8)
+        fathers = cluster.father_map()
+        assert fathers[1] is None and fathers[8] == 7
+        assert set(cluster.snapshots()) == set(range(1, 9))
+
+
+class TestFailureInjection:
+    def test_messages_to_failed_node_are_dropped(self):
+        cluster = build_fault_tolerant_cluster(8, delay_model=ConstantDelay(1.0))
+        cluster.fail_node(5, at=0.5)
+        cluster.request_cs(6, at=1.0, hold=0.5)  # father of 6 is 5
+        cluster.run(until=3.0)
+        assert cluster.metrics.dropped_messages >= 1
+
+    def test_failed_node_ignores_timers_and_requests(self):
+        cluster = build_fault_tolerant_cluster(8, delay_model=ConstantDelay(1.0))
+        cluster.request_cs(5, at=1.0, hold=50.0)
+        cluster.run(until=10.0)
+        cluster.fail_node(5)
+        assert not cluster.node(5).in_critical_section
+        cluster.run_until_quiescent()
+        assert cluster.is_failed(5)
+
+    def test_recover_unfailed_node_is_noop(self):
+        cluster = build_fault_tolerant_cluster(8)
+        cluster.recover_node(3)
+        assert not cluster.is_failed(3)
+        assert cluster.metrics.recoveries == []
+
+    def test_double_failure_is_idempotent(self):
+        cluster = build_fault_tolerant_cluster(8)
+        cluster.fail_node(3)
+        cluster.fail_node(3)
+        assert len(cluster.metrics.failures) == 1
+
+    def test_requests_issued_by_failed_node_are_skipped(self):
+        cluster = build_fault_tolerant_cluster(8, delay_model=ConstantDelay(1.0))
+        cluster.fail_node(6, at=0.5)
+        cluster.request_cs(6, at=1.0, hold=0.5)
+        cluster.run_until_quiescent()
+        assert len(cluster.metrics.requests) == 0
+
+
+class TestFailurePlanner:
+    def test_periodic_failures_never_repeat_consecutively(self):
+        planner = FailurePlanner(16, seed=3)
+        schedule = planner.periodic_failures(20, start=10.0, spacing=5.0)
+        nodes = [event.node for event in schedule]
+        assert all(a != b for a, b in zip(nodes, nodes[1:]))
+        assert len(schedule) == 20
+
+    def test_protected_nodes_are_never_failed(self):
+        planner = FailurePlanner(8, seed=1, protected_nodes=(1, 2))
+        schedule = planner.periodic_failures(30, start=1.0, spacing=1.0)
+        assert not ({1, 2} & schedule.nodes())
+
+    def test_burst_failures_are_distinct(self):
+        planner = FailurePlanner(16, seed=5)
+        schedule = planner.burst_failures(4, at=10.0, recover_after=5.0)
+        assert len(schedule.nodes()) == 4
+        assert all(event.recover_at == pytest.approx(event.fail_at + 5.0) for event in schedule)
+
+    def test_targeted_failures_validate_nodes(self):
+        planner = FailurePlanner(8, seed=0)
+        with pytest.raises(ConfigurationError):
+            planner.targeted_failures([9], start=1.0, spacing=1.0)
+
+    def test_cannot_protect_everyone(self):
+        with pytest.raises(ConfigurationError):
+            FailurePlanner(4, protected_nodes=(1, 2, 3, 4))
+
+    def test_schedule_apply_registers_failures(self):
+        cluster = build_fault_tolerant_cluster(8, delay_model=ConstantDelay(1.0))
+        schedule = FailureSchedule()
+        planner = FailurePlanner(8, seed=2)
+        schedule = planner.single_failure(4, fail_at=1.0, recover_at=5.0)
+        schedule.apply(cluster)
+        cluster.run_until_quiescent()
+        assert cluster.metrics.failures == [(1.0, 4)]
+        assert cluster.metrics.recoveries == [(5.0, 4)]
+        assert schedule.last_event_time() == 5.0

@@ -1,0 +1,136 @@
+"""Tests of the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import ScheduledAction
+from repro.simulation.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(5.0, lambda: fired.append("b"))
+        sim.call_at(1.0, lambda: fired.append("a"))
+        sim.call_at(9.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 9.0
+
+    def test_simultaneous_events_fire_in_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for label in "abcd":
+            sim.call_at(3.0, lambda label=label: fired.append(label))
+        sim.run()
+        assert fired == list("abcd")
+
+    def test_relative_scheduling(self):
+        sim = Simulator()
+        fired = []
+        sim.call_after(2.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.call_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_after(-1.0, lambda: None)
+
+    def test_cancelled_events_are_skipped(self):
+        sim = Simulator()
+        fired = []
+        event = sim.call_at(1.0, lambda: fired.append("x"))
+        sim.call_at(2.0, lambda: fired.append("y"))
+        Simulator.cancel(event)
+        sim.run()
+        assert fired == ["y"]
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.call_after(1.0, lambda: fired.append("second"))
+
+        sim.call_at(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestRunControls:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(1.0, lambda: fired.append(1))
+        sim.call_at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.pending_events == 1
+
+    def test_event_budget_raises(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.call_after(1.0, rearm)
+
+        sim.call_at(0.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.call_after(1.0, lambda: None)
+        sim.run()
+        assert sim.processed_events == 5
+
+    def test_advance_to_requires_no_pending_earlier_events(self):
+        sim = Simulator()
+        sim.call_at(4.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.advance_to(10.0)
+        sim.run()
+        sim.advance_to(10.0)
+        assert sim.now == 10.0
+        with pytest.raises(SimulationError):
+            sim.advance_to(5.0)
+
+    def test_unhandled_payload_requires_handlers(self):
+        from repro.simulation.events import MessageDelivery
+
+        sim = Simulator()
+        sim.schedule(1.0, MessageDelivery(sender=1, dest=2, message=object(), sent_at=0.0))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_determinism_for_a_given_seed(self):
+        values_a, values_b = [], []
+        for values in (values_a, values_b):
+            sim = Simulator(seed=42)
+            for _ in range(10):
+                values.append(sim.rng.random())
+        assert values_a == values_b
+
+    def test_scheduled_action_payload_runs(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, ScheduledAction(label="go", action=lambda: fired.append(True)))
+        sim.run()
+        assert fired == [True]

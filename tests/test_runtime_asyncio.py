@@ -1,0 +1,90 @@
+"""Tests of the asyncio runtime (the non-simulated execution path)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.builders import build_fault_tolerant_nodes, build_opencube_nodes
+from repro.runtime import AsyncioCluster
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAsyncioCluster:
+    def test_single_acquire_release(self):
+        async def scenario():
+            async with AsyncioCluster(build_opencube_nodes(8)) as cluster:
+                await cluster.acquire(6, timeout=5.0)
+                assert cluster.nodes[6].in_critical_section
+                cluster.release(6)
+                await asyncio.sleep(0.05)
+                assert not cluster.nodes[6].in_critical_section
+                return cluster.messages_sent
+
+        assert run(scenario()) > 0
+
+    def test_mutual_exclusion_under_concurrency(self):
+        async def scenario():
+            nodes = build_opencube_nodes(8)
+            async with AsyncioCluster(nodes, message_delay=0.001, jitter=0.002) as cluster:
+                in_cs = 0
+                max_in_cs = 0
+                order = []
+
+                async def worker(node_id):
+                    nonlocal in_cs, max_in_cs
+                    async with cluster.locked(node_id, timeout=10.0):
+                        in_cs += 1
+                        max_in_cs = max(max_in_cs, in_cs)
+                        order.append(node_id)
+                        await asyncio.sleep(0.005)
+                        in_cs -= 1
+
+                await asyncio.gather(*(worker(node) for node in range(1, 9)))
+                return max_in_cs, order
+
+        max_in_cs, order = run(scenario())
+        assert max_in_cs == 1
+        assert sorted(order) == list(range(1, 9))
+
+    def test_repeated_acquisitions_by_same_node(self):
+        async def scenario():
+            async with AsyncioCluster(build_opencube_nodes(4)) as cluster:
+                for _ in range(3):
+                    await cluster.acquire(3, timeout=5.0)
+                    cluster.release(3)
+                    await asyncio.sleep(0.01)
+                return True
+
+        assert run(scenario())
+
+    def test_fault_tolerant_nodes_also_run(self):
+        async def scenario():
+            nodes = build_fault_tolerant_nodes(8)
+            async with AsyncioCluster(nodes) as cluster:
+                await cluster.acquire(5, timeout=5.0)
+                cluster.release(5)
+                return True
+
+        assert run(scenario())
+
+    def test_snapshot_and_errors(self):
+        async def scenario():
+            cluster = AsyncioCluster(build_opencube_nodes(4))
+            with pytest.raises(Exception):
+                await cluster.acquire(2)  # not started yet
+            await cluster.start()
+            snap = cluster.snapshot()
+            await cluster.stop()
+            return snap
+
+        snap = run(scenario())
+        assert set(snap) == {1, 2, 3, 4}
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(Exception):
+            AsyncioCluster({})

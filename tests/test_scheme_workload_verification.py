@@ -1,0 +1,166 @@
+"""Tests for the general scheme, workload generators and verification layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builders import build_opencube_cluster
+from repro.core.opencube import OpenCubeTree
+from repro.exceptions import (
+    ConfigurationError,
+    InvalidTopologyError,
+    LivenessViolationError,
+    SafetyViolationError,
+)
+from repro.scheme import POLICIES, build_scheme_cluster
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.network import ConstantDelay
+from repro.verification.invariants import (
+    check_open_cube,
+    check_powers_consistent,
+    check_single_root,
+    check_single_token,
+    quiescent_structure_report,
+)
+from repro.verification.liveness import analyse_liveness, assert_liveness
+from repro.verification.safety import assert_mutual_exclusion, find_overlaps
+from repro.workload import arrivals
+
+from tests.conftest import run_serial_requests
+
+
+class TestSchemePolicies:
+    def test_all_policies_registered(self):
+        assert {"open-cube", "always-transit", "always-proxy", "raymond-like"} <= set(POLICIES)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_scheme_cluster(8, "bogus")
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_every_policy_is_safe_and_live_on_serial_workload(self, policy):
+        cluster = build_scheme_cluster(16, policy, seed=2, delay_model=ConstantDelay(1.0))
+        run_serial_requests(cluster, list(range(1, 17)))
+        metrics = cluster.metrics
+        assert len(metrics.satisfied_requests()) == 16
+        assert not find_overlaps(metrics, end_of_time=cluster.now)
+        assert analyse_liveness(metrics).ok
+
+    def test_open_cube_policy_preserves_structure_but_always_transit_may_not(self):
+        open_cube = build_scheme_cluster(16, "open-cube", seed=1, delay_model=ConstantDelay(1.0))
+        run_serial_requests(open_cube, [10, 8, 16, 3])
+        assert OpenCubeTree(16, open_cube.father_map()).is_valid()
+
+        transit = build_scheme_cluster(16, "always-transit", seed=1, delay_model=ConstantDelay(1.0))
+        run_serial_requests(transit, [10, 8, 16, 3])
+        # The dynamic tree still serves everything, but the open-cube shape
+        # is not guaranteed (that is the point of the paper's rule).
+        assert len(transit.metrics.satisfied_requests()) == 4
+
+    def test_snapshot_exposes_policy_name(self):
+        cluster = build_scheme_cluster(8, "raymond-like")
+        assert cluster.node(3).snapshot()["policy"] == "raymond-like"
+
+
+class TestWorkloads:
+    def test_serial_round_robin_covers_every_node(self):
+        workload = arrivals.serial_round_robin(8, rounds=2)
+        assert len(workload) == 16
+        assert workload.nodes() == set(range(1, 9))
+
+    def test_serial_workloads_are_strictly_ordered(self):
+        workload = arrivals.serial_random(8, 20, seed=1)
+        times = [a.at for a in workload]
+        assert times == sorted(times)
+
+    def test_poisson_rate_controls_density(self):
+        sparse = arrivals.poisson_arrivals(8, 100, rate=0.01, seed=1)
+        dense = arrivals.poisson_arrivals(8, 100, rate=1.0, seed=1)
+        assert sparse.end_time() > dense.end_time()
+
+    def test_hotspot_mostly_uses_hot_nodes(self):
+        workload = arrivals.hotspot_arrivals(
+            16, 200, hotspot_nodes=[1, 2], hotspot_fraction=0.9, seed=3
+        )
+        hot = sum(1 for a in workload if a.node in (1, 2))
+        assert hot > 140
+
+    def test_burst_sizes_and_validation(self):
+        workload = arrivals.burst_arrivals(8, bursts=3, burst_size=4, seed=0)
+        assert len(workload) == 12
+        with pytest.raises(ConfigurationError):
+            arrivals.burst_arrivals(4, bursts=1, burst_size=9)
+
+    def test_single_requester_validation(self):
+        with pytest.raises(ConfigurationError):
+            arrivals.single_requester(4, 9, 3)
+
+    def test_workload_apply_issues_every_request(self):
+        cluster = build_opencube_cluster(8, delay_model=ConstantDelay(1.0))
+        workload = arrivals.serial_round_robin(8, spacing=50.0)
+        ids = workload.apply(cluster)
+        cluster.run_until_quiescent()
+        assert len(ids) == 8
+        assert len(cluster.metrics.satisfied_requests()) == 8
+
+    def test_deterministic_given_seed(self):
+        a = arrivals.poisson_arrivals(8, 50, rate=0.2, seed=9)
+        b = arrivals.poisson_arrivals(8, 50, rate=0.2, seed=9)
+        assert a.arrivals == b.arrivals
+
+
+class TestVerificationLayer:
+    def test_check_single_root_rejects_two_roots(self):
+        with pytest.raises(InvalidTopologyError):
+            check_single_root({1: None, 2: None, 3: 1, 4: 3})
+
+    def test_check_open_cube_accepts_valid_and_rejects_invalid(self):
+        check_open_cube(OpenCubeTree.initial(8).fathers())
+        with pytest.raises(InvalidTopologyError):
+            check_open_cube({1: 2, 2: None, 3: 1, 4: 3})
+
+    def test_check_powers_consistent(self):
+        check_powers_consistent(OpenCubeTree.initial(16).fathers())
+        with pytest.raises(InvalidTopologyError):
+            check_powers_consistent({1: None, 2: 1, 3: 2, 4: 3})
+
+    def test_check_single_token(self):
+        assert check_single_token({1: {"token_here": True}, 2: {"token_here": False}}) == 1
+        with pytest.raises(InvalidTopologyError):
+            check_single_token({1: {"token_here": True}, 2: {"token_here": True}})
+
+    def test_quiescent_structure_report_on_healthy_cluster(self):
+        cluster = build_opencube_cluster(8, delay_model=ConstantDelay(1.0))
+        run_serial_requests(cluster, [5, 3])
+        report = quiescent_structure_report(cluster)
+        assert report["single_root"] and report["single_token"] and report["open_cube"]
+
+    def test_safety_checker_detects_overlap(self):
+        metrics = MetricsCollector()
+        metrics.record_cs_enter(1, 0.0)
+        metrics.record_cs_exit(1, 5.0)
+        metrics.record_cs_enter(2, 3.0)
+        metrics.record_cs_exit(2, 6.0)
+        with pytest.raises(SafetyViolationError):
+            assert_mutual_exclusion(metrics)
+
+    def test_safety_checker_excludes_crashed_holder(self):
+        metrics = MetricsCollector()
+        metrics.record_cs_enter(1, 0.0)  # never exits: crashed inside
+        metrics.record_failure(1, 2.0)
+        metrics.record_cs_enter(2, 5.0)
+        metrics.record_cs_exit(2, 6.0)
+        assert_mutual_exclusion(metrics, end_of_time=10.0)
+
+    def test_liveness_checker_detects_starvation(self):
+        metrics = MetricsCollector()
+        metrics.record_request_issued(1, node=4, time=0.0)
+        with pytest.raises(LivenessViolationError):
+            assert_liveness(metrics)
+
+    def test_liveness_excuses_crashed_requesters(self):
+        metrics = MetricsCollector()
+        metrics.record_request_issued(1, node=4, time=0.0)
+        metrics.record_failure(4, 1.0)
+        report = assert_liveness(metrics)
+        assert report.excused and not report.starved
