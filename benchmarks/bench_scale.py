@@ -1,0 +1,246 @@
+"""BENCH-SCALE: engine throughput and complexity scaling up to n = 4096.
+
+Unlike the other ``bench_*`` files (pytest-benchmark suites reproducing the
+paper's tables at paper-sized n), this is a standalone CLI harness that
+drives the hot path at production-ish scale and emits a machine-readable
+``BENCH_scale.json`` so the performance trajectory of the repo can be
+compared across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_scale.py --smoke    # n=256 only (CI)
+
+What it measures, per (algorithm, n) cell:
+
+* wall time of ``run_until_quiescent`` (setup excluded, reported separately),
+* simulator events/sec — the engine-throughput headline number,
+* messages per granted request (concurrent workload, so this is the mean),
+* the peak RSS high-water mark of the process after the run (monotone across
+  the whole process — interpret it as "the sweep up to this point fits in
+  this much memory", not as a per-run figure), and
+* ``sent_messages_records`` — stays 0 in the streaming (``counters``)
+  metrics mode even on million-message runs, demonstrating O(requests)
+  memory.
+
+The open-cube rows are compared against ``PRE_CHANGE_BASELINE``: events/sec
+of the same workload/configuration measured on the engine as of the seed
+commit (before the tuple-heap/jump-table rewrite), recorded here so the
+speedup is visible in the JSON forever.
+
+The ``complexity`` section reruns the paper's serial message-complexity
+experiment (EXP-AVG, one request per node on an evolving tree) at every
+size, including n = 4096, against the closed forms of Section 4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import theory
+from repro.baselines.registry import build_cluster
+from repro.experiments.complexity import measure_complexity
+from repro.workload.arrivals import poisson_arrivals
+
+#: events/sec of the pre-change engine (seed commit) on this harness's exact
+#: open-cube workload — poisson(rate=2.0, hold=0.1, seed=0), UniformDelay,
+#: trace off, default (full) metrics.  Recorded so every future
+#: BENCH_scale.json carries the origin of the trajectory.  Shared-machine
+#: load moves absolute numbers a lot; compare runs taken close together in
+#: time (see ROADMAP.md) and prefer the best-of-repeats figures.
+PRE_CHANGE_BASELINE = {256: 82929.7, 1024: 72848.3}
+
+#: The seed engine re-measured (best of 5) later under lighter machine load,
+#: kept for transparency about how much of any observed ratio is machine
+#: conditions versus engine: the honest matched-conditions speedup is
+#: events_per_sec / this number.
+PRE_CHANGE_REMEASURED_BEST = {256: 116050.0, 1024: 108988.5}
+
+#: Broadcast algorithms send O(n) messages per request; capping them keeps
+#: the sweep's wall time dominated by the algorithms that actually scale.
+BROADCAST_MAX_N = 256
+
+ALGORITHM_MATRIX = ["open-cube", "raymond", "naimi-trehel", "central",
+                    "ricart-agrawala", "suzuki-kasami"]
+
+
+def _peak_rss_mb() -> float:
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - linux container
+        return round(usage / (1024 * 1024), 1)
+    return round(usage / 1024, 1)
+
+
+def run_cell(
+    algorithm: str, n: int, requests: int, *, detail: str, seed: int = 0, repeats: int = 3
+) -> dict:
+    """Run one (algorithm, n) cell of the sweep and return its JSON row.
+
+    The run is repeated ``repeats`` times (identical seed, so identical
+    event sequence) and the fastest repetition is reported: on a shared
+    machine, noise only ever makes a run slower.
+    """
+    best: dict | None = None
+    for _ in range(repeats):
+        setup_start = time.perf_counter()
+        cluster = build_cluster(algorithm, n, seed=seed, trace=False, metrics_detail=detail)
+        workload = poisson_arrivals(n, requests, rate=2.0, seed=seed, hold=0.1)
+        workload.apply(cluster)
+        setup_s = time.perf_counter() - setup_start
+
+        run_start = time.perf_counter()
+        cluster.run_until_quiescent(max_events=200_000_000)
+        run_s = time.perf_counter() - run_start
+        if best is None or run_s < best["run_s"]:
+            best = {"cluster": cluster, "setup_s": setup_s, "run_s": run_s}
+
+    cluster = best["cluster"]
+    setup_s, run_s = best["setup_s"], best["run_s"]
+    metrics = cluster.metrics
+    events = cluster.simulator.processed_events
+    granted = len(metrics.satisfied_requests())
+    total = metrics.total_messages()
+    row = {
+        "algorithm": algorithm,
+        "n": n,
+        "metrics_detail": detail,
+        "requests": requests,
+        "requests_granted": granted,
+        "total_messages": total,
+        "messages_per_request": round(total / granted, 3) if granted else 0.0,
+        "events": events,
+        "repeats": repeats,
+        "setup_s": round(setup_s, 4),
+        "run_s": round(run_s, 4),
+        "events_per_sec": round(events / run_s, 1) if run_s > 0 else 0.0,
+        "sent_messages_records": len(metrics.sent_messages),
+        "peak_rss_mb": _peak_rss_mb(),
+    }
+    baseline = PRE_CHANGE_BASELINE.get(n)
+    if algorithm == "open-cube" and baseline is not None:
+        # The baseline was recorded in the seed engine's only metrics mode
+        # (full), so the detail=="full" row is the apples-to-apples engine
+        # comparison; the counters row additionally credits the streaming
+        # metrics mode this PR introduced.
+        row["baseline_events_per_sec"] = baseline
+        row["speedup_vs_baseline"] = round(row["events_per_sec"] / baseline, 2)
+        remeasured = PRE_CHANGE_REMEASURED_BEST.get(n)
+        if remeasured:
+            row["speedup_vs_remeasured_baseline"] = round(
+                row["events_per_sec"] / remeasured, 2
+            )
+    return row
+
+
+def run_complexity(n: int) -> dict:
+    """Serial EXP-AVG complexity point at size ``n`` with wall-time budget."""
+    start = time.perf_counter()
+    point, _result = measure_complexity(n, algorithm="open-cube", rounds=1)
+    wall = time.perf_counter() - start
+    return {
+        "n": n,
+        "requests": point.requests,
+        "measured_mean_messages": round(point.measured_mean, 3),
+        "paper_mean_exact": round(point.predicted_mean_exact, 3),
+        "paper_mean_approx": round(point.predicted_mean_approx, 3),
+        "measured_max_messages": point.measured_max,
+        "paper_worst_case_counted": theory.worst_case_messages_counted(n),
+        "wall_s": round(wall, 2),
+        "under_60s": wall < 60.0,
+    }
+
+
+def run_sweep(sizes: list[int], *, scale_requests_factor: int = 32) -> dict:
+    """Run the full matrix and return the BENCH_scale document."""
+    rows: list[dict] = []
+    largest = max(sizes)
+    for n in sizes:
+        for algorithm in ALGORITHM_MATRIX:
+            if n > BROADCAST_MAX_N and algorithm in ("ricart-agrawala", "suzuki-kasami"):
+                continue
+            cells: list[dict] = []
+            if algorithm == "open-cube":
+                # The headline rows: at baseline sizes run both metrics modes
+                # (full for apples-to-apples with the recorded baseline,
+                # counters for the streaming fast path); at the largest size
+                # run a long, million-message-class workload to demonstrate
+                # O(requests) metrics memory.
+                if n == largest and n > 1024:
+                    requests = scale_requests_factor * n
+                    repeats = 1  # long run, noise averages out
+                else:
+                    requests = 2048 if n <= 256 else 4 * n
+                    repeats = 3
+                if n in PRE_CHANGE_BASELINE:
+                    cells.append(run_cell(algorithm, n, requests, detail="full", repeats=repeats))
+                cells.append(run_cell(algorithm, n, requests, detail="counters", repeats=repeats))
+            else:
+                requests = min(4 * n, 4096)
+                repeats = 1 if algorithm in ("ricart-agrawala", "suzuki-kasami") else 2
+                cells.append(run_cell(algorithm, n, requests, detail="counters", repeats=repeats))
+            for cell in cells:
+                print(json.dumps(cell), flush=True)
+            rows.extend(cells)
+    complexity = [run_complexity(n) for n in sizes]
+    for point in complexity:
+        print(json.dumps(point), flush=True)
+    return {
+        "schema": "bench-scale/v1",
+        "config": {
+            "sizes": sizes,
+            "workload": "poisson(rate=2.0, hold=0.1, seed=0)",
+            "delay_model": "UniformDelay(0.5, 1.0)",
+            "trace": False,
+            "python": sys.version.split()[0],
+        },
+        "baseline": {
+            "events_per_sec": PRE_CHANGE_BASELINE,
+            "remeasured_best_of_5": PRE_CHANGE_REMEASURED_BEST,
+            "note": (
+                "pre-change engine (seed commit), same workload, default "
+                "(full) metrics.  'events_per_sec' was measured at PR time; "
+                "'remeasured_best_of_5' is the same seed engine re-measured "
+                "under lighter machine load — divide by it for the "
+                "matched-conditions speedup.  See ROADMAP.md for the "
+                "comparison protocol."
+            ),
+        },
+        "results": rows,
+        "complexity": complexity,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="n=256 only (fast CI smoke run)"
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None,
+        help="override the size sweep (powers of two)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_scale.json",
+        help="where to write the JSON document",
+    )
+    args = parser.parse_args(argv)
+    if args.sizes is not None:
+        sizes = args.sizes
+    elif args.smoke:
+        sizes = [256]
+    else:
+        sizes = [256, 1024, 4096]
+    document = run_sweep(sizes)
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

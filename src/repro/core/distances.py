@@ -37,6 +37,7 @@ __all__ = [
     "initial_power",
     "initial_fathers",
     "hypercube_edges",
+    "children_map",
 ]
 
 
@@ -216,16 +217,32 @@ def hypercube_edges(n: int) -> set[frozenset[int]]:
     return edges
 
 
+def children_map(fathers: dict[int, int | None]) -> dict[int, list[int]]:
+    """Return the children adjacency of a father map (``node -> sons``).
+
+    One O(n) pass; the inverse index used by :class:`~repro.core.opencube.
+    OpenCubeTree` (incrementally) and by the branch iterator below.  Father
+    labels absent from the map (dangling references in partially built
+    states) get an entry of their own so callers can detect them.
+    """
+    children: dict[int, list[int]] = {node: [] for node in fathers}
+    for node, father in fathers.items():
+        if father is not None:
+            kids = children.get(father)
+            if kids is None:
+                children[father] = [node]
+            else:
+                kids.append(node)
+    return children
+
+
 def iter_branches(fathers: dict[int, int | None]) -> Iterator[list[int]]:
     """Yield every root-to-leaf branch of a father map as a list of nodes.
 
     A *branch* is listed from the leaf up to the root, matching the
     ``i_0, i_1, ..., i_r`` notation of Proposition 2.3.
     """
-    children: dict[int, list[int]] = {node: [] for node in fathers}
-    for node, father in fathers.items():
-        if father is not None:
-            children[father].append(node)
+    children = children_map(fathers)
     leaves = [node for node, kids in children.items() if not kids]
     for leaf in leaves:
         branch = [leaf]

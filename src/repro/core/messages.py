@@ -1,11 +1,18 @@
 """Protocol messages exchanged by the mutual exclusion algorithms.
 
-Every message is an immutable dataclass.  The failure-free algorithm of
-Section 3 only uses :class:`RequestMessage` and :class:`TokenMessage`; the
-fault-tolerance layer of Section 5 adds the enquiry, test/answer and anomaly
-messages.  Baseline algorithms (Raymond, Naimi–Trehel, Ricart–Agrawala,
-Suzuki–Kasami, centralized) define their own message types here as well so
-that the metrics layer can classify traffic uniformly.
+The failure-free algorithm of Section 3 only uses :class:`RequestMessage`
+and :class:`TokenMessage`; the fault-tolerance layer of Section 5 adds the
+enquiry, test/answer and anomaly messages.  Baseline algorithms (Raymond,
+Naimi–Trehel, Ricart–Agrawala, Suzuki–Kasami, centralized) define their own
+message types here as well so that the metrics layer can classify traffic
+uniformly.
+
+Messages are treated as immutable.  The two types allocated on the open-cube
+hot path (:class:`RequestMessage`, :class:`TokenMessage` — one per protocol
+message of every simulated run) are hand-rolled ``__slots__`` classes, since
+frozen-dataclass construction (``object.__setattr__`` per field) was a
+measurable share of the per-event cost; the colder message types stay frozen
+dataclasses for brevity.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 __all__ = [
     "Message",
@@ -56,9 +64,21 @@ def next_request_id() -> int:
     return next(_request_counter)
 
 
-@dataclass(frozen=True)
 class Message:
     """Base class for all protocol messages."""
+
+    __slots__ = ()
+
+    # Class-level kind cache: `kind` is read once per send on the metrics hot
+    # path, so the class name (and its "+regenerated" variant) is computed at
+    # class-definition time instead of per message.
+    _kind_plain: ClassVar[str] = "Message"
+    _kind_regenerated: ClassVar[str] = "Message+regenerated"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._kind_plain = cls.__name__
+        cls._kind_regenerated = f"{cls.__name__}+regenerated"
 
     @property
     def kind(self) -> str:
@@ -69,18 +89,20 @@ class Message:
         experiments can attribute them to failures rather than to the normal
         per-request cost.
         """
-        name = type(self).__name__
         if getattr(self, "regenerated", False):
-            return f"{name}+regenerated"
-        return name
+            return self._kind_regenerated
+        return self._kind_plain
 
 
 # ----------------------------------------------------------------------
 # Open-cube algorithm (Section 3)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
 class RequestMessage(Message):
     """``request(j)`` of the paper.
+
+    Instances must not be mutated after construction (the old
+    ``frozen=True`` guard is gone for speed, and ``kind`` is precomputed
+    from ``regenerated`` at construction time).
 
     Attributes:
         requester: the node ``j`` on whose behalf the token is requested;
@@ -95,14 +117,43 @@ class RequestMessage(Message):
             overhead; the algorithm ignores the flag).
     """
 
-    requester: int
-    source: int
-    regenerated: bool = False
+    __slots__ = ("requester", "source", "regenerated", "kind")
+
+    def __init__(self, requester: int, source: int, regenerated: bool = False) -> None:
+        self.requester = requester
+        self.source = source
+        self.regenerated = regenerated
+        # The slot shadows the base-class property: `kind` is read on every
+        # send, so precomputing it here trades one store at construction for
+        # a plain attribute read on the hot path.
+        self.kind = self._kind_regenerated if regenerated else self._kind_plain
+
+    def __eq__(self, other: object) -> bool:
+        # Value semantics, as the frozen-dataclass version had.
+        if type(other) is not RequestMessage:
+            return NotImplemented
+        return (
+            self.requester == other.requester
+            and self.source == other.source
+            and self.regenerated == other.regenerated
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.requester, self.source, self.regenerated))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"RequestMessage(requester={self.requester}, source={self.source}, "
+            f"regenerated={self.regenerated})"
+        )
 
 
-@dataclass(frozen=True)
 class TokenMessage(Message):
     """``token(j)`` of the paper.
+
+    Instances must not be mutated after construction (the old
+    ``frozen=True`` guard is gone for speed, and ``kind`` is precomputed
+    from ``regenerated`` at construction time).
 
     Attributes:
         lender: the node that lends the token and expects it back, or
@@ -118,9 +169,37 @@ class TokenMessage(Message):
             current state, which matters when requests and failures overlap.
     """
 
-    lender: int | None
-    regenerated: bool = False
-    loan_id: tuple[int, int] | None = None
+    __slots__ = ("lender", "regenerated", "loan_id", "kind")
+
+    def __init__(
+        self,
+        lender: int | None,
+        regenerated: bool = False,
+        loan_id: tuple[int, int] | None = None,
+    ) -> None:
+        self.lender = lender
+        self.regenerated = regenerated
+        self.loan_id = loan_id
+        self.kind = self._kind_regenerated if regenerated else self._kind_plain
+
+    def __eq__(self, other: object) -> bool:
+        # Value semantics, as the frozen-dataclass version had.
+        if type(other) is not TokenMessage:
+            return NotImplemented
+        return (
+            self.lender == other.lender
+            and self.regenerated == other.regenerated
+            and self.loan_id == other.loan_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lender, self.regenerated, self.loan_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TokenMessage(lender={self.lender}, regenerated={self.regenerated}, "
+            f"loan_id={self.loan_id})"
+        )
 
 
 # ----------------------------------------------------------------------

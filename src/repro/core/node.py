@@ -50,6 +50,34 @@ class OpenCubeMutexNode(MutexNode):
             matrix; computed from the labels when omitted.
     """
 
+    #: Whether any ``_hook_*`` extension point is overridden.  The hooks sit
+    #: on the per-message hot path, so the failure-free class skips the empty
+    #: calls entirely; ``__init_subclass__`` flips the flag automatically for
+    #: subclasses that define hooks (e.g. the fault-tolerant node).
+    _HAS_HOOKS = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if any(name.startswith("_hook_") for name in vars(cls)):
+            cls._HAS_HOOKS = True
+
+    __slots__ = (
+        "pmax",
+        "dist",
+        "father",
+        "token_here",
+        "asking",
+        "mandator",
+        "mandate_source",
+        "lender",
+        "pending",
+        "_loan_counter",
+        "requests_forwarded",
+        "requests_proxied",
+        "tokens_handled",
+        "cs_entries",
+    )
+
     def __init__(
         self,
         node_id: int,
@@ -62,7 +90,12 @@ class OpenCubeMutexNode(MutexNode):
         super().__init__(node_id, n)
         self.pmax = distances.check_node_count(n)
         if dist_row is None:
-            self.dist = [0] + [distances.distance(node_id, j) for j in range(1, n + 1)]
+            # dist(i, j) == ((i-1) ^ (j-1)).bit_length(); inlining the bit
+            # arithmetic keeps cluster construction O(n^2) *cheap* operations
+            # (a 4096-node cluster builds 16.7M entries, so the per-entry
+            # function-call overhead of distances.distance() dominated setup).
+            index = node_id - 1
+            self.dist = [0] + [(index ^ other).bit_length() for other in range(n)]
         else:
             if len(dist_row) == n:
                 self.dist = [0, *dist_row]
@@ -121,20 +154,26 @@ class OpenCubeMutexNode(MutexNode):
             raise ProtocolError(f"node {self.node_id} released a CS it does not hold")
         self.notify_released()
         if self.lender != self.node_id:
-            self.env.send(self.lender, TokenMessage(lender=None))
+            self._env_send(self.lender, TokenMessage(lender=None))
             self.token_here = False
-            self._hook_token_given_back()
+            if self._HAS_HOOKS:
+                self._hook_token_given_back()
         self.asking = False
-        self._process_pending()
+        if self.pending:
+            self._process_pending()
 
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
     def on_message(self, sender: int, message: Message) -> None:
         """Dispatch a protocol message."""
-        if isinstance(message, RequestMessage):
+        # Exact-type dispatch: the protocol message types are never
+        # subclassed (regenerated variants are flagged instances of the same
+        # classes), and `type(...) is` beats isinstance on the hot path.
+        kind = type(message)
+        if kind is RequestMessage:
             self._receive_request(sender, message)
-        elif isinstance(message, TokenMessage):
+        elif kind is TokenMessage:
             self._receive_token(sender, message)
         else:
             self._handle_extension_message(sender, message)
@@ -180,7 +219,7 @@ class OpenCubeMutexNode(MutexNode):
             raise ProtocolError(
                 f"node {self.node_id} received a request for unknown node {requester}"
             )
-        if not self._hook_before_process_request(sender, message):
+        if self._HAS_HOOKS and not self._hook_before_process_request(sender, message):
             return
         if self._decide_behaviour(message) == "proxy":
             self._behave_as_proxy(message)
@@ -196,7 +235,10 @@ class OpenCubeMutexNode(MutexNode):
         The general scheme of [1] allows any rule here; see
         :mod:`repro.scheme` for other instances (Raymond, Naimi-Trehel).
         """
-        if self.distance_to(message.requester) == self.power:
+        # `requester` was validated by _process_request, so index the
+        # distance row directly; `power` stays a property call because the
+        # fault-tolerant subclass overrides it during searches.
+        if self.dist[message.requester] == self.power:
             return "transit"
         return "proxy"
 
@@ -210,10 +252,11 @@ class OpenCubeMutexNode(MutexNode):
             self.token_here = False
             self.tokens_handled += 1
             loan_id = self._new_loan_id()
-            self.env.send(requester, TokenMessage(lender=self.node_id, loan_id=loan_id))
-            self._hook_token_lent(
-                borrower=requester, source=message.source, loan_id=loan_id
-            )
+            self._env_send(requester, TokenMessage(lender=self.node_id, loan_id=loan_id))
+            if self._HAS_HOOKS:
+                self._hook_token_lent(
+                    borrower=requester, source=message.source, loan_id=loan_id
+                )
         else:
             self.mandator = requester
             self.mandate_source = message.source
@@ -227,14 +270,14 @@ class OpenCubeMutexNode(MutexNode):
             # Give the token up for good: the requester becomes the new root.
             self.token_here = False
             self.tokens_handled += 1
-            self.env.send(requester, TokenMessage(lender=None))
+            self._env_send(requester, TokenMessage(lender=None))
         else:
             if self.father is None:
                 raise ProtocolError(
                     f"node {self.node_id} is the root without the token but is not asking; "
                     "this cannot happen in a correct run"
                 )
-            self.env.send(self.father, message)
+            self._env_send(self.father, message)
         # First half of the b-transformation: the requester becomes this
         # node's father; the requester completes the swap when it receives
         # the token (or records its proxy as father).
@@ -250,12 +293,15 @@ class OpenCubeMutexNode(MutexNode):
             )
         self.token_here = True
         self.tokens_handled += 1
-        self._hook_token_received(sender, message)
+        if self._HAS_HOOKS:
+            self._hook_token_received(sender, message)
         if self.mandator is None:
             # Return of the token after a loan by this node.
             self.asking = False
-            self._hook_token_returned()
-            self._process_pending()
+            if self._HAS_HOOKS:
+                self._hook_token_returned()
+            if self.pending:
+                self._process_pending()
         elif self.mandator == self.node_id:
             # This node's own claim is satisfied.
             if message.lender is None:
@@ -281,19 +327,21 @@ class OpenCubeMutexNode(MutexNode):
                 self.father = None
                 self.lender = self.node_id
                 loan_id = self._new_loan_id()
-                self.env.send(
+                self._env_send(
                     borrower, TokenMessage(lender=self.node_id, loan_id=loan_id)
                 )
-                self._hook_token_lent(borrower=borrower, source=source, loan_id=loan_id)
+                if self._HAS_HOOKS:
+                    self._hook_token_lent(borrower=borrower, source=source, loan_id=loan_id)
                 # `asking` stays True until the token comes back.
             else:
                 self.father = sender
-                self.env.send(
+                self._env_send(
                     borrower,
                     TokenMessage(lender=message.lender, loan_id=message.loan_id),
                 )
                 self.asking = False
-                self._process_pending()
+                if self.pending:
+                    self._process_pending()
 
     # ------------------------------------------------------------------
     # Pending-queue service
@@ -333,11 +381,12 @@ class OpenCubeMutexNode(MutexNode):
                 f"node {self.node_id} has no father to send a request to; "
                 "a root without the token must be asking"
             )
-        self.env.send(
+        self._env_send(
             self.father,
             RequestMessage(requester=requester, source=source, regenerated=regenerated),
         )
-        self._hook_request_sent(requester=requester, source=source)
+        if self._HAS_HOOKS:
+            self._hook_request_sent(requester=requester, source=source)
 
     # ------------------------------------------------------------------
     # Extension hooks (overridden by the fault-tolerant subclass)

@@ -69,8 +69,49 @@ class OpenCubeTree:
             missing = [node for node in range(1, n + 1) if node not in fathers]
             if missing:
                 raise InvalidTopologyError(f"father map misses nodes {missing}")
-            if validate:
-                self.validate()
+        self._rebuild_index()
+        if fathers is not None and validate:
+            self.validate()
+
+    def _rebuild_index(self) -> None:
+        """(Re)build the incremental indexes from the father map.
+
+        The indexes keep the structural queries cheap: ``_children`` is the
+        inverse of the father map (so :meth:`sons` / :meth:`last_son` are
+        O(degree) instead of O(n) scans), ``_roots`` tracks father-less nodes
+        (O(1) :attr:`root`), and ``_powers`` caches each node's power.  All
+        three are maintained incrementally by :meth:`_assign`.
+        """
+        self._children: dict[int, list[int]] = distances.children_map(self._fathers)
+        self._roots: set[int] = set()
+        self._powers: dict[int, int] = {}
+        for node, father in self._fathers.items():
+            if father is None:
+                self._roots.add(node)
+                self._powers[node] = self._pmax
+            else:
+                self._powers[node] = distances.distance(node, father) - 1
+
+    def _assign(self, node: int, father: int | None) -> None:
+        """Set ``father(node)`` and update the indexes (no structural checks)."""
+        old = self._fathers[node]
+        if old is None:
+            self._roots.discard(node)
+        else:
+            kids = self._children.get(old)
+            if kids is not None:
+                kids.remove(node)
+        self._fathers[node] = father
+        if father is None:
+            self._roots.add(node)
+            self._powers[node] = self._pmax
+        else:
+            kids = self._children.get(father)
+            if kids is None:
+                self._children[father] = [node]
+            else:
+                kids.append(node)
+            self._powers[node] = distances.distance(node, father) - 1
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -87,11 +128,12 @@ class OpenCubeTree:
 
     @property
     def root(self) -> int:
-        """The unique node whose father is ``None``."""
-        roots = [node for node, father in self._fathers.items() if father is None]
-        if len(roots) != 1:
-            raise InvalidTopologyError(f"expected exactly one root, found {roots}")
-        return roots[0]
+        """The unique node whose father is ``None`` (O(1) via the root index)."""
+        if len(self._roots) != 1:
+            raise InvalidTopologyError(
+                f"expected exactly one root, found {sorted(self._roots)}"
+            )
+        return next(iter(self._roots))
 
     def nodes(self) -> range:
         """Return the node labels ``1 .. n``."""
@@ -119,30 +161,30 @@ class OpenCubeTree:
             self._check_node(father)
             if father == node:
                 raise InvalidTopologyError(f"node {node} cannot be its own father")
-        self._fathers[node] = father
+        self._assign(node, father)
 
     def sons(self, node: int) -> list[int]:
-        """Return the sons of ``node`` sorted by increasing power."""
+        """Return the sons of ``node`` sorted by increasing power.
+
+        O(degree log degree) via the incremental children index (a node has
+        at most ``pmax`` sons), not an O(n) scan of the father map.
+        """
         self._check_node(node)
-        kids = [child for child, father in self._fathers.items() if father == node]
-        kids.sort(key=lambda child: distances.distance(child, node))
-        return kids
+        powers = self._powers
+        return sorted(self._children.get(node, ()), key=powers.__getitem__)
 
     def power(self, node: int) -> int:
-        """Power of ``node`` (Definition 2.1), derived as in the paper.
+        """Power of ``node`` (Definition 2.1), from the incremental cache.
 
         ``power(i) = dist(i, father(i)) - 1`` when ``i`` has a father and
         ``pmax`` when ``i`` is the root (Proposition 2.1).
         """
         self._check_node(node)
-        father = self._fathers[node]
-        if father is None:
-            return self._pmax
-        return distances.distance(node, father) - 1
+        return self._powers[node]
 
     def powers(self) -> dict[int, int]:
         """Return the power of every node."""
-        return {node: self.power(node) for node in self.nodes()}
+        return dict(self._powers)
 
     def distance(self, i: int, j: int) -> int:
         """Distance between two nodes (static, never changes)."""
@@ -196,13 +238,16 @@ class OpenCubeTree:
     def last_son(self, node: int) -> int | None:
         """Return the last son of ``node`` (its son of power ``power(node)-1``).
 
-        Nodes of power 0 have no sons and therefore no last son.
+        Nodes of power 0 have no sons and therefore no last son.  O(degree)
+        via the children index.
         """
-        power = self.power(node)
-        if power == 0:
+        self._check_node(node)
+        target = self._powers[node] - 1
+        if target < 0:
             return None
-        for child in self.sons(node):
-            if self.power(child) == power - 1:
+        powers = self._powers
+        for child in self._children.get(node, ()):
+            if powers[child] == target:
                 return child
         return None
 
@@ -212,14 +257,18 @@ class OpenCubeTree:
         self._check_node(father)
         if self._fathers[son] != father:
             return False
-        return distances.distance(son, father) == self.power(father)
+        return self._powers[son] + 1 == self._powers[father]
 
     def is_boundary_edge(self, son: int, father: int) -> bool:
         """Alias of :meth:`is_last_son` using the paper's terminology."""
         return self.is_last_son(son, father)
 
     def boundary_edges(self) -> set[tuple[int, int]]:
-        """Return every boundary edge ``(last_son, father)`` of the tree."""
+        """Return every boundary edge ``(last_son, father)`` of the tree.
+
+        O(n) overall: one O(degree) :meth:`last_son` per node, and the tree
+        has n - 1 edges in total.
+        """
         result: set[tuple[int, int]] = set()
         for node in self.nodes():
             last = self.last_son(node)
@@ -248,8 +297,8 @@ class OpenCubeTree:
                 "b-transformations are only defined on boundary edges"
             )
         grandfather = self._fathers[father]
-        self._fathers[son] = grandfather
-        self._fathers[father] = son
+        self._assign(son, grandfather)
+        self._assign(father, son)
         return BTransformation(son=son, father=father, new_grandfather=grandfather)
 
     def promote_along_branch(self, node: int) -> list[BTransformation]:
@@ -276,12 +325,14 @@ class OpenCubeTree:
         The check follows Figure 1 directly: an n-open-cube is two
         (n/2)-open-cubes on the aligned halves of the label range, joined by a
         single edge from the root of one half to the root of the other half.
+        Groups are always aligned label ranges, so the recursion works on
+        ``(lo, hi)`` index bounds — no per-level list slicing or set building.
 
         Raises:
             InvalidTopologyError: when the structure is violated, with a
                 message describing the offending group.
         """
-        self._validate_group(list(self.nodes()))
+        self._validate_group(1, self._n)
 
     def is_valid(self) -> bool:
         """Return ``True`` when the current father map is an open-cube."""
@@ -291,32 +342,30 @@ class OpenCubeTree:
             return False
         return True
 
-    def _validate_group(self, group: list[int]) -> int:
-        """Validate ``group`` as an open-cube subtree and return its root."""
-        if len(group) == 1:
-            return group[0]
-        half = len(group) // 2
-        lower, upper = group[:half], group[half:]
-        lower_root = self._validate_group(lower)
-        upper_root = self._validate_group(upper)
-        lower_set, upper_set = set(lower), set(upper)
-        group_set = lower_set | upper_set
+    def _validate_group(self, lo: int, hi: int) -> int:
+        """Validate the aligned label range ``lo..hi`` and return its root."""
+        if lo == hi:
+            return lo
+        mid = lo + (hi - lo) // 2  # last label of the lower half
+        lower_root = self._validate_group(lo, mid)
+        upper_root = self._validate_group(mid + 1, hi)
+        fathers = self._fathers
         crossing: list[tuple[int, int]] = []
-        for node in group:
-            father = self._fathers[node]
-            if father is None or father not in group_set:
+        for node in range(lo, hi + 1):
+            father = fathers[node]
+            if father is None or father < lo or father > hi:
                 continue
-            if (node in lower_set) != (father in lower_set):
+            if (node <= mid) != (father <= mid):
                 crossing.append((node, father))
         if len(crossing) != 1:
             raise InvalidTopologyError(
-                f"group {group[0]}..{group[-1]} must have exactly one crossing "
+                f"group {lo}..{hi} must have exactly one crossing "
                 f"edge between its halves, found {crossing}"
             )
         son, father = crossing[0]
         if {son, father} != {lower_root, upper_root}:
             raise InvalidTopologyError(
-                f"crossing edge {crossing[0]} of group {group[0]}..{group[-1]} "
+                f"crossing edge {crossing[0]} of group {lo}..{hi} "
                 f"does not connect the half roots {lower_root} and {upper_root}"
             )
         return father

@@ -7,20 +7,19 @@ substitution preserves the quantities the paper reports (message counts).
 """
 
 from repro.simulation.cluster import SimEnvironment, SimulatedCluster
-from repro.simulation.events import MessageDelivery, ScheduledAction, ScheduledEvent, TimerExpiry
+from repro.simulation.events import MessageDelivery, ScheduledAction, TimerExpiry
 from repro.simulation.failures import FailureEvent, FailurePlanner, FailureSchedule
 from repro.simulation.metrics import MetricsCollector, RequestRecord
 from repro.simulation.network import ChannelState, ConstantDelay, DelayModel, PerHopDelay, UniformDelay
 from repro.simulation.process import Environment, MutexNode
 from repro.simulation.simulator import Simulator
-from repro.simulation.trace import TraceCategory, TraceRecord, Tracer
+from repro.simulation.trace import NullTracer, TraceCategory, TraceRecord, Tracer
 
 __all__ = [
     "SimEnvironment",
     "SimulatedCluster",
     "MessageDelivery",
     "ScheduledAction",
-    "ScheduledEvent",
     "TimerExpiry",
     "FailureEvent",
     "FailurePlanner",
@@ -35,6 +34,7 @@ __all__ = [
     "Environment",
     "MutexNode",
     "Simulator",
+    "NullTracer",
     "TraceCategory",
     "TraceRecord",
     "Tracer",

@@ -21,7 +21,7 @@ from repro.simulation.metrics import MetricsCollector
 from repro.simulation.network import ChannelState, DelayModel, UniformDelay
 from repro.simulation.process import Environment, MutexNode
 from repro.simulation.simulator import Simulator
-from repro.simulation.trace import TraceCategory, Tracer
+from repro.simulation.trace import NullTracer, TraceCategory, Tracer
 
 __all__ = ["SimEnvironment", "SimulatedCluster"]
 
@@ -34,6 +34,9 @@ class SimEnvironment(Environment):
         self._node_id = node_id
         self._next_timer_id = 0
         self._timers: dict[int, Any] = {}
+        # Per-instance closure shadows the class method: the whole send fast
+        # path runs in one frame with every stable reference pre-bound.
+        self.send = cluster._make_send(node_id)
 
     @property
     def node_id(self) -> int:
@@ -47,8 +50,14 @@ class SimEnvironment(Environment):
     def max_delay(self) -> float:
         return self._cluster.delay_model.max_delay
 
-    def send(self, dest: int, message: Message) -> None:
-        self._cluster._send(self._node_id, dest, message)
+    def send(self, dest: int, message: Message) -> None:  # pragma: no cover
+        # Never reached: __init__ installs the per-instance fast-path closure
+        # which shadows this method.  The body exists to satisfy the
+        # Environment ABC and to fail loudly if the shadowing ever breaks
+        # (delegating here would recurse through _send -> env.send).
+        raise AssertionError(
+            "SimEnvironment.send is shadowed by the per-instance fast path"
+        )
 
     def set_timer(self, delay: float, name: str, payload: Any = None) -> int:
         self._next_timer_id += 1
@@ -83,9 +92,18 @@ class SimulatedCluster:
         fifo: when ``True`` channels deliver messages in order; the paper's
             default model allows out-of-order delivery (``False``).
         seed: seed of the simulator RNG (delays, workload sampling).
-        trace: enable trace collection (disable for large benchmark runs).
+        trace: enable trace collection (disable for large benchmark runs;
+            when disabled a :class:`NullTracer` is installed and the hot
+            paths skip trace emission entirely).
+        metrics_detail: ``"full"`` (default) or ``"counters"``; see
+            :class:`~repro.simulation.metrics.MetricsCollector`.
         cs_duration: default critical-section hold time used by
             :meth:`request_cs` when the caller does not specify one.
+
+    NOTE: ``delay_model``, ``metrics``, ``channels``, ``nodes`` and the FIFO
+    flag are bound into per-node send fast paths at construction time.  Do
+    not reassign these attributes on a live cluster — the hot paths would
+    keep using the originals; build a new cluster instead.
     """
 
     def __init__(
@@ -97,6 +115,7 @@ class SimulatedCluster:
         seed: int = 0,
         trace: bool = True,
         max_trace_records: int | None = None,
+        metrics_detail: str = "full",
         cs_duration: float = 0.5,
     ) -> None:
         self.nodes: dict[int, MutexNode] = dict(nodes)
@@ -105,8 +124,15 @@ class SimulatedCluster:
         self.simulator = Simulator(seed=seed)
         self.delay_model = delay_model or UniformDelay()
         self.channels = ChannelState(fifo=fifo)
-        self.metrics = MetricsCollector()
-        self.tracer = Tracer(enabled=trace, max_records=max_trace_records)
+        self.metrics = MetricsCollector(detail=metrics_detail)
+        self.tracer = Tracer(enabled=True, max_records=max_trace_records) if trace else NullTracer()
+        # Hot-path aliases: `_trace is None` lets _send/_deliver skip the
+        # emit call (and its kwarg packing) entirely when tracing is off, and
+        # the non-FIFO default skips the ChannelState indirection.
+        self._trace: Tracer | None = self.tracer if trace else None
+        self._fifo = fifo
+        self._record_send = self.metrics.record_send
+        self._sample_delay = self.delay_model.bind(self.simulator.rng)
         self.cs_duration = cs_duration
         self.failed: set[int] = set()
         self._environments: dict[int, SimEnvironment] = {}
@@ -157,53 +183,106 @@ class SimulatedCluster:
     # ------------------------------------------------------------------
     # Message plumbing
     # ------------------------------------------------------------------
-    def _send(self, sender: int, dest: int, message: Message) -> None:
-        if dest not in self.nodes:
-            raise SimulationError(f"node {sender} sent a message to unknown node {dest}")
-        if sender in self.failed:
-            # A crashed node cannot act; silently ignore (defensive, the
-            # cluster never invokes handlers of crashed nodes).
-            return
-        dropped = dest in self.failed
-        now = self.simulator.now
-        self.metrics.record_send(now, sender, dest, message.kind, dropped=False)
-        self.tracer.emit(now, TraceCategory.SEND, sender, dest=dest, kind=message.kind)
-        delay = self.delay_model.sample(sender, dest, self.simulator.rng)
-        arrival = self.channels.delivery_time(sender, dest, now, delay)
-        self.simulator.schedule_at(
-            arrival, MessageDelivery(sender=sender, dest=dest, message=message, sent_at=now)
-        )
-        del dropped
+    def _make_send(self, sender: int) -> Callable[[int, Message], None]:
+        """Build the per-node send fast path (installed as ``env.send``).
 
-    def _deliver(self, delivery: MessageDelivery) -> None:
-        now = self.simulator.now
-        if delivery.dest in self.failed:
+        This is the hottest code of the whole simulation: every protocol
+        message runs through the returned closure once.  All stable
+        references (node table, failed set, metrics recorder, sampler,
+        scheduler) are captured at bind time so a send costs one frame and
+        no repeated attribute chains.  Drops are accounted at *delivery*
+        time (the fail-stop model loses messages in transit, not at the
+        sender), so a send towards a currently failed node is recorded as a
+        plain send.
+        """
+        nodes = self.nodes
+        failed = self.failed
+        simulator = self.simulator
+        schedule_delivery = simulator.schedule_delivery
+        record_send = self._record_send
+        sample_delay = self._sample_delay
+        trace = self._trace
+        fifo = self._fifo
+        delivery_time = self.channels.delivery_time
+        # In streaming mode the counter updates are inlined here (bind-time
+        # specialisation) instead of paying a record_send frame per message.
+        # Keep the inlined branch in sync with MetricsCollector.record_send /
+        # _record_send_counters — the counters-vs-full equivalence test in
+        # tests/simulation/test_determinism.py guards the pair.
+        metrics = self.metrics
+        counters_only = not metrics._keep_records
+        by_kind = metrics.messages_by_kind
+        by_sender = metrics.messages_by_sender
+
+        def send(dest: int, message: Message) -> None:
+            if dest not in nodes:
+                raise SimulationError(
+                    f"node {sender} sent a message to unknown node {dest}"
+                )
+            if sender in failed:
+                # A crashed node cannot act; silently ignore (defensive, the
+                # cluster never invokes handlers of crashed nodes).
+                return
+            now = simulator._time
+            kind = message.kind
+            if counters_only:
+                metrics._total_sent += 1
+                by_kind[kind] += 1
+                by_sender[sender] += 1
+            else:
+                record_send(now, sender, dest, kind)
+            if trace is not None:
+                trace.emit(now, TraceCategory.SEND, sender, dest=dest, kind=kind)
+            delay = sample_delay(sender, dest)
+            if fifo:
+                arrival = delivery_time(sender, dest, now, delay)
+            else:
+                arrival = now + delay
+            schedule_delivery(arrival, sender, dest, message, now)
+
+        return send
+
+    def _send(self, sender: int, dest: int, message: Message) -> None:
+        """Route one message (slow path for direct callers and tests)."""
+        self._environments[sender].send(dest, message)
+
+    def _deliver(self, delivery: tuple[int, int, Message, float]) -> None:
+        # The simulator hands deliveries over as plain tuples (see
+        # Simulator.schedule_delivery).
+        sender, dest, message, _sent_at = delivery
+        if dest in self.failed:
             # Fail-stop: messages in transit towards a crashed node are lost.
             self.metrics.dropped_messages += 1
-            self.tracer.emit(
-                now,
-                TraceCategory.DROP,
-                delivery.dest,
-                sender=delivery.sender,
-                kind=delivery.message.kind,
-            )
+            trace = self._trace
+            if trace is not None:
+                trace.emit(
+                    self.simulator._time,
+                    TraceCategory.DROP,
+                    dest,
+                    sender=sender,
+                    kind=message.kind,
+                )
             return
-        self.tracer.emit(
-            now,
-            TraceCategory.DELIVER,
-            delivery.dest,
-            sender=delivery.sender,
-            kind=delivery.message.kind,
-        )
-        self.nodes[delivery.dest].on_message(delivery.sender, delivery.message)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                self.simulator._time,
+                TraceCategory.DELIVER,
+                dest,
+                sender=sender,
+                kind=message.kind,
+            )
+        self.nodes[dest].on_message(sender, message)
 
     def _fire_timer(self, expiry: TimerExpiry) -> None:
-        if expiry.node in self.failed:
+        node_id = expiry.node
+        if node_id in self.failed:
             return
-        env = self._environments[expiry.node]
-        env._timers.pop(expiry.timer_id, None)
-        self.tracer.emit(self.simulator.now, TraceCategory.TIMER, expiry.node, name=expiry.name)
-        self.nodes[expiry.node].on_timer(expiry.name, expiry.payload)
+        self._environments[node_id]._timers.pop(expiry.timer_id, None)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.simulator._time, TraceCategory.TIMER, node_id, name=expiry.name)
+        self.nodes[node_id].on_timer(expiry.name, expiry.payload)
 
     # ------------------------------------------------------------------
     # Application-level operations
@@ -240,8 +319,11 @@ class SimulatedCluster:
             if node_id in self.failed:
                 # The requester itself is down; the request never happens.
                 return
-            self.metrics.record_request_issued(request_id, node_id, self.simulator.now)
-            self.tracer.emit(self.simulator.now, TraceCategory.REQUEST, node_id, request=request_id)
+            now = self.simulator.now
+            self.metrics.record_request_issued(request_id, node_id, now)
+            trace = self._trace
+            if trace is not None:
+                trace.emit(now, TraceCategory.REQUEST, node_id, request=request_id)
             self._pending_request_ids[node_id].append(request_id)
             self._auto_release[node_id] = hold_time
             self.nodes[node_id].acquire()
@@ -262,10 +344,13 @@ class SimulatedCluster:
         request_id = pending.popleft() if pending else None
         self._active_request[node_id] = request_id
         self.metrics.record_cs_enter(node_id, now)
-        self.tracer.emit(now, TraceCategory.CS_ENTER, node_id, request=request_id)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(now, TraceCategory.CS_ENTER, node_id, request=request_id)
         if request_id is not None:
             self.metrics.record_request_granted(request_id, now)
-            self.tracer.emit(now, TraceCategory.GRANT, node_id, request=request_id)
+            if trace is not None:
+                trace.emit(now, TraceCategory.GRANT, node_id, request=request_id)
         for listener in self._grant_listeners:
             listener(node_id, now)
         hold = self._auto_release[node_id]
@@ -281,10 +366,13 @@ class SimulatedCluster:
         now = self.simulator.now
         request_id = self._active_request.get(node_id)
         self.metrics.record_cs_exit(node_id, now)
-        self.tracer.emit(now, TraceCategory.CS_EXIT, node_id, request=request_id)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(now, TraceCategory.CS_EXIT, node_id, request=request_id)
         if request_id is not None:
             self.metrics.record_request_released(request_id, now)
-            self.tracer.emit(now, TraceCategory.RELEASE, node_id, request=request_id)
+            if trace is not None:
+                trace.emit(now, TraceCategory.RELEASE, node_id, request=request_id)
         self._active_request[node_id] = None
         node.release()
 

@@ -6,6 +6,21 @@ The :class:`MetricsCollector` therefore records every send (classified by
 message type), every critical-section entry/exit, every request issue/grant
 pair, and every injected failure, so the experiment harness can compute those
 quantities without instrumenting the algorithms themselves.
+
+Detail modes
+------------
+
+``MetricsCollector(detail="full")`` (the default) keeps one
+:class:`SentMessage` record per send, so memory grows with the number of
+messages — fine for experiments, wasteful for large benchmarks.
+
+``detail="counters"`` is the streaming mode for scale runs: sends only bump
+integer counters (``messages_by_kind``, ``messages_by_sender``, the global
+total), so memory stays O(requests) regardless of how many messages flow.
+Every aggregate in :meth:`MetricsCollector.summary` — totals, per-kind
+breakdown, per-request message attribution, waiting times — is computed from
+counters and per-request records and is identical in both modes; only the
+``sent_messages`` list stays empty.
 """
 
 from __future__ import annotations
@@ -13,6 +28,8 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.exceptions import ConfigurationError
 
 __all__ = [
     "SentMessage",
@@ -68,9 +85,22 @@ class RequestRecord:
 
 
 class MetricsCollector:
-    """Accumulates counters and per-request records during a run."""
+    """Accumulates counters and per-request records during a run.
 
-    def __init__(self) -> None:
+    Args:
+        detail: ``"full"`` keeps a :class:`SentMessage` record per send;
+            ``"counters"`` only maintains integer counters so memory stays
+            O(requests) on arbitrarily long runs (see the module docstring).
+    """
+
+    def __init__(self, detail: str = "full") -> None:
+        if detail not in ("full", "counters"):
+            raise ConfigurationError(
+                f"detail must be 'full' or 'counters', got {detail!r}"
+            )
+        self.detail = detail
+        self._keep_records = detail == "full"
+        self._total_sent: int = 0
         self.sent_messages: list[SentMessage] = []
         self.messages_by_kind: Counter[str] = Counter()
         self.messages_by_sender: Counter[int] = Counter()
@@ -81,6 +111,10 @@ class MetricsCollector:
         self.recoveries: list[tuple[float, int]] = []
         self.custom: dict[str, Any] = {}
         self._open_cs: dict[int, CriticalSectionInterval] = {}
+        if not self._keep_records:
+            # Shadow the method with the streaming variant so the hot path
+            # pays no per-send mode branch.
+            self.record_send = self._record_send_counters  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Recording hooks (called by the simulator / cluster)
@@ -88,8 +122,27 @@ class MetricsCollector:
     def record_send(
         self, time: float, sender: int, dest: int, kind: str, dropped: bool = False
     ) -> None:
-        """Record a message send; ``dropped`` marks sends to failed nodes."""
+        """Record a message send; ``dropped`` marks sends to failed nodes.
+
+        NOTE: simulated sends in counters mode do NOT go through this method
+        or :meth:`_record_send_counters` — the cluster inlines the same
+        counter updates into its send closure (``SimulatedCluster._make_send``)
+        to avoid a per-message frame.  A new or changed counter must be
+        mirrored there, and ``tests/simulation/test_determinism.py`` asserts
+        both modes stay aggregate-equivalent.
+        """
+        self._total_sent += 1
+        self.messages_by_kind[kind] += 1
+        self.messages_by_sender[sender] += 1
         self.sent_messages.append(SentMessage(time, sender, dest, kind, dropped))
+        if dropped:
+            self.dropped_messages += 1
+
+    def _record_send_counters(
+        self, time: float, sender: int, dest: int, kind: str, dropped: bool = False
+    ) -> None:
+        """Streaming-mode :meth:`record_send`: counters only, no records."""
+        self._total_sent += 1
         self.messages_by_kind[kind] += 1
         self.messages_by_sender[sender] += 1
         if dropped:
@@ -101,7 +154,7 @@ class MetricsCollector:
             request_id=request_id,
             node=node,
             issued_at=time,
-            messages_at_issue=self.total_messages(),
+            messages_at_issue=self._total_sent,
         )
 
     def record_request_granted(self, request_id: int, time: float) -> None:
@@ -110,7 +163,7 @@ class MetricsCollector:
         if record is None:
             return
         record.granted_at = time
-        record.messages_at_grant = self.total_messages()
+        record.messages_at_grant = self._total_sent
 
     def record_request_released(self, request_id: int, time: float) -> None:
         """Record the moment the corresponding critical section is left."""
@@ -144,8 +197,8 @@ class MetricsCollector:
     def total_messages(self, *, include_dropped: bool = True) -> int:
         """Total number of messages sent so far."""
         if include_dropped:
-            return len(self.sent_messages)
-        return len(self.sent_messages) - self.dropped_messages
+            return self._total_sent
+        return self._total_sent - self.dropped_messages
 
     def messages_of_kinds(self, kinds: set[str] | frozenset[str]) -> int:
         """Total number of messages whose kind is in ``kinds``."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.exceptions import ConfigurationError
 
@@ -41,6 +42,16 @@ class DelayModel(abc.ABC):
     def sample(self, sender: int, dest: int, rng: random.Random) -> float:
         """Return the transmission delay of one message from sender to dest."""
 
+    def bind(self, rng: random.Random) -> Callable[[int, int], float]:
+        """Return a sampler closure ``f(sender, dest)`` over ``rng``.
+
+        The cluster calls the bound sampler once per message; subclasses
+        with trivial distributions override this to close over locals and
+        skip per-call attribute lookups.  Bound samplers draw from ``rng``
+        exactly as :meth:`sample` does, so determinism is unaffected.
+        """
+        return lambda sender, dest: self.sample(sender, dest, rng)
+
     def validate(self) -> None:
         """Check the configured bounds; raise ConfigurationError when invalid."""
         if self.max_delay <= 0:
@@ -62,6 +73,10 @@ class ConstantDelay(DelayModel):
     def sample(self, sender: int, dest: int, rng: random.Random) -> float:
         return self.delay
 
+    def bind(self, rng: random.Random) -> Callable[[int, int], float]:
+        delay = self.delay
+        return lambda sender, dest: delay
+
 
 @dataclass
 class UniformDelay(DelayModel):
@@ -76,10 +91,19 @@ class UniformDelay(DelayModel):
                 f"invalid uniform delay bounds [{self.low}, {self.high}]"
             )
         self.max_delay = self.high
+        self._span = self.high - self.low
         self.validate()
 
     def sample(self, sender: int, dest: int, rng: random.Random) -> float:
-        return rng.uniform(self.low, self.high)
+        # Same float expression as random.Random.uniform (low + (high-low)*r)
+        # without the extra frame; sampled values are bit-identical.
+        return self.low + self._span * rng.random()
+
+    def bind(self, rng: random.Random) -> Callable[[int, int], float]:
+        low = self.low
+        span = self._span
+        rand = rng.random
+        return lambda sender, dest: low + span * rand()
 
 
 @dataclass

@@ -196,6 +196,56 @@ class TestBTransformation:
         assert tree.diameter_bound_holds()
 
 
+class TestIncrementalIndex:
+    """The children/root/power indexes must stay consistent with the father
+    map through raw ``set_father`` updates and b-transformations."""
+
+    def _assert_index_matches_scan(self, tree):
+        for node in tree.nodes():
+            scanned = sorted(
+                child for child in tree.nodes() if tree.father(child) == node
+            )
+            assert sorted(tree.sons(node)) == scanned
+
+    def test_index_tracks_b_transformations(self):
+        tree = OpenCubeTree.initial(16)
+        for son, father in [(9, 1), (1, 9), (9, 1)]:
+            tree.b_transform(son, father)
+            self._assert_index_matches_scan(tree)
+        assert tree.root == 9
+
+    def test_index_tracks_raw_set_father(self):
+        tree = OpenCubeTree.initial(8)
+        # Mimic the distributed algorithm's partial b-transformation: the
+        # intermediate state is not an open-cube but the index must follow.
+        tree.set_father(5, None)
+        with pytest.raises(InvalidTopologyError):
+            tree.root  # two roots now
+        tree.set_father(1, 5)
+        assert tree.root == 5
+        self._assert_index_matches_scan(tree)
+        assert tree.power(5) == tree.pmax
+        assert tree.power(1) == tree.distance(1, 5) - 1
+
+    def test_last_son_and_boundary_edges_match_definitions(self):
+        tree = OpenCubeTree.initial(32)
+        for node in tree.nodes():
+            last = tree.last_son(node)
+            if tree.power(node) == 0:
+                assert last is None
+            else:
+                assert last is not None
+                assert tree.power(last) == tree.power(node) - 1
+        assert all(tree.is_boundary_edge(son, father) for son, father in tree.boundary_edges())
+
+    def test_copy_has_independent_index(self):
+        tree = OpenCubeTree.initial(8)
+        clone = tree.copy()
+        clone.b_transform(5, 1)
+        assert tree.sons(1) == [2, 3, 5]
+        assert clone.root == 5
+
+
 class TestPathsAndEdges:
     def test_path_to_root(self):
         tree = OpenCubeTree.initial(16)

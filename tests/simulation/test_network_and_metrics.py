@@ -9,7 +9,7 @@ import pytest
 from repro.exceptions import ConfigurationError
 from repro.simulation.metrics import MetricsCollector
 from repro.simulation.network import ChannelState, ConstantDelay, PerHopDelay, UniformDelay
-from repro.simulation.trace import TraceCategory, Tracer
+from repro.simulation.trace import NullTracer, TraceCategory, Tracer
 
 
 class TestDelayModels:
@@ -145,6 +145,36 @@ class TestMetricsCollector:
         metrics.record_request_issued(3, node=7, time=2.0)
         assert metrics.per_node_request_counts() == {2: 2, 7: 1}
 
+    def test_counters_mode_counts_without_records(self):
+        metrics = MetricsCollector(detail="counters")
+        metrics.record_send(1.0, 1, 2, "RequestMessage")
+        metrics.record_send(2.0, 1, 3, "TokenMessage", dropped=True)
+        assert metrics.sent_messages == []
+        assert metrics.total_messages() == 2
+        assert metrics.total_messages(include_dropped=False) == 1
+        assert metrics.messages_by_kind["RequestMessage"] == 1
+        assert metrics.messages_by_sender[1] == 2
+        assert metrics.dropped_messages == 1
+
+    def test_counters_mode_per_request_attribution_matches_full(self):
+        tallies = {}
+        for detail in ("full", "counters"):
+            metrics = MetricsCollector(detail=detail)
+            metrics.record_request_issued(1, node=2, time=1.0)
+            metrics.record_send(1.1, 2, 1, "RequestMessage")
+            metrics.record_send(1.2, 1, 2, "TokenMessage")
+            metrics.record_request_granted(1, time=1.3)
+            metrics.record_send(1.9, 2, 1, "TokenMessage")
+            metrics.record_request_issued(2, node=3, time=10.0)
+            metrics.record_send(10.1, 3, 1, "RequestMessage")
+            metrics.record_request_granted(2, time=10.5)
+            tallies[detail] = (metrics.messages_per_request(), metrics.summary())
+        assert tallies["counters"] == tallies["full"]
+
+    def test_invalid_detail_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsCollector(detail="everything")
+
 
 class TestTracer:
     def test_records_and_filters(self):
@@ -172,3 +202,11 @@ class TestTracer:
         tracer.emit(1.0, TraceCategory.SEND, 1, dest=2, kind="RequestMessage")
         text = tracer.format()
         assert "send" in text and "dest=2" in text
+
+    def test_null_tracer_keeps_the_read_api(self):
+        tracer = NullTracer()
+        tracer.emit(1.0, TraceCategory.SEND, 1, dest=2)
+        assert len(tracer) == 0
+        assert not tracer.enabled
+        assert tracer.by_category(TraceCategory.SEND) == []
+        assert tracer.format() == ""

@@ -90,6 +90,38 @@ class TestRunControls:
         with pytest.raises(SimulationError):
             sim.run(max_events=100)
 
+    def test_event_budget_is_exact(self):
+        """A budget of N allows exactly N events, not N + 1."""
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.call_at(float(i), lambda i=i: fired.append(i))
+        sim.run(max_events=5)  # exactly the number of events: fine
+        assert fired == [0, 1, 2, 3, 4]
+
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.call_at(float(i), lambda i=i: fired.append(i))
+        with pytest.raises(SimulationError):
+            sim.run(max_events=4)
+        # The budget was honoured: the fifth event was never dispatched.
+        assert fired == [0, 1, 2, 3]
+        assert sim.pending_events == 1
+
+    def test_pending_events_counter_tracks_schedule_cancel_and_run(self):
+        sim = Simulator()
+        events = [sim.call_at(float(i), lambda: None) for i in range(4)]
+        assert sim.pending_events == 4
+        Simulator.cancel(events[0])
+        assert sim.pending_events == 3
+        Simulator.cancel(events[0])  # double-cancel is a no-op
+        assert sim.pending_events == 3
+        sim.run()
+        assert sim.pending_events == 0
+        Simulator.cancel(events[1])  # cancelling after processing is a no-op
+        assert sim.pending_events == 0
+
     def test_step_returns_false_when_empty(self):
         sim = Simulator()
         assert sim.step() is False
