@@ -1,10 +1,16 @@
-"""BENCH-SCALE: engine throughput and complexity scaling up to n = 4096.
+"""BENCH-SCALE: engine throughput and complexity scaling up to n = 16384.
 
 Unlike the other ``bench_*`` files (pytest-benchmark suites reproducing the
 paper's tables at paper-sized n), this is a standalone CLI harness that
 drives the hot path at production-ish scale and emits a machine-readable
 ``BENCH_scale.json`` so the performance trajectory of the repo can be
 compared across PRs.
+
+The harness is a thin client of the declarative scenario engine
+(:mod:`repro.scenarios`): every cell is a :class:`ScenarioSpec` and the
+matrix runs through :class:`SweepRunner` (``--parallel N`` distributes the
+cells over worker processes; the default stays serial because throughput
+numbers are only comparable when cells do not compete for cores).
 
 Usage::
 
@@ -13,7 +19,10 @@ Usage::
 
 What it measures, per (algorithm, n) cell:
 
-* wall time of ``run_until_quiescent`` (setup excluded, reported separately),
+* wall time of ``run_until_quiescent`` (setup excluded, reported separately
+  as ``setup_s`` — cluster construction is O(n) total since the shared
+  :class:`~repro.core.topology.OpenCubeTopology` replaced per-node O(n)
+  distance rows, which is what makes the n = 16384 cells feasible at all),
 * simulator events/sec — the engine-throughput headline number,
 * messages per granted request (concurrent workload, so this is the mean),
 * the peak RSS high-water mark of the process after the run (monotone across
@@ -29,23 +38,22 @@ commit (before the tuple-heap/jump-table rewrite), recorded here so the
 speedup is visible in the JSON forever.
 
 The ``complexity`` section reruns the paper's serial message-complexity
-experiment (EXP-AVG, one request per node on an evolving tree) at every
-size, including n = 4096, against the closed forms of Section 4.
+experiment (EXP-AVG, one request per node on an evolving tree) against the
+closed forms of Section 4, capped at n = 4096 (``COMPLEXITY_MAX_N``) where
+the closed-form story was recorded.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import resource
 import sys
 import time
 from pathlib import Path
 
 from repro.analysis import theory
-from repro.baselines.registry import build_cluster
 from repro.experiments.complexity import measure_complexity
-from repro.workload.arrivals import poisson_arrivals
+from repro.scenarios import ScenarioSpec, SweepRunner, WorkloadSpec
 
 #: events/sec of the pre-change engine (seed commit) on this harness's exact
 #: open-cube workload — poisson(rate=2.0, hold=0.1, seed=0), UniformDelay,
@@ -65,72 +73,81 @@ PRE_CHANGE_REMEASURED_BEST = {256: 116050.0, 1024: 108988.5}
 #: the sweep's wall time dominated by the algorithms that actually scale.
 BROADCAST_MAX_N = 256
 
+#: From this size upward the open-cube cell runs the long,
+#: million-message-class workload (requests = factor * n, single repeat)
+#: that demonstrates O(requests) metrics memory.
+LONG_RUN_MIN_N = 4096
+
+#: The serial EXP-AVG closed-form comparison stays at paper-story sizes.
+COMPLEXITY_MAX_N = 4096
+
 ALGORITHM_MATRIX = ["open-cube", "raymond", "naimi-trehel", "central",
                     "ricart-agrawala", "suzuki-kasami"]
 
 
-def _peak_rss_mb() -> float:
-    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # Linux reports KiB, macOS reports bytes.
-    if sys.platform == "darwin":  # pragma: no cover - linux container
-        return round(usage / (1024 * 1024), 1)
-    return round(usage / 1024, 1)
-
-
-def run_cell(
+def make_spec(
     algorithm: str, n: int, requests: int, *, detail: str, seed: int = 0, repeats: int = 3
-) -> dict:
-    """Run one (algorithm, n) cell of the sweep and return its JSON row.
+) -> ScenarioSpec:
+    """Declare one (algorithm, n) cell of the sweep.
 
-    The run is repeated ``repeats`` times (identical seed, so identical
+    The cell is repeated ``repeats`` times (identical seed, so identical
     event sequence) and the fastest repetition is reported: on a shared
     machine, noise only ever makes a run slower.
     """
-    best: dict | None = None
-    for _ in range(repeats):
-        setup_start = time.perf_counter()
-        cluster = build_cluster(algorithm, n, seed=seed, trace=False, metrics_detail=detail)
-        workload = poisson_arrivals(n, requests, rate=2.0, seed=seed, hold=0.1)
-        workload.apply(cluster)
-        setup_s = time.perf_counter() - setup_start
+    return ScenarioSpec(
+        algorithm=algorithm,
+        n=n,
+        workload=WorkloadSpec(
+            "poisson", {"count": requests, "rate": 2.0, "seed": seed, "hold": 0.1}
+        ),
+        seed=seed,
+        trace=False,
+        metrics_detail=detail,
+        repeats=repeats,
+        max_events=200_000_000,
+    )
 
-        run_start = time.perf_counter()
-        cluster.run_until_quiescent(max_events=200_000_000)
-        run_s = time.perf_counter() - run_start
-        if best is None or run_s < best["run_s"]:
-            best = {"cluster": cluster, "setup_s": setup_s, "run_s": run_s}
 
-    cluster = best["cluster"]
-    setup_s, run_s = best["setup_s"], best["run_s"]
-    metrics = cluster.metrics
-    events = cluster.simulator.processed_events
-    granted = len(metrics.satisfied_requests())
-    total = metrics.total_messages()
-    row = {
-        "algorithm": algorithm,
-        "n": n,
-        "metrics_detail": detail,
-        "requests": requests,
-        "requests_granted": granted,
-        "total_messages": total,
-        "messages_per_request": round(total / granted, 3) if granted else 0.0,
-        "events": events,
-        "repeats": repeats,
-        "setup_s": round(setup_s, 4),
-        "run_s": round(run_s, 4),
-        "events_per_sec": round(events / run_s, 1) if run_s > 0 else 0.0,
-        "sent_messages_records": len(metrics.sent_messages),
-        "peak_rss_mb": _peak_rss_mb(),
-    }
-    baseline = PRE_CHANGE_BASELINE.get(n)
-    if algorithm == "open-cube" and baseline is not None:
+def build_specs(sizes: list[int], *, scale_requests_factor: int = 32) -> list[ScenarioSpec]:
+    """Expand the benchmark matrix into scenario cells."""
+    specs: list[ScenarioSpec] = []
+    for n in sizes:
+        for algorithm in ALGORITHM_MATRIX:
+            if n > BROADCAST_MAX_N and algorithm in ("ricart-agrawala", "suzuki-kasami"):
+                continue
+            if algorithm == "open-cube":
+                # The headline rows: at baseline sizes run both metrics modes
+                # (full for apples-to-apples with the recorded baseline,
+                # counters for the streaming fast path); at the large sizes
+                # run a long, million-message-class workload to demonstrate
+                # O(requests) metrics memory.
+                if n >= LONG_RUN_MIN_N:
+                    requests = scale_requests_factor * n
+                    repeats = 1  # long run, noise averages out
+                else:
+                    requests = 2048 if n <= 256 else 4 * n
+                    repeats = 3
+                if n in PRE_CHANGE_BASELINE:
+                    specs.append(make_spec(algorithm, n, requests, detail="full", repeats=repeats))
+                specs.append(make_spec(algorithm, n, requests, detail="counters", repeats=repeats))
+            else:
+                requests = min(4 * n, 4096)
+                repeats = 1 if algorithm in ("ricart-agrawala", "suzuki-kasami") else 2
+                specs.append(make_spec(algorithm, n, requests, detail="counters", repeats=repeats))
+    return specs
+
+
+def decorate_row(row: dict) -> dict:
+    """Attach the pre-change baseline comparison to open-cube rows."""
+    baseline = PRE_CHANGE_BASELINE.get(row["n"])
+    if row["algorithm"] == "open-cube" and baseline is not None:
         # The baseline was recorded in the seed engine's only metrics mode
         # (full), so the detail=="full" row is the apples-to-apples engine
         # comparison; the counters row additionally credits the streaming
-        # metrics mode this PR introduced.
+        # metrics mode.
         row["baseline_events_per_sec"] = baseline
         row["speedup_vs_baseline"] = round(row["events_per_sec"] / baseline, 2)
-        remeasured = PRE_CHANGE_REMEASURED_BEST.get(n)
+        remeasured = PRE_CHANGE_REMEASURED_BEST.get(row["n"])
         if remeasured:
             row["speedup_vs_remeasured_baseline"] = round(
                 row["events_per_sec"] / remeasured, 2
@@ -156,38 +173,14 @@ def run_complexity(n: int) -> dict:
     }
 
 
-def run_sweep(sizes: list[int], *, scale_requests_factor: int = 32) -> dict:
+def run_sweep(sizes: list[int], *, scale_requests_factor: int = 32, parallel: int = 1) -> dict:
     """Run the full matrix and return the BENCH_scale document."""
-    rows: list[dict] = []
-    largest = max(sizes)
-    for n in sizes:
-        for algorithm in ALGORITHM_MATRIX:
-            if n > BROADCAST_MAX_N and algorithm in ("ricart-agrawala", "suzuki-kasami"):
-                continue
-            cells: list[dict] = []
-            if algorithm == "open-cube":
-                # The headline rows: at baseline sizes run both metrics modes
-                # (full for apples-to-apples with the recorded baseline,
-                # counters for the streaming fast path); at the largest size
-                # run a long, million-message-class workload to demonstrate
-                # O(requests) metrics memory.
-                if n == largest and n > 1024:
-                    requests = scale_requests_factor * n
-                    repeats = 1  # long run, noise averages out
-                else:
-                    requests = 2048 if n <= 256 else 4 * n
-                    repeats = 3
-                if n in PRE_CHANGE_BASELINE:
-                    cells.append(run_cell(algorithm, n, requests, detail="full", repeats=repeats))
-                cells.append(run_cell(algorithm, n, requests, detail="counters", repeats=repeats))
-            else:
-                requests = min(4 * n, 4096)
-                repeats = 1 if algorithm in ("ricart-agrawala", "suzuki-kasami") else 2
-                cells.append(run_cell(algorithm, n, requests, detail="counters", repeats=repeats))
-            for cell in cells:
-                print(json.dumps(cell), flush=True)
-            rows.extend(cells)
-    complexity = [run_complexity(n) for n in sizes]
+    specs = build_specs(sizes, scale_requests_factor=scale_requests_factor)
+    runner = SweepRunner(specs=specs, processes=parallel)
+    # decorate_row mutates in place, so the streamed lines and the final
+    # document carry the same baseline-comparison fields.
+    rows = runner.run(on_row=lambda row: print(json.dumps(decorate_row(row)), flush=True))
+    complexity = [run_complexity(n) for n in sizes if n <= COMPLEXITY_MAX_N]
     for point in complexity:
         print(json.dumps(point), flush=True)
     return {
@@ -197,6 +190,8 @@ def run_sweep(sizes: list[int], *, scale_requests_factor: int = 32) -> dict:
             "workload": "poisson(rate=2.0, hold=0.1, seed=0)",
             "delay_model": "UniformDelay(0.5, 1.0)",
             "trace": False,
+            "parallel": parallel,
+            "complexity_max_n": COMPLEXITY_MAX_N,
             "python": sys.version.split()[0],
         },
         "baseline": {
@@ -226,6 +221,11 @@ def main(argv: list[str] | None = None) -> int:
         help="override the size sweep (powers of two)",
     )
     parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="run cells across N worker processes (default: serial, which is "
+        "what the recorded timing numbers assume)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_scale.json",
         help="where to write the JSON document",
     )
@@ -235,8 +235,8 @@ def main(argv: list[str] | None = None) -> int:
     elif args.smoke:
         sizes = [256]
     else:
-        sizes = [256, 1024, 4096]
-    document = run_sweep(sizes)
+        sizes = [256, 1024, 4096, 16384]
+    document = run_sweep(sizes, parallel=args.parallel)
     args.output.write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote {args.output}")
     return 0

@@ -3,7 +3,7 @@
 from repro.baselines.central import CentralClientNode, CentralCoordinatorNode, build_central_nodes
 from repro.baselines.naimi_trehel import NaimiTrehelNode, build_naimi_trehel_nodes
 from repro.baselines.raymond import RaymondNode, build_raymond_nodes
-from repro.baselines.registry import ALGORITHMS, algorithm_names, build_cluster
+from repro.baselines.registry import ALGORITHMS, algorithm_names, build_cluster, build_nodes
 from repro.baselines.ricart_agrawala import RicartAgrawalaNode, build_ricart_agrawala_nodes
 from repro.baselines.suzuki_kasami import SuzukiKasamiNode, build_suzuki_kasami_nodes
 
@@ -18,6 +18,7 @@ __all__ = [
     "ALGORITHMS",
     "algorithm_names",
     "build_cluster",
+    "build_nodes",
     "RicartAgrawalaNode",
     "build_ricart_agrawala_nodes",
     "SuzukiKasamiNode",

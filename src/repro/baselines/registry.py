@@ -1,12 +1,23 @@
-"""Registry mapping algorithm names to cluster factories.
+"""Registry mapping algorithm names to node factories.
 
-The comparison experiments and benchmarks iterate over this registry so
-adding an algorithm automatically adds it to every comparison table.
+The comparison experiments, the scenario engine and the benchmarks iterate
+over this registry, so adding an algorithm automatically adds it to every
+comparison table and every sweep.
+
+Factories are registered as the *builder functions themselves* (not
+``lambda n: ...`` wrappers), so algorithm-specific options — a custom
+``tree`` for the tree-based algorithms, ``enquiry_enabled`` for the
+fault-tolerant open-cube, ``coordinator`` for the central server —
+flow through :func:`build_nodes` / :func:`build_cluster` instead of being
+silently dropped.  The declarative layer in :mod:`repro.scenarios` carries
+the same options in its :class:`~repro.scenarios.ScenarioSpec.node_options`
+field.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+import inspect
+from typing import Any, Callable, Mapping
 
 from repro.baselines.central import build_central_nodes
 from repro.baselines.naimi_trehel import build_naimi_trehel_nodes
@@ -18,18 +29,20 @@ from repro.exceptions import ConfigurationError
 from repro.simulation.cluster import SimulatedCluster
 from repro.simulation.process import MutexNode
 
-__all__ = ["ALGORITHMS", "build_cluster", "algorithm_names"]
+__all__ = ["ALGORITHMS", "build_nodes", "build_cluster", "algorithm_names"]
 
-NodeFactory = Callable[[int], Mapping[int, MutexNode]]
+#: A factory takes ``n`` plus keyword-only algorithm options and returns the
+#: node mapping.
+NodeFactory = Callable[..., Mapping[int, MutexNode]]
 
 ALGORITHMS: dict[str, NodeFactory] = {
-    "open-cube": lambda n: build_opencube_nodes(n),
-    "open-cube-ft": lambda n: build_fault_tolerant_nodes(n),
-    "raymond": lambda n: build_raymond_nodes(n),
-    "naimi-trehel": lambda n: build_naimi_trehel_nodes(n),
-    "central": lambda n: build_central_nodes(n),
-    "ricart-agrawala": lambda n: build_ricart_agrawala_nodes(n),
-    "suzuki-kasami": lambda n: build_suzuki_kasami_nodes(n),
+    "open-cube": build_opencube_nodes,
+    "open-cube-ft": build_fault_tolerant_nodes,
+    "raymond": build_raymond_nodes,
+    "naimi-trehel": build_naimi_trehel_nodes,
+    "central": build_central_nodes,
+    "ricart-agrawala": build_ricart_agrawala_nodes,
+    "suzuki-kasami": build_suzuki_kasami_nodes,
 }
 
 
@@ -38,12 +51,42 @@ def algorithm_names() -> list[str]:
     return list(ALGORITHMS.keys())
 
 
-def build_cluster(algorithm: str, n: int, **cluster_kwargs) -> SimulatedCluster:
-    """Build a simulated cluster running the named algorithm on ``n`` nodes."""
+def build_nodes(algorithm: str, n: int, **node_options: Any) -> Mapping[int, MutexNode]:
+    """Build the node mapping for ``algorithm``, forwarding its options."""
     try:
         factory = ALGORITHMS[algorithm]
     except KeyError as exc:
         raise ConfigurationError(
             f"unknown algorithm {algorithm!r}; choose from {algorithm_names()}"
         ) from exc
-    return SimulatedCluster(dict(factory(n)), **cluster_kwargs)
+    try:
+        # Validate against the factory *signature* without calling it, so
+        # only genuine option mismatches are reported as configuration
+        # errors; a TypeError raised inside the factory body propagates.
+        inspect.signature(factory).bind(n, **node_options)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"algorithm {algorithm!r} rejected node options "
+            f"{sorted(node_options)}: {exc}"
+        ) from exc
+    return factory(n, **node_options)
+
+
+def build_cluster(
+    algorithm: str,
+    n: int,
+    *,
+    node_options: Mapping[str, Any] | None = None,
+    **cluster_kwargs: Any,
+) -> SimulatedCluster:
+    """Build a simulated cluster running the named algorithm on ``n`` nodes.
+
+    Args:
+        node_options: algorithm-specific factory options (e.g. ``tree``,
+            ``enquiry_enabled``, ``coordinator``); forwarded verbatim to the
+            registered factory.
+        cluster_kwargs: forwarded to :class:`SimulatedCluster` (delay model,
+            fifo, seed, trace, metrics detail, cs duration, ...).
+    """
+    nodes = build_nodes(algorithm, n, **dict(node_options or {}))
+    return SimulatedCluster(dict(nodes), **cluster_kwargs)

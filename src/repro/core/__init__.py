@@ -20,8 +20,10 @@ from repro.core.messages import (
 )
 from repro.core.node import OpenCubeMutexNode
 from repro.core.opencube import BTransformation, OpenCubeTree
+from repro.core.topology import OpenCubeTopology
 
 __all__ = [
+    "OpenCubeTopology",
     "distances",
     "build_fault_tolerant_cluster",
     "build_fault_tolerant_nodes",

@@ -8,13 +8,17 @@ they assemble remain usable directly for custom setups.
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.node import OpenCubeMutexNode
 from repro.core.opencube import OpenCubeTree
+from repro.core.topology import OpenCubeTopology
 from repro.exceptions import ConfigurationError
 from repro.simulation.cluster import SimulatedCluster
 from repro.simulation.network import DelayModel
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.core.fault_tolerant_node import FaultTolerantOpenCubeNode
 
 __all__ = [
     "build_opencube_nodes",
@@ -55,12 +59,16 @@ def build_opencube_nodes(
         raise ConfigurationError(
             f"the initial token holder must be the root ({resolved.root}), got {holder}"
         )
+    # One immutable topology shared by every node: cluster construction is
+    # O(n) total (no per-node distance rows).
+    topology = OpenCubeTopology.shared(n)
     return {
         node_id: OpenCubeMutexNode(
             node_id,
             n,
             father=resolved.father(node_id),
             has_token=(node_id == holder),
+            topology=topology,
         )
         for node_id in resolved.nodes()
     }
@@ -102,12 +110,14 @@ def build_fault_tolerant_nodes(
 
     resolved = _resolve_tree(n, tree)
     holder = resolved.root
+    topology = OpenCubeTopology.shared(n)
     return {
         node_id: FaultTolerantOpenCubeNode(
             node_id,
             n,
             father=resolved.father(node_id),
             has_token=(node_id == holder),
+            topology=topology,
             cs_duration_estimate=cs_duration_estimate,
             enquiry_enabled=enquiry_enabled,
         )

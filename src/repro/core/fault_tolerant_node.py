@@ -65,7 +65,8 @@ class FaultTolerantOpenCubeNode(OpenCubeMutexNode):
     """Open-cube node with the failure handling of Section 5.
 
     Args:
-        node_id, n, father, has_token, dist_row: see the failure-free node.
+        node_id, n, father, has_token, topology, dist_row: see the
+            failure-free node.
         cs_duration_estimate: the paper's ``e`` — an estimation of the
             critical section duration, used in the root's lend timeout.
         await_grace: extra waiting time added to the ``2*pmax*delta`` bound
@@ -86,12 +87,16 @@ class FaultTolerantOpenCubeNode(OpenCubeMutexNode):
         *,
         father: int | None,
         has_token: bool,
+        topology=None,
         dist_row=None,
         cs_duration_estimate: float = 1.0,
         await_grace: float | None = None,
         enquiry_enabled: bool = True,
     ) -> None:
-        super().__init__(node_id, n, father=father, has_token=has_token, dist_row=dist_row)
+        super().__init__(
+            node_id, n, father=father, has_token=has_token,
+            topology=topology, dist_row=dist_row,
+        )
         self.cs_duration_estimate = cs_duration_estimate
         self.enquiry_enabled = enquiry_enabled
         self._await_grace = await_grace

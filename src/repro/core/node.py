@@ -29,9 +29,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Sequence
 
-from repro.core import distances
 from repro.core.messages import Message, RequestMessage, TokenMessage
-from repro.exceptions import ProtocolError
+from repro.core.topology import OpenCubeTopology
+from repro.exceptions import InvalidTopologyError, ProtocolError
 from repro.simulation.process import MutexNode
 
 __all__ = ["OpenCubeMutexNode"]
@@ -46,8 +46,13 @@ class OpenCubeMutexNode(MutexNode):
         father: initial father in the open-cube (``None`` for the root).
         has_token: whether this node initially holds the token (exactly one
             node of the cluster must).
-        dist_row: optional precomputed row ``dist_i(.)`` of the distance
-            matrix; computed from the labels when omitted.
+        topology: the immutable :class:`OpenCubeTopology` shared by every
+            node of the cluster; the process-wide shared instance for ``n``
+            is used when omitted.  Construction is O(1) per node — distances
+            are O(1) bit operations on the labels, never materialised rows.
+        dist_row: explicit opt-in (tests, analysis) that materialises this
+            node's row of the distance matrix as :attr:`dist`; it must match
+            the canonical labelling.  The algorithm itself never needs it.
     """
 
     #: Whether any ``_hook_*`` extension point is overridden.  The hooks sit
@@ -63,7 +68,9 @@ class OpenCubeMutexNode(MutexNode):
 
     __slots__ = (
         "pmax",
-        "dist",
+        "topology",
+        "_xor",
+        "_dist_row",
         "father",
         "token_here",
         "asking",
@@ -85,22 +92,33 @@ class OpenCubeMutexNode(MutexNode):
         *,
         father: int | None,
         has_token: bool,
+        topology: OpenCubeTopology | None = None,
         dist_row: Sequence[int] | None = None,
     ) -> None:
         super().__init__(node_id, n)
-        self.pmax = distances.check_node_count(n)
+        if topology is None:
+            topology = OpenCubeTopology.shared(n)
+        elif topology.n != n:
+            raise InvalidTopologyError(
+                f"topology has n={topology.n} but node {node_id} was built with n={n}"
+            )
+        self.topology = topology
+        self.pmax = topology.pmax
+        # dist(i, j) == ((i-1) ^ (j-1)).bit_length(): the hot paths XOR this
+        # cached index against the peer's index instead of indexing a
+        # materialised row, so per-node construction is O(1) and a whole
+        # cluster builds in O(n).
+        self._xor = node_id - 1
         if dist_row is None:
-            # dist(i, j) == ((i-1) ^ (j-1)).bit_length(); inlining the bit
-            # arithmetic keeps cluster construction O(n^2) *cheap* operations
-            # (a 4096-node cluster builds 16.7M entries, so the per-entry
-            # function-call overhead of distances.distance() dominated setup).
-            index = node_id - 1
-            self.dist = [0] + [(index ^ other).bit_length() for other in range(n)]
+            self._dist_row: list[int] | None = None
         else:
-            if len(dist_row) == n:
-                self.dist = [0, *dist_row]
-            else:
-                self.dist = list(dist_row)
+            row = [0, *dist_row] if len(dist_row) == n else list(dist_row)
+            if row != topology.dist_row(node_id):
+                raise InvalidTopologyError(
+                    f"dist_row for node {node_id} does not match the canonical "
+                    "open-cube labelling"
+                )
+            self._dist_row = row
         self.father: int | None = father
         self.token_here: bool = has_token
         self.asking: bool = False
@@ -120,18 +138,33 @@ class OpenCubeMutexNode(MutexNode):
     # ------------------------------------------------------------------
     # Derived state
     # ------------------------------------------------------------------
+    @property
+    def dist(self) -> list[int]:
+        """This node's row ``dist_i(.)`` of the distance matrix (1-indexed).
+
+        Materialised lazily on first access (O(n)) and cached; the algorithm
+        itself never touches it — the hot paths compute distances as O(1)
+        bit operations.  Kept for tests and analysis code that inspect whole
+        rows (and for the explicit ``dist_row`` constructor opt-in).
+        """
+        row = self._dist_row
+        if row is None:
+            row = self.topology.dist_row(self.node_id)
+            self._dist_row = row
+        return row
+
     def distance_to(self, other: int) -> int:
-        """Return ``dist_i(other)`` from the node's constant distance array."""
+        """Return ``dist_i(other)`` (Definition 2.2, O(1))."""
         if not 1 <= other <= self.n:
             raise ProtocolError(f"node {self.node_id} asked distance to unknown node {other}")
-        return self.dist[other]
+        return (self._xor ^ (other - 1)).bit_length()
 
     @property
     def power(self) -> int:
         """Current power of the node (Proposition 2.1)."""
         if self.father is None:
             return self.pmax
-        return self.dist[self.father] - 1
+        return (self._xor ^ (self.father - 1)).bit_length() - 1
 
     @property
     def is_root(self) -> bool:
@@ -235,10 +268,10 @@ class OpenCubeMutexNode(MutexNode):
         The general scheme of [1] allows any rule here; see
         :mod:`repro.scheme` for other instances (Raymond, Naimi-Trehel).
         """
-        # `requester` was validated by _process_request, so index the
-        # distance row directly; `power` stays a property call because the
+        # `requester` was validated by _process_request, so compute the
+        # distance directly; `power` stays a property call because the
         # fault-tolerant subclass overrides it during searches.
-        if self.dist[message.requester] == self.power:
+        if (self._xor ^ (message.requester - 1)).bit_length() == self.power:
             return "transit"
         return "proxy"
 

@@ -1,0 +1,117 @@
+"""Immutable, shared open-cube topology.
+
+Every structural fact about an n-open-cube that does not change while the
+algorithm runs — the node count, ``pmax``, the distance function of
+Definition 2.2 and the canonical initial tree of Figure 1 — lives in one
+:class:`OpenCubeTopology` object that *all* nodes of a cluster share.
+
+Before this module existed, every node materialised its own O(n) distance
+row at construction time, making cluster setup O(n^2) time and memory (a
+16384-node cluster would have built 268M list entries).  The distance is a
+pure function of the labels — ``dist(i, j) == ((i-1) ^ (j-1)).bit_length()``
+— so the shared object answers ``dist`` in O(1) with no per-node storage and
+cluster construction becomes O(n) total.  Materialised rows remain available
+through :meth:`dist_row` as an explicit opt-in for tests and analysis code.
+
+Instances are immutable and interned per ``n`` (:meth:`shared`), so repeated
+cluster builds of the same size reuse one object and pickling across
+``multiprocessing`` workers (the scenario sweep runner) stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core import distances
+
+__all__ = ["OpenCubeTopology"]
+
+
+class OpenCubeTopology:
+    """The immutable structural facts of an n-open-cube.
+
+    Args:
+        n: number of nodes (a power of two, labels ``1 .. n``).
+    """
+
+    __slots__ = ("n", "pmax")
+
+    #: Interning cache used by :meth:`shared`; one entry per distinct ``n``
+    #: ever requested (a handful of small objects, never evicted).
+    _shared: dict[int, "OpenCubeTopology"] = {}
+
+    def __init__(self, n: int) -> None:
+        object.__setattr__(self, "pmax", distances.check_node_count(n))
+        object.__setattr__(self, "n", n)
+
+    @classmethod
+    def shared(cls, n: int) -> "OpenCubeTopology":
+        """Return the process-wide shared topology for ``n`` nodes."""
+        topology = cls._shared.get(n)
+        if topology is None:
+            topology = cls(n)
+            cls._shared[n] = topology
+        return topology
+
+    # ------------------------------------------------------------------
+    # Immutability / identity
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OpenCubeTopology) and other.n == self.n
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.n))
+
+    def __reduce__(self):
+        # Unpickle through the interning cache so a spawned worker process
+        # also ends up with one shared object per size.
+        return (OpenCubeTopology.shared, (self.n,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"OpenCubeTopology(n={self.n})"
+
+    # ------------------------------------------------------------------
+    # Distances (Definition 2.2)
+    # ------------------------------------------------------------------
+    def dist(self, i: int, j: int) -> int:
+        """Return ``dist(i, j)`` in O(1) (index of the highest differing bit)."""
+        return ((i - 1) ^ (j - 1)).bit_length()
+
+    def dist_row(self, i: int) -> list[int]:
+        """Materialise the row ``dist_i(.)`` of the distance matrix.
+
+        O(n) per call — this is the explicit opt-in for tests that want to
+        inspect a whole row; the algorithm itself never materialises one.
+        The returned list is 1-indexed via a leading 0 placeholder, matching
+        the historical per-node ``dist`` array layout.
+        """
+        index = i - 1
+        return [0] + [(index ^ other).bit_length() for other in range(self.n)]
+
+    # ------------------------------------------------------------------
+    # Canonical initial tree (Figure 1)
+    # ------------------------------------------------------------------
+    def initial_father(self, node: int) -> int | None:
+        """Father of ``node`` in the canonical initial open-cube."""
+        return distances.initial_father(node, self.n)
+
+    def initial_power(self, node: int) -> int:
+        """Power of ``node`` in the canonical initial open-cube."""
+        return distances.initial_power(node, self.n)
+
+    def initial_fathers(self) -> dict[int, int | None]:
+        """The whole canonical initial father assignment (O(n))."""
+        return distances.initial_fathers(self.n)
+
+    def nodes(self) -> range:
+        """The node labels, ``1 .. n``."""
+        return range(1, self.n + 1)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.nodes())
+
+    def __contains__(self, node: object) -> bool:
+        return isinstance(node, int) and 1 <= node <= self.n

@@ -7,10 +7,12 @@ examples.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.baselines.registry import build_cluster
+from repro.exceptions import ConfigurationError
 from repro.simulation.cluster import SimulatedCluster
 from repro.simulation.failures import FailureSchedule
 from repro.simulation.network import DelayModel, UniformDelay
@@ -55,9 +57,16 @@ class RunResult:
     mean_waiting_time: float = 0.0
     overhead_messages: int = 0
     failures: int = 0
-    safety_ok: bool = True
-    liveness_ok: bool = True
+    #: ``True``/``False`` when the record-based analysis ran, ``None`` when
+    #: it was skipped (streaming ``metrics_detail="counters"`` runs).
+    safety_ok: bool | None = True
+    liveness_ok: bool | None = True
+    #: ``None`` marks "analysis skipped", mirroring the per-property fields.
+    analysis_ok: bool | None = True
     end_time: float = 0.0
+    setup_s: float = 0.0
+    run_s: float = 0.0
+    events: int = 0
     extra: dict[str, Any] = field(default_factory=dict)
 
     def as_row(self) -> dict[str, Any]:
@@ -74,6 +83,7 @@ class RunResult:
             "overhead_messages": self.overhead_messages,
             "safety_ok": self.safety_ok,
             "liveness_ok": self.liveness_ok,
+            "analysis_ok": self.analysis_ok,
         }
 
 
@@ -88,10 +98,15 @@ def run_workload(
     failure_schedule: FailureSchedule | None = None,
     trace: bool = False,
     serial: bool = False,
+    metrics_detail: str | None = None,
     max_events: int | None = 5_000_000,
+    node_options: Mapping[str, Any] | None = None,
     cluster_kwargs: Mapping[str, Any] | None = None,
 ) -> RunResult:
     """Run ``workload`` under ``algorithm`` on ``n`` simulated nodes.
+
+    This is the single-run execution engine: the declarative layer in
+    :mod:`repro.scenarios` expands sweeps into calls to this function.
 
     Args:
         serial: set to ``True`` for workloads guaranteed to have at most one
@@ -99,28 +114,61 @@ def run_workload(
             then exact (difference of the global counter around each
             request) rather than an average.
         failure_schedule: optional fail-stop crash/recovery schedule.
+        metrics_detail: ``"full"`` (the default) keeps per-message records
+            and runs the record-based safety/liveness analysis;
+            ``"counters"`` streams aggregates only — the analysis is then
+            *skipped* and ``safety_ok``/``liveness_ok``/``analysis_ok`` are
+            ``None``.  May also arrive via ``cluster_kwargs`` (legacy
+            call sites); passing both with different values is an error.
+        node_options: algorithm-specific factory options (e.g. a custom
+            ``tree`` or ``enquiry_enabled``), forwarded through the registry.
+        cluster_kwargs: extra :class:`SimulatedCluster` keyword arguments.
     """
     kwargs = dict(cluster_kwargs or {})
+    kwargs_detail = kwargs.pop("metrics_detail", None)
+    if metrics_detail is None:
+        metrics_detail = kwargs_detail if kwargs_detail is not None else "full"
+    elif kwargs_detail is not None and kwargs_detail != metrics_detail:
+        raise ConfigurationError(
+            f"conflicting metrics_detail: {metrics_detail!r} as argument but "
+            f"{kwargs_detail!r} in cluster_kwargs"
+        )
+    setup_start = time.perf_counter()
     cluster = build_cluster(
         algorithm,
         n,
+        node_options=node_options,
         delay_model=delay_model or UniformDelay(),
         fifo=fifo,
         seed=seed,
         trace=trace,
+        metrics_detail=metrics_detail,
         **kwargs,
     )
     workload.apply(cluster)
     if failure_schedule is not None:
         failure_schedule.apply(cluster)
+    setup_s = time.perf_counter() - setup_start
+    run_start = time.perf_counter()
     cluster.run_until_quiescent(max_events=max_events)
+    run_s = time.perf_counter() - run_start
 
     metrics = cluster.metrics
-    crashed_in_cs = crashed_in_critical_section(metrics)
-    overlaps = find_overlaps(
-        metrics, end_of_time=cluster.now, exclude_nodes=sorted(crashed_in_cs)
-    )
-    liveness = analyse_liveness(metrics)
+    analyse = metrics_detail != "counters"
+    if analyse:
+        crashed_in_cs = crashed_in_critical_section(metrics)
+        overlaps = find_overlaps(
+            metrics, end_of_time=cluster.now, exclude_nodes=sorted(crashed_in_cs)
+        )
+        liveness = analyse_liveness(metrics)
+        safety_ok: bool | None = not overlaps
+        liveness_ok: bool | None = liveness.ok
+        analysis_ok: bool | None = safety_ok and liveness_ok
+    else:
+        # Streaming counters keep no per-message records; the record-based
+        # safety/liveness verdicts would be vacuous, so mark them as
+        # "not analysed" instead of reporting a hollow True.
+        safety_ok = liveness_ok = analysis_ok = None
     per_request = metrics.messages_per_request() if serial else []
     overhead = metrics.messages_of_kinds(FT_MESSAGE_KINDS)
 
@@ -142,8 +190,12 @@ def run_workload(
         mean_waiting_time=metrics.mean_waiting_time(),
         overhead_messages=overhead,
         failures=len(metrics.failures),
-        safety_ok=not overlaps,
-        liveness_ok=liveness.ok,
+        safety_ok=safety_ok,
+        liveness_ok=liveness_ok,
+        analysis_ok=analysis_ok,
         end_time=cluster.now,
+        setup_s=setup_s,
+        run_s=run_s,
+        events=cluster.simulator.processed_events,
     )
     return result

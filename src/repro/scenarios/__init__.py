@@ -1,0 +1,38 @@
+"""Declarative scenario engine: specs, grids and parallel sweeps.
+
+This package is the canonical way to declare and run experiment matrices:
+
+>>> from repro.scenarios import ScenarioSpec, SweepRunner, WorkloadSpec
+>>> spec = ScenarioSpec(
+...     algorithm="open-cube",
+...     n=64,
+...     workload=WorkloadSpec("poisson", {"count": 256, "rate": 2.0, "hold": 0.1}),
+... )
+>>> row = spec.run().row()  # doctest: +SKIP
+
+See ROADMAP.md ("Scenario engine") for the conventions.
+"""
+
+from repro.scenarios.spec import (
+    DELAY_KINDS,
+    WORKLOAD_KINDS,
+    DelaySpec,
+    FailureSpec,
+    ScenarioResult,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+from repro.scenarios.sweep import SweepRunner, expand_grid, run_scenario
+
+__all__ = [
+    "DELAY_KINDS",
+    "WORKLOAD_KINDS",
+    "DelaySpec",
+    "FailureSpec",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "SweepRunner",
+    "expand_grid",
+    "run_scenario",
+]

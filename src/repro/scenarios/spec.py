@@ -1,0 +1,353 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the single place where one simulated experiment
+cell is declared: *algorithm × n × workload × delay model × FIFO flag ×
+seed × failure schedule × metrics detail × algorithm options*.  Specs are
+plain data — JSON-serialisable via :meth:`ScenarioSpec.to_dict` /
+:meth:`ScenarioSpec.from_dict` — so sweeps can expand parameter grids,
+ship cells to ``multiprocessing`` workers, and record each result row next
+to the spec that produced it.
+
+Execution delegates to the single-run engine
+:func:`repro.experiments.runner.run_workload`; the sweep orchestration
+lives in :mod:`repro.scenarios.sweep`.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import RunResult, run_workload
+from repro.simulation.failures import FailurePlanner, FailureSchedule
+from repro.simulation.network import ConstantDelay, DelayModel, PerHopDelay, UniformDelay
+from repro.workload.arrivals import (
+    Workload,
+    burst_arrivals,
+    hotspot_arrivals,
+    poisson_arrivals,
+    serial_random,
+    serial_round_robin,
+    single_requester,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "DelaySpec",
+    "FailureSpec",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "WORKLOAD_KINDS",
+    "DELAY_KINDS",
+]
+
+#: Workload generator registry: every factory takes ``n`` first, then
+#: keyword parameters (see :mod:`repro.workload.arrivals`).
+WORKLOAD_KINDS: dict[str, Callable[..., Workload]] = {
+    "serial_round_robin": serial_round_robin,
+    "serial_random": serial_random,
+    "single_requester": single_requester,
+    "poisson": poisson_arrivals,
+    "hotspot": hotspot_arrivals,
+    "bursts": burst_arrivals,
+}
+
+DELAY_KINDS: dict[str, Callable[..., DelayModel]] = {
+    "constant": ConstantDelay,
+    "uniform": UniformDelay,
+    "per_hop": PerHopDelay,
+}
+
+
+def _frozen_params(params: Mapping[str, Any] | None) -> dict[str, Any]:
+    return dict(params or {})
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative request-arrival pattern: generator ``kind`` + parameters.
+
+    ``params`` (like every dict field of the spec dataclasses) is excluded
+    from the generated ``__hash__`` so specs stay usable in sets/dict keys;
+    equality still compares every field.
+    """
+
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ConfigurationError(
+                f"unknown workload kind {self.kind!r}; "
+                f"choose from {sorted(WORKLOAD_KINDS)}"
+            )
+
+    def build(self, n: int) -> Workload:
+        """Materialise the workload for an ``n``-node cluster."""
+        return WORKLOAD_KINDS[self.kind](n, **self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        return cls(kind=data["kind"], params=_frozen_params(data.get("params")))
+
+
+@dataclass(frozen=True)
+class DelaySpec:
+    """Declarative message delay model: model ``kind`` + parameters."""
+
+    kind: str = "uniform"
+    params: dict[str, Any] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in DELAY_KINDS:
+            raise ConfigurationError(
+                f"unknown delay kind {self.kind!r}; choose from {sorted(DELAY_KINDS)}"
+            )
+
+    def build(self) -> DelayModel:
+        return DELAY_KINDS[self.kind](**self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DelaySpec":
+        return cls(kind=data["kind"], params=_frozen_params(data.get("params")))
+
+
+#: FailureSpec modes and the :class:`FailurePlanner` method each maps to.
+_FAILURE_MODES = ("periodic", "burst", "targeted", "single")
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Declarative fail-stop schedule, built through :class:`FailurePlanner`.
+
+    ``mode`` selects the planner method (``periodic_failures``,
+    ``burst_failures``, ``targeted_failures`` or ``single_failure``) and
+    ``params`` are its keyword arguments; ``seed``/``protected_nodes``
+    configure the planner itself.
+    """
+
+    mode: str
+    params: dict[str, Any] = field(default_factory=dict, hash=False)
+    seed: int = 0
+    protected_nodes: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode not in _FAILURE_MODES:
+            raise ConfigurationError(
+                f"unknown failure mode {self.mode!r}; choose from {sorted(_FAILURE_MODES)}"
+            )
+
+    def build(self, n: int) -> FailureSchedule:
+        planner = FailurePlanner(n, seed=self.seed, protected_nodes=self.protected_nodes)
+        method = {
+            "periodic": planner.periodic_failures,
+            "burst": planner.burst_failures,
+            "targeted": planner.targeted_failures,
+            "single": planner.single_failure,
+        }[self.mode]
+        return method(**self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "protected_nodes": list(self.protected_nodes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FailureSpec":
+        return cls(
+            mode=data["mode"],
+            params=_frozen_params(data.get("params")),
+            seed=data.get("seed", 0),
+            protected_nodes=tuple(data.get("protected_nodes", ())),
+        )
+
+
+def _peak_rss_mb() -> float:
+    """Process RSS high-water mark (monotone within one process)."""
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - linux container
+        return round(usage / (1024 * 1024), 1)
+    return round(usage / 1024, 1)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declared experiment cell; see the module docstring.
+
+    Args:
+        algorithm: a name from :data:`repro.baselines.registry.ALGORITHMS`.
+        n: number of nodes.
+        workload: the request-arrival pattern.
+        delay: the message delay model (default: the paper's uniform model).
+        fifo: FIFO channels (the paper's default is out-of-order delivery).
+        seed: simulator RNG seed (delays).
+        failures: optional fail-stop crash/recovery schedule.
+        metrics_detail: ``"full"`` or the streaming ``"counters"`` mode.
+        trace: enable trace collection (off for scale runs).
+        serial: declare the workload serial so per-request message counts
+            are exact (see :func:`repro.experiments.runner.run_workload`).
+        repeats: run the cell this many times (identical seed, identical
+            event sequence) and keep the fastest — wall-clock noise on a
+            shared machine only ever makes a run slower.
+        max_events: simulator event budget per run.
+        node_options: algorithm-specific factory options (``tree``,
+            ``enquiry_enabled``, ``coordinator``, ...), forwarded through
+            the registry to the node factory.
+        cluster_options: extra :class:`SimulatedCluster` keyword arguments
+            (``cs_duration``, ...).
+        label: optional human-readable cell label carried into the row.
+    """
+
+    algorithm: str
+    n: int
+    workload: WorkloadSpec
+    delay: DelaySpec = field(default_factory=DelaySpec)
+    fifo: bool = False
+    seed: int = 0
+    failures: FailureSpec | None = None
+    metrics_detail: str = "full"
+    trace: bool = False
+    serial: bool = False
+    repeats: int = 1
+    max_events: int | None = 5_000_000
+    node_options: dict[str, Any] = field(default_factory=dict, hash=False)
+    cluster_options: dict[str, Any] = field(default_factory=dict, hash=False)
+    label: str | None = None
+
+    # ------------------------------------------------------------------
+    # Derivation helpers
+    # ------------------------------------------------------------------
+    def with_(self, **changes: Any) -> "ScenarioSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "workload": self.workload.to_dict(),
+            "delay": self.delay.to_dict(),
+            "fifo": self.fifo,
+            "seed": self.seed,
+            "failures": self.failures.to_dict() if self.failures else None,
+            "metrics_detail": self.metrics_detail,
+            "trace": self.trace,
+            "serial": self.serial,
+            "repeats": self.repeats,
+            "max_events": self.max_events,
+            "node_options": dict(self.node_options),
+            "cluster_options": dict(self.cluster_options),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        failures = data.get("failures")
+        return cls(
+            algorithm=data["algorithm"],
+            n=data["n"],
+            workload=WorkloadSpec.from_dict(data["workload"]),
+            delay=DelaySpec.from_dict(data.get("delay") or {"kind": "uniform"}),
+            fifo=data.get("fifo", False),
+            seed=data.get("seed", 0),
+            failures=FailureSpec.from_dict(failures) if failures else None,
+            metrics_detail=data.get("metrics_detail", "full"),
+            trace=data.get("trace", False),
+            serial=data.get("serial", False),
+            repeats=data.get("repeats", 1),
+            max_events=data.get("max_events", 5_000_000),
+            node_options=_frozen_params(data.get("node_options")),
+            cluster_options=_frozen_params(data.get("cluster_options")),
+            label=data.get("label"),
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> "ScenarioResult":
+        """Run the cell ``repeats`` times and keep the fastest repetition."""
+        best: RunResult | None = None
+        for _ in range(max(1, self.repeats)):
+            result = run_workload(
+                self.algorithm,
+                self.n,
+                self.workload.build(self.n),
+                seed=self.seed,
+                delay_model=self.delay.build(),
+                fifo=self.fifo,
+                failure_schedule=self.failures.build(self.n) if self.failures else None,
+                trace=self.trace,
+                serial=self.serial,
+                metrics_detail=self.metrics_detail,
+                max_events=self.max_events,
+                node_options=self.node_options,
+                cluster_kwargs=self.cluster_options,
+            )
+            if best is None or result.run_s < best.run_s:
+                best = result
+        return ScenarioResult(spec=self, result=best)
+
+
+@dataclass
+class ScenarioResult:
+    """A spec together with the (best-of-repeats) run it produced."""
+
+    spec: ScenarioSpec
+    result: RunResult
+
+    def row(self) -> dict[str, Any]:
+        """Flatten into one JSON-serialisable sweep row."""
+        spec, result = self.spec, self.result
+        metrics = result.cluster.metrics
+        run_s = result.run_s
+        row: dict[str, Any] = {
+            "algorithm": spec.algorithm,
+            "n": spec.n,
+            "metrics_detail": spec.metrics_detail,
+            "workload": result.workload_name,
+            "delay": spec.delay.kind,
+            "fifo": spec.fifo,
+            "seed": spec.seed,
+            "requests": result.requests_issued,
+            "requests_granted": result.requests_granted,
+            "total_messages": result.total_messages,
+            "messages_per_request": (
+                round(result.total_messages / result.requests_granted, 3)
+                if result.requests_granted
+                else 0.0
+            ),
+            "mean_waiting_time": round(result.mean_waiting_time, 4),
+            "failures": result.failures,
+            "overhead_messages": result.overhead_messages,
+            "safety_ok": result.safety_ok,
+            "liveness_ok": result.liveness_ok,
+            "analysis_ok": result.analysis_ok,
+            "events": result.events,
+            "repeats": spec.repeats,
+            "setup_s": round(result.setup_s, 4),
+            "run_s": round(run_s, 4),
+            "events_per_sec": round(result.events / run_s, 1) if run_s > 0 else 0.0,
+            "sent_messages_records": len(metrics.sent_messages),
+            "peak_rss_mb": _peak_rss_mb(),
+        }
+        if spec.serial:
+            row["max_messages_per_request"] = result.max_messages_per_request
+        if spec.label is not None:
+            row["label"] = spec.label
+        return row

@@ -1,0 +1,144 @@
+"""Sweep orchestration: expand spec grids, run cells (optionally in parallel).
+
+The :class:`SweepRunner` is the canonical way to run many
+:class:`~repro.scenarios.spec.ScenarioSpec` cells:
+
+* :func:`expand_grid` expands the cartesian product of the swept axes into
+  a flat spec list (workload entries may be callables of ``n`` so request
+  counts can scale with the cluster size);
+* :meth:`SweepRunner.run` executes the cells serially (timing-faithful, the
+  benchmark default) or across a ``multiprocessing`` pool, streaming one
+  JSON row per finished cell to an optional callback.
+
+Workers receive specs as plain dictionaries and return plain row
+dictionaries, so the pool works under both the ``fork`` and ``spawn`` start
+methods and every row is JSON-serialisable by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios.spec import DelaySpec, FailureSpec, ScenarioSpec, WorkloadSpec
+
+__all__ = ["SweepRunner", "expand_grid", "run_scenario"]
+
+#: A grid workload axis entry: a ready spec, or a callable of ``n`` (so a
+#: cell's request count can scale with its size).
+WorkloadAxis = WorkloadSpec | Callable[[int], WorkloadSpec]
+
+
+def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
+    """Run one cell and return its flat JSON row."""
+    return spec.run().row()
+
+
+def _run_spec_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Pool worker entry point: dict in, dict out (pickle-friendly)."""
+    return run_scenario(ScenarioSpec.from_dict(payload))
+
+
+def expand_grid(
+    *,
+    algorithms: Sequence[str],
+    sizes: Sequence[int],
+    workloads: Sequence[WorkloadAxis],
+    delays: Sequence[DelaySpec] = (DelaySpec(),),
+    fifos: Sequence[bool] = (False,),
+    seeds: Sequence[int] = (0,),
+    failures: Sequence[FailureSpec | None] = (None,),
+    metrics_details: Sequence[str] = ("full",),
+    **common: Any,
+) -> list[ScenarioSpec]:
+    """Expand the cartesian product of the swept axes into a spec list.
+
+    ``common`` keyword arguments (``repeats``, ``trace``, ``node_options``,
+    ``max_events``, ...) are applied to every generated spec.
+    """
+    specs: list[ScenarioSpec] = []
+    for algorithm, n, workload, delay, fifo, seed, failure, detail in itertools.product(
+        algorithms, sizes, workloads, delays, fifos, seeds, failures, metrics_details
+    ):
+        resolved = workload(n) if callable(workload) else workload
+        specs.append(
+            ScenarioSpec(
+                algorithm=algorithm,
+                n=n,
+                workload=resolved,
+                delay=delay,
+                fifo=fifo,
+                seed=seed,
+                failures=failure,
+                metrics_detail=detail,
+                **common,
+            )
+        )
+    return specs
+
+
+@dataclass
+class SweepRunner:
+    """Runs a list of scenario cells and collects their JSON rows.
+
+    Args:
+        specs: the cells to run, in order.
+        processes: 1 (default) runs in-process and in order — the right
+            choice for timing-sensitive benchmarks; ``> 1`` distributes the
+            cells over a ``multiprocessing`` pool (rows still come back in
+            spec order).  Parallel workers each measure their own wall time,
+            so expect more timing noise per cell.
+        start_method: ``multiprocessing`` start method; defaults to
+            ``"fork"`` where available (it does not re-import ``__main__``,
+            so it also works from scripts run via stdin) and the platform
+            default elsewhere.
+    """
+
+    specs: list[ScenarioSpec] = field(default_factory=list)
+    processes: int = 1
+    start_method: str | None = None
+
+    @classmethod
+    def from_grid(cls, *, processes: int = 1, **grid: Any) -> "SweepRunner":
+        """Build a runner directly from :func:`expand_grid` axes."""
+        return cls(specs=expand_grid(**grid), processes=processes)
+
+    def run(
+        self, *, on_row: Callable[[dict[str, Any]], None] | None = None
+    ) -> list[dict[str, Any]]:
+        """Run every cell; returns one row per spec, in spec order."""
+        if not self.specs:
+            return []
+        if self.processes < 1:
+            raise ConfigurationError(f"processes must be >= 1, got {self.processes}")
+        rows: list[dict[str, Any]] = []
+        if self.processes == 1:
+            for spec in self.specs:
+                row = run_scenario(spec)
+                if on_row is not None:
+                    on_row(row)
+                rows.append(row)
+            return rows
+        payloads = [spec.to_dict() for spec in self.specs]
+        workers = min(self.processes, len(payloads))
+        method = self.start_method
+        if method is None and "fork" in multiprocessing.get_all_start_methods():
+            method = "fork"
+        with multiprocessing.get_context(method).Pool(workers) as pool:
+            for row in pool.imap(_run_spec_payload, payloads):
+                if on_row is not None:
+                    on_row(row)
+                rows.append(row)
+        return rows
+
+    def write_rows(self, rows: Iterable[dict[str, Any]], path: Path | str) -> None:
+        """Write rows as JSON Lines (one row object per line)."""
+        target = Path(path)
+        with target.open("w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")

@@ -17,6 +17,7 @@ from typing import Any, Mapping
 from repro.core.messages import RequestMessage
 from repro.core.node import OpenCubeMutexNode
 from repro.core.opencube import OpenCubeTree
+from repro.core.topology import OpenCubeTopology
 from repro.exceptions import ConfigurationError
 from repro.scheme.behaviors import BehaviourPolicy, OpenCubePolicy, POLICIES
 from repro.simulation.cluster import SimulatedCluster
@@ -28,8 +29,9 @@ class GenericTreeTokenNode(OpenCubeMutexNode):
     """A token-and-tree node whose transit/proxy rule is a policy object."""
 
     def __init__(self, node_id: int, n: int, *, father: int | None, has_token: bool,
-                 policy: BehaviourPolicy | None = None, dist_row=None) -> None:
-        super().__init__(node_id, n, father=father, has_token=has_token, dist_row=dist_row)
+                 policy: BehaviourPolicy | None = None, topology=None, dist_row=None) -> None:
+        super().__init__(node_id, n, father=father, has_token=has_token,
+                         topology=topology, dist_row=dist_row)
         self.policy = policy or OpenCubePolicy()
 
     def _decide_behaviour(self, message: RequestMessage) -> str:
@@ -68,6 +70,7 @@ def build_scheme_nodes(
     else:
         resolved = OpenCubeTree(n, tree)
     root = resolved.root
+    topology = OpenCubeTopology.shared(n)
     return {
         node: GenericTreeTokenNode(
             node,
@@ -75,6 +78,7 @@ def build_scheme_nodes(
             father=resolved.father(node),
             has_token=(node == root),
             policy=policy,
+            topology=topology,
         )
         for node in resolved.nodes()
     }

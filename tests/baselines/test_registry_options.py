@@ -1,0 +1,97 @@
+"""Regression tests: algorithm options flow through the registry factories.
+
+Before the scenario refactor the registry factories only accepted ``n``, so
+options like ``enquiry_enabled`` or a custom tree were silently dropped from
+every comparison.  These tests lock the threading behaviour in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.registry import build_cluster, build_nodes
+from repro.core.opencube import OpenCubeTree
+from repro.exceptions import ConfigurationError
+
+from tests.conftest import assert_run_correct, run_serial_requests
+
+
+def transformed_tree(n: int = 8) -> OpenCubeTree:
+    """A valid non-canonical open-cube: the root swapped with its last son."""
+    tree = OpenCubeTree.initial(n)
+    root = tree.root
+    tree.b_transform(tree.last_son(root), root)
+    return tree
+
+
+class TestNodeOptionThreading:
+    def test_enquiry_flag_reaches_fault_tolerant_nodes(self):
+        cluster = build_cluster("open-cube-ft", 8, node_options={"enquiry_enabled": False})
+        assert all(not node.enquiry_enabled for node in cluster.nodes.values())
+        cluster = build_cluster("open-cube-ft", 8)
+        assert all(node.enquiry_enabled for node in cluster.nodes.values())
+
+    def test_cs_duration_estimate_reaches_fault_tolerant_nodes(self):
+        cluster = build_cluster(
+            "open-cube-ft", 8, node_options={"cs_duration_estimate": 2.5}
+        )
+        assert all(node.cs_duration_estimate == 2.5 for node in cluster.nodes.values())
+
+    def test_custom_tree_reaches_open_cube_nodes(self):
+        tree = transformed_tree(8)
+        cluster = build_cluster("open-cube", 8, node_options={"tree": tree})
+        assert cluster.father_map() == tree.fathers()
+        assert cluster.token_holders() == [tree.root]
+
+    def test_custom_tree_reaches_raymond_nodes(self):
+        tree = transformed_tree(8)
+        cluster = build_cluster("raymond", 8, node_options={"tree": tree})
+        # Raymond points every non-root at its tree father initially.
+        snapshot = cluster.node(tree.root).snapshot()
+        assert snapshot["token_here"]
+
+    def test_coordinator_option_reaches_central_nodes(self):
+        cluster = build_cluster("central", 8, node_options={"coordinator": 3})
+        snapshot = cluster.node(3).snapshot()
+        assert snapshot["node_id"] == 3
+        run_serial_requests(cluster, [1, 5, 3])
+        assert_run_correct(cluster, expect_structure=False)
+
+    def test_cluster_kwargs_still_reach_the_cluster(self):
+        cluster = build_cluster(
+            "open-cube", 8, node_options={}, fifo=True, metrics_detail="counters", seed=9
+        )
+        assert cluster.metrics.detail == "counters"
+        assert cluster.channels.fifo
+
+    def test_run_with_options_stays_correct(self):
+        tree = transformed_tree(8)
+        cluster = build_cluster("open-cube", 8, node_options={"tree": tree})
+        run_serial_requests(cluster, [4, 8, 1, 6])
+        assert_run_correct(cluster)
+
+
+class TestRegistryErrors:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_cluster("does-not-exist", 8)
+
+    def test_unknown_node_option_reported_with_context(self):
+        with pytest.raises(ConfigurationError, match="ricart-agrawala.*bogus_option"):
+            build_nodes("ricart-agrawala", 8, bogus_option=1)
+
+    def test_unknown_option_via_build_cluster(self):
+        with pytest.raises(ConfigurationError):
+            build_cluster("open-cube", 8, node_options={"no_such_option": True})
+
+    def test_factory_body_type_error_is_not_mislabelled(self, monkeypatch):
+        # Only *signature* mismatches become ConfigurationError; a TypeError
+        # raised inside the factory body must propagate untouched.
+        from repro.baselines import registry
+
+        def exploding_factory(n, **options):
+            raise TypeError("internal factory bug")
+
+        monkeypatch.setitem(registry.ALGORITHMS, "exploding", exploding_factory)
+        with pytest.raises(TypeError, match="internal factory bug"):
+            registry.build_nodes("exploding", 8)

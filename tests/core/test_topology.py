@@ -1,0 +1,130 @@
+"""Tests for the shared immutable OpenCubeTopology (O(n) construction)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import distances
+from repro.core.builders import build_fault_tolerant_nodes, build_opencube_nodes
+from repro.core.node import OpenCubeMutexNode
+from repro.core.topology import OpenCubeTopology
+from repro.exceptions import InvalidTopologyError
+from repro.scheme.generic import build_scheme_nodes
+
+
+class TestTopologyObject:
+    def test_dist_matches_definition(self):
+        topology = OpenCubeTopology(16)
+        for i in range(1, 17):
+            for j in range(1, 17):
+                assert topology.dist(i, j) == distances.distance(i, j)
+
+    def test_dist_row_matches_matrix_with_leading_placeholder(self):
+        topology = OpenCubeTopology(8)
+        matrix = distances.distance_matrix(8)
+        for i in range(1, 9):
+            assert topology.dist_row(i) == [0, *matrix[i - 1]]
+
+    def test_initial_tree_delegates_to_distances(self):
+        topology = OpenCubeTopology(16)
+        assert topology.initial_fathers() == distances.initial_fathers(16)
+        assert topology.initial_father(1) is None
+        assert topology.initial_power(1) == 4
+        assert list(topology.nodes()) == list(range(1, 17))
+        assert 16 in topology and 17 not in topology
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(InvalidTopologyError):
+            OpenCubeTopology(12)
+
+    def test_immutable(self):
+        topology = OpenCubeTopology(8)
+        with pytest.raises(AttributeError):
+            topology.n = 16
+
+    def test_shared_interning(self):
+        assert OpenCubeTopology.shared(64) is OpenCubeTopology.shared(64)
+        assert OpenCubeTopology.shared(64) is not OpenCubeTopology.shared(128)
+
+    def test_pickle_round_trips_through_interning_cache(self):
+        topology = OpenCubeTopology.shared(32)
+        clone = pickle.loads(pickle.dumps(topology))
+        assert clone is topology
+
+    def test_equality_is_by_size(self):
+        assert OpenCubeTopology(8) == OpenCubeTopology(8)
+        assert OpenCubeTopology(8) != OpenCubeTopology(16)
+        assert hash(OpenCubeTopology(8)) == hash(OpenCubeTopology(8))
+
+
+class TestSharedTopologyInBuilders:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            build_opencube_nodes,
+            build_fault_tolerant_nodes,
+            lambda n: build_scheme_nodes(n, "open-cube"),
+        ],
+        ids=["failure-free", "fault-tolerant", "generic-scheme"],
+    )
+    def test_every_node_shares_one_topology_object(self, factory):
+        nodes = factory(32)
+        topologies = {id(node.topology) for node in nodes.values()}
+        assert len(topologies) == 1
+
+    def test_no_per_node_distance_rows_by_default(self):
+        nodes = build_opencube_nodes(64)
+        assert all(node._dist_row is None for node in nodes.values())
+
+    def test_construction_memory_is_o_n(self):
+        # 1024 nodes used to materialise 1024 rows of 1025 ints; now the only
+        # O(n) structures are the node dict and the topology-free tree.
+        nodes = build_opencube_nodes(1024)
+        assert all(node._dist_row is None for node in nodes.values())
+        assert len({node.topology for node in nodes.values()}) == 1
+
+
+class TestNodeDistanceSemantics:
+    def test_distance_to_matches_pre_refactor_row(self):
+        node = OpenCubeMutexNode(5, 16, father=1, has_token=False)
+        row = OpenCubeTopology.shared(16).dist_row(5)
+        for other in range(1, 17):
+            assert node.distance_to(other) == row[other]
+
+    def test_distance_to_rejects_unknown_node(self):
+        from repro.exceptions import ProtocolError
+
+        node = OpenCubeMutexNode(5, 16, father=1, has_token=False)
+        with pytest.raises(ProtocolError):
+            node.distance_to(17)
+
+    def test_power_uses_bit_distance(self):
+        for node_id in range(2, 17):
+            father = distances.initial_father(node_id, 16)
+            node = OpenCubeMutexNode(node_id, 16, father=father, has_token=False)
+            assert node.power == distances.initial_power(node_id, 16)
+
+    def test_dist_property_is_lazy_and_cached(self):
+        node = OpenCubeMutexNode(3, 16, father=1, has_token=False)
+        assert node._dist_row is None
+        row = node.dist
+        assert row == OpenCubeTopology.shared(16).dist_row(3)
+        assert node.dist is row  # cached, not rebuilt
+
+    def test_explicit_dist_row_opt_in_is_validated(self):
+        canonical = OpenCubeTopology.shared(8).dist_row(2)
+        node = OpenCubeMutexNode(2, 8, father=1, has_token=False, dist_row=canonical)
+        assert node.dist == canonical
+        # The historical n-length layout (no leading placeholder) still works.
+        node = OpenCubeMutexNode(2, 8, father=1, has_token=False, dist_row=canonical[1:])
+        assert node.dist == canonical
+        with pytest.raises(InvalidTopologyError):
+            OpenCubeMutexNode(2, 8, father=1, has_token=False, dist_row=[9] * 9)
+
+    def test_mismatched_topology_rejected(self):
+        with pytest.raises(InvalidTopologyError):
+            OpenCubeMutexNode(
+                1, 16, father=None, has_token=True, topology=OpenCubeTopology(8)
+            )

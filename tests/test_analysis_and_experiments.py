@@ -187,3 +187,48 @@ class TestQuantitativeExperiments:
         result = run_workload("open-cube", 8, workload, serial=True)
         assert len(result.messages_per_request) == 8
         assert result.safety_ok and result.liveness_ok
+
+    def test_run_workload_counters_mode_skips_record_based_analysis(self):
+        # Regression: the streaming metrics mode keeps no per-message
+        # records, so the record-based safety/liveness verdicts must be
+        # explicitly "not analysed" (None), never a hollow True/False.
+        workload = serial_round_robin(8, spacing=50.0, hold=0.25)
+        result = run_workload("open-cube", 8, workload, metrics_detail="counters")
+        assert result.safety_ok is None
+        assert result.liveness_ok is None
+        assert result.analysis_ok is None
+        assert result.as_row()["analysis_ok"] is None
+        assert result.total_messages > 0
+        assert result.cluster.metrics.sent_messages == []
+
+    def test_run_workload_counters_mode_via_cluster_kwargs(self):
+        # Back-compat: callers that passed metrics_detail through
+        # cluster_kwargs get the same skip-with-marker behaviour.
+        workload = serial_round_robin(8, spacing=50.0, hold=0.25)
+        result = run_workload(
+            "open-cube", 8, workload, cluster_kwargs={"metrics_detail": "counters"}
+        )
+        assert result.analysis_ok is None
+        assert result.cluster.metrics.detail == "counters"
+
+    def test_run_workload_conflicting_metrics_detail_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        workload = serial_round_robin(8, spacing=50.0, hold=0.25)
+        with pytest.raises(ConfigurationError, match="conflicting metrics_detail"):
+            run_workload(
+                "open-cube",
+                8,
+                workload,
+                metrics_detail="full",
+                cluster_kwargs={"metrics_detail": "counters"},
+            )
+
+    def test_run_workload_full_mode_reports_real_booleans(self):
+        workload = serial_round_robin(8, spacing=50.0, hold=0.25)
+        result = run_workload("open-cube", 8, workload)
+        assert result.safety_ok is True
+        assert result.liveness_ok is True
+        assert result.analysis_ok is True
+        assert result.events > 0
+        assert result.run_s >= 0.0 and result.setup_s >= 0.0

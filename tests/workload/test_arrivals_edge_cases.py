@@ -1,0 +1,93 @@
+"""Edge-case tests for the workload generators.
+
+Covers the corners the mainline tests skip: full-population bursts, hotspot
+workloads where *every* node is hot (the ``cold or hot`` fallback), and
+Poisson arrivals restricted to a sub-population.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workload.arrivals import burst_arrivals, hotspot_arrivals, poisson_arrivals
+
+
+class TestBurstFullPopulation:
+    def test_burst_size_equal_to_n_uses_every_node_once_per_burst(self):
+        n, bursts = 16, 3
+        workload = burst_arrivals(n, bursts, burst_size=n, seed=5)
+        assert len(workload) == bursts * n
+        per_burst = [workload.arrivals[i * n : (i + 1) * n] for i in range(bursts)]
+        for burst in per_burst:
+            # Each burst draws `burst_size` *distinct* nodes; at full
+            # population that is exactly the whole node set.
+            assert {arrival.node for arrival in burst} == set(range(1, n + 1))
+
+    def test_bursts_are_time_ordered_and_spaced(self):
+        workload = burst_arrivals(8, 2, burst_size=8, burst_spacing=100.0, within_burst=0.5)
+        first, second = workload.arrivals[:8], workload.arrivals[8:]
+        assert max(a.at for a in first) < min(a.at for a in second)
+
+    def test_burst_size_above_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            burst_arrivals(8, 1, burst_size=9)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = burst_arrivals(16, 2, burst_size=16, seed=7)
+        b = burst_arrivals(16, 2, burst_size=16, seed=7)
+        assert a.arrivals == b.arrivals
+
+
+class TestHotspotEveryNodeHot:
+    def test_all_nodes_hot_falls_back_to_hot_pool_for_cold_draws(self):
+        n = 8
+        workload = hotspot_arrivals(
+            n, 200, hotspot_nodes=range(1, n + 1), hotspot_fraction=0.5, seed=3
+        )
+        # The cold pool is empty, so the `cold or hot` fallback must route
+        # every arrival through the hot pool: the workload still covers only
+        # valid nodes and never crashes on an empty population.
+        assert len(workload) == 200
+        assert workload.nodes() <= set(range(1, n + 1))
+
+    def test_fraction_one_only_draws_hot_nodes(self):
+        workload = hotspot_arrivals(
+            16, 100, hotspot_nodes=[2, 9], hotspot_fraction=1.0, seed=1
+        )
+        assert workload.nodes() <= {2, 9}
+
+    def test_empty_hotspot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hotspot_arrivals(8, 10, hotspot_nodes=[])
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hotspot_arrivals(8, 10, hotspot_nodes=[1], hotspot_fraction=0.0)
+
+
+class TestPoissonRestrictedPopulation:
+    def test_arrivals_only_from_the_given_population(self):
+        population = [3, 5, 11]
+        workload = poisson_arrivals(16, 300, rate=1.0, seed=2, nodes=population)
+        assert workload.nodes() <= set(population)
+        # With 300 draws over three nodes, every member is (overwhelmingly
+        # likely and, with this seed, actually) hit.
+        assert workload.nodes() == set(population)
+
+    def test_singleton_population(self):
+        workload = poisson_arrivals(16, 50, rate=1.0, seed=4, nodes=[7])
+        assert workload.nodes() == {7}
+
+    def test_restriction_does_not_change_arrival_times(self):
+        # The node choice and the exponential gaps come from the same RNG
+        # stream; with power-of-two population sizes `choice` consumes
+        # exactly one RNG word per draw, so the *times* stay identical.
+        unrestricted = poisson_arrivals(16, 20, rate=1.0, seed=6)
+        restricted = poisson_arrivals(16, 20, rate=1.0, seed=6, nodes=[1, 2])
+        assert [a.at for a in unrestricted.arrivals] == [a.at for a in restricted.arrivals]
+
+    def test_arrival_times_strictly_increase(self):
+        workload = poisson_arrivals(8, 100, rate=2.0, seed=9, nodes=[1, 8])
+        times = [a.at for a in workload.arrivals]
+        assert times == sorted(times)
