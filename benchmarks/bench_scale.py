@@ -17,20 +17,28 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_scale.py            # full sweep
     PYTHONPATH=src python benchmarks/bench_scale.py --smoke    # n=256 only (CI)
 
-What it measures, per (algorithm, n) cell:
+What it measures, per (algorithm, n) cell (schema ``bench-scale/v2``):
 
-* wall time of ``run_until_quiescent`` (setup excluded, reported separately
-  as ``setup_s`` — cluster construction is O(n) total since the shared
+* wall time of ``run_until_quiescent`` (setup excluded, split into
+  ``setup_s`` — cluster construction, O(n) total since the shared
   :class:`~repro.core.topology.OpenCubeTopology` replaced per-node O(n)
-  distance rows, which is what makes the n = 16384 cells feasible at all),
+  distance rows — and ``feed_s``, the workload-scheduling cost: the full
+  O(requests) pass for eager cells, only the window priming for streamed
+  cells),
 * simulator events/sec — the engine-throughput headline number,
 * messages per granted request (concurrent workload, so this is the mean),
 * the peak RSS high-water mark of the process after the run (monotone across
   the whole process — interpret it as "the sweep up to this point fits in
-  this much memory", not as a per-run figure), and
+  this much memory", not as a per-run figure),
 * ``sent_messages_records`` — stays 0 in the streaming (``counters``)
   metrics mode even on million-message runs, demonstrating O(requests)
-  memory.
+  memory, and
+* ``agenda_peak`` — the simulator agenda's high-water mark: O(requests)
+  when the workload is scheduled eagerly, O(active + window) for the
+  streamed (``streamed: true``) cells that feed arrivals through the
+  bounded-window workload feeder.  ``--check-agenda`` turns that into a
+  hard regression gate (used by the CI smoke job) so eager scheduling
+  cannot silently sneak back into the scale path.
 
 The open-cube rows are compared against ``PRE_CHANGE_BASELINE``: events/sec
 of the same workload/configuration measured on the engine as of the seed
@@ -84,9 +92,22 @@ COMPLEXITY_MAX_N = 4096
 ALGORITHM_MATRIX = ["open-cube", "raymond", "naimi-trehel", "central",
                     "ricart-agrawala", "suzuki-kasami"]
 
+#: Feeder lookahead of the streamed cells; the agenda gate below allows
+#: ``FEED_WINDOW + 2 * n`` entries (window + a small per-node active bound:
+#: in-flight messages and release timers scale with concurrent requests,
+#: never with the total request count).
+FEED_WINDOW = 64
+
 
 def make_spec(
-    algorithm: str, n: int, requests: int, *, detail: str, seed: int = 0, repeats: int = 3
+    algorithm: str,
+    n: int,
+    requests: int,
+    *,
+    detail: str,
+    seed: int = 0,
+    repeats: int = 3,
+    stream: bool = False,
 ) -> ScenarioSpec:
     """Declare one (algorithm, n) cell of the sweep.
 
@@ -105,6 +126,8 @@ def make_spec(
         metrics_detail=detail,
         repeats=repeats,
         max_events=200_000_000,
+        stream=stream,
+        feed_window=FEED_WINDOW,
     )
 
 
@@ -123,13 +146,23 @@ def build_specs(sizes: list[int], *, scale_requests_factor: int = 32) -> list[Sc
                 # O(requests) metrics memory.
                 if n >= LONG_RUN_MIN_N:
                     requests = scale_requests_factor * n
-                    repeats = 1  # long run, noise averages out
+                    # Single repetition: best-of-N would keep two O(requests)
+                    # metrics collections alive at once (the retained best +
+                    # the running repeat) and double the sweep's RSS
+                    # high-water; the long runs average the noise out anyway.
+                    repeats = 1
                 else:
                     requests = 2048 if n <= 256 else 4 * n
                     repeats = 3
                 if n in PRE_CHANGE_BASELINE:
+                    # Eager scheduling, like the recorded baseline engine.
                     specs.append(make_spec(algorithm, n, requests, detail="full", repeats=repeats))
-                specs.append(make_spec(algorithm, n, requests, detail="counters", repeats=repeats))
+                # The counters cells are the scale path: streamed workload
+                # feeding on top of the streaming metrics mode, so both the
+                # agenda and the metrics stay O(active)/O(requests)-bounded.
+                specs.append(
+                    make_spec(algorithm, n, requests, detail="counters", repeats=repeats, stream=True)
+                )
             else:
                 requests = min(4 * n, 4096)
                 repeats = 1 if algorithm in ("ricart-agrawala", "suzuki-kasami") else 2
@@ -184,13 +217,14 @@ def run_sweep(sizes: list[int], *, scale_requests_factor: int = 32, parallel: in
     for point in complexity:
         print(json.dumps(point), flush=True)
     return {
-        "schema": "bench-scale/v1",
+        "schema": "bench-scale/v2",
         "config": {
             "sizes": sizes,
             "workload": "poisson(rate=2.0, hold=0.1, seed=0)",
             "delay_model": "UniformDelay(0.5, 1.0)",
             "trace": False,
             "parallel": parallel,
+            "feed_window": FEED_WINDOW,
             "complexity_max_n": COMPLEXITY_MAX_N,
             "python": sys.version.split()[0],
         },
@@ -211,10 +245,37 @@ def run_sweep(sizes: list[int], *, scale_requests_factor: int = 32, parallel: in
     }
 
 
+def check_agenda_bounds(rows: list[dict]) -> list[str]:
+    """Regression-gate the streamed cells' agenda high-water mark.
+
+    A streamed cell whose ``agenda_peak`` exceeds ``feed_window + 2 * n``
+    (window + the per-node active bound) means eager scheduling crept back
+    into the scale path — exactly the O(requests)-agenda behaviour this
+    harness exists to keep out.  Returns a list of violation messages.
+    """
+    problems = []
+    for row in rows:
+        if not row.get("streamed"):
+            continue
+        window = row.get("feed_window") or 0
+        bound = window + 2 * row["n"]
+        if row["agenda_peak"] > bound:
+            problems.append(
+                f"{row['algorithm']} n={row['n']}: agenda_peak={row['agenda_peak']} "
+                f"exceeds the streamed bound {bound} (window {window} + 2*n)"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke", action="store_true", help="n=256 only (fast CI smoke run)"
+    )
+    parser.add_argument(
+        "--check-agenda", action="store_true",
+        help="fail (exit 1) if any streamed cell's agenda_peak exceeds "
+        "feed_window + 2*n — the regression gate against eager scheduling",
     )
     parser.add_argument(
         "--sizes", type=int, nargs="+", default=None,
@@ -239,6 +300,13 @@ def main(argv: list[str] | None = None) -> int:
     document = run_sweep(sizes, parallel=args.parallel)
     args.output.write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote {args.output}")
+    if args.check_agenda:
+        problems = check_agenda_bounds(document["results"])
+        for problem in problems:
+            print(f"AGENDA GATE: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("agenda gate ok: every streamed cell stayed within feed_window + 2*n")
     return 0
 
 

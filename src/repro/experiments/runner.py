@@ -18,7 +18,7 @@ from repro.simulation.failures import FailureSchedule
 from repro.simulation.network import DelayModel, UniformDelay
 from repro.verification.liveness import analyse_liveness
 from repro.verification.safety import crashed_in_critical_section, find_overlaps
-from repro.workload.arrivals import Workload
+from repro.workload.arrivals import ArrivalStream, Workload
 
 __all__ = ["RunResult", "run_workload"]
 
@@ -64,9 +64,21 @@ class RunResult:
     #: ``None`` marks "analysis skipped", mirroring the per-property fields.
     analysis_ok: bool | None = True
     end_time: float = 0.0
+    #: Cluster construction wall time; workload (and failure-schedule)
+    #: scheduling cost is reported separately as :attr:`feed_s`.
     setup_s: float = 0.0
+    #: Wall time spent scheduling the workload (+ failure schedule) before
+    #: the run: the full O(requests) ``Workload`` scheduling cost for eager
+    #: runs, only the window priming for streamed runs (the rest of the
+    #: stream is generated incrementally inside ``run_s``).
+    feed_s: float = 0.0
     run_s: float = 0.0
     events: int = 0
+    #: Agenda (heap) size high-water mark — O(requests) for eager workload
+    #: scheduling, O(active + window) for streamed runs.
+    agenda_peak: int = 0
+    #: Whether the workload was fed lazily through the bounded-window feeder.
+    streamed: bool = False
     extra: dict[str, Any] = field(default_factory=dict)
 
     def as_row(self) -> dict[str, Any]:
@@ -90,7 +102,7 @@ class RunResult:
 def run_workload(
     algorithm: str,
     n: int,
-    workload: Workload,
+    workload: Workload | ArrivalStream,
     *,
     seed: int = 0,
     delay_model: DelayModel | None = None,
@@ -102,6 +114,8 @@ def run_workload(
     max_events: int | None = 5_000_000,
     node_options: Mapping[str, Any] | None = None,
     cluster_kwargs: Mapping[str, Any] | None = None,
+    stream: bool | None = None,
+    feed_window: int = 64,
 ) -> RunResult:
     """Run ``workload`` under ``algorithm`` on ``n`` simulated nodes.
 
@@ -109,6 +123,8 @@ def run_workload(
     :mod:`repro.scenarios` expands sweeps into calls to this function.
 
     Args:
+        workload: an eager :class:`Workload` or a lazy
+            :class:`~repro.workload.arrivals.ArrivalStream`.
         serial: set to ``True`` for workloads guaranteed to have at most one
             outstanding request at a time; per-request message counts are
             then exact (difference of the global counter around each
@@ -123,6 +139,11 @@ def run_workload(
         node_options: algorithm-specific factory options (e.g. a custom
             ``tree`` or ``enquiry_enabled``), forwarded through the registry.
         cluster_kwargs: extra :class:`SimulatedCluster` keyword arguments.
+        stream: feed the workload lazily through the cluster's
+            bounded-window feeder (agenda stays O(active + window)) instead
+            of scheduling every arrival up front.  Default (``None``):
+            stream exactly when ``workload`` is an :class:`ArrivalStream`.
+        feed_window: feeder lookahead window for streamed runs.
     """
     kwargs = dict(cluster_kwargs or {})
     kwargs_detail = kwargs.pop("metrics_detail", None)
@@ -133,6 +154,8 @@ def run_workload(
             f"conflicting metrics_detail: {metrics_detail!r} as argument but "
             f"{kwargs_detail!r} in cluster_kwargs"
         )
+    if stream is None:
+        stream = isinstance(workload, ArrivalStream)
     setup_start = time.perf_counter()
     cluster = build_cluster(
         algorithm,
@@ -145,10 +168,19 @@ def run_workload(
         metrics_detail=metrics_detail,
         **kwargs,
     )
-    workload.apply(cluster)
+    setup_s = time.perf_counter() - setup_start
+    feed_start = time.perf_counter()
+    if stream:
+        cluster.feed_workload(workload, window=feed_window)
+    elif isinstance(workload, ArrivalStream):
+        workload.materialise().schedule(cluster)
+    else:
+        # Counting apply: nobody here reads the per-request id list, so do
+        # not build an O(requests) one just to drop it.
+        workload.schedule(cluster)
     if failure_schedule is not None:
         failure_schedule.apply(cluster)
-    setup_s = time.perf_counter() - setup_start
+    feed_s = time.perf_counter() - feed_start
     run_start = time.perf_counter()
     cluster.run_until_quiescent(max_events=max_events)
     run_s = time.perf_counter() - run_start
@@ -195,7 +227,10 @@ def run_workload(
         analysis_ok=analysis_ok,
         end_time=cluster.now,
         setup_s=setup_s,
+        feed_s=feed_s,
         run_s=run_s,
         events=cluster.simulator.processed_events,
+        agenda_peak=cluster.simulator.peak_pending,
+        streamed=stream,
     )
     return result

@@ -25,13 +25,14 @@ from repro.experiments.runner import RunResult, run_workload
 from repro.simulation.failures import FailurePlanner, FailureSchedule
 from repro.simulation.network import ConstantDelay, DelayModel, PerHopDelay, UniformDelay
 from repro.workload.arrivals import (
+    ArrivalStream,
     Workload,
-    burst_arrivals,
-    hotspot_arrivals,
-    poisson_arrivals,
-    serial_random,
-    serial_round_robin,
-    single_requester,
+    burst_stream,
+    hotspot_stream,
+    poisson_stream,
+    serial_random_stream,
+    serial_round_robin_stream,
+    single_requester_stream,
 )
 
 __all__ = [
@@ -45,14 +46,18 @@ __all__ = [
 ]
 
 #: Workload generator registry: every factory takes ``n`` first, then
-#: keyword parameters (see :mod:`repro.workload.arrivals`).
-WORKLOAD_KINDS: dict[str, Callable[..., Workload]] = {
-    "serial_round_robin": serial_round_robin,
-    "serial_random": serial_random,
-    "single_requester": single_requester,
-    "poisson": poisson_arrivals,
-    "hotspot": hotspot_arrivals,
-    "bursts": burst_arrivals,
+#: keyword parameters, and returns a lazy
+#: :class:`~repro.workload.arrivals.ArrivalStream` (see
+#: :mod:`repro.workload.arrivals`).  :meth:`WorkloadSpec.build` materialises
+#: it into an eager :class:`Workload`; :meth:`WorkloadSpec.build_stream`
+#: hands the stream through untouched for feeder-based runs.
+WORKLOAD_KINDS: dict[str, Callable[..., ArrivalStream]] = {
+    "serial_round_robin": serial_round_robin_stream,
+    "serial_random": serial_random_stream,
+    "single_requester": single_requester_stream,
+    "poisson": poisson_stream,
+    "hotspot": hotspot_stream,
+    "bursts": burst_stream,
 }
 
 DELAY_KINDS: dict[str, Callable[..., DelayModel]] = {
@@ -85,9 +90,13 @@ class WorkloadSpec:
                 f"choose from {sorted(WORKLOAD_KINDS)}"
             )
 
+    def build_stream(self, n: int) -> ArrivalStream:
+        """Build the lazy arrival stream for an ``n``-node cluster."""
+        return WORKLOAD_KINDS[self.kind](n, **self.params)
+
     def build(self, n: int) -> Workload:
         """Materialise the workload for an ``n``-node cluster."""
-        return WORKLOAD_KINDS[self.kind](n, **self.params)
+        return self.build_stream(n).materialise()
 
     def to_dict(self) -> dict[str, Any]:
         return {"kind": self.kind, "params": dict(self.params)}
@@ -208,6 +217,11 @@ class ScenarioSpec:
             the registry to the node factory.
         cluster_options: extra :class:`SimulatedCluster` keyword arguments
             (``cs_duration``, ...).
+        stream: feed the workload lazily through the cluster's
+            bounded-window feeder instead of scheduling every arrival up
+            front — the agenda stays O(active + window) instead of
+            O(requests); the scale benchmark runs its big cells this way.
+        feed_window: feeder lookahead window for streamed cells.
         label: optional human-readable cell label carried into the row.
     """
 
@@ -225,6 +239,8 @@ class ScenarioSpec:
     max_events: int | None = 5_000_000
     node_options: dict[str, Any] = field(default_factory=dict, hash=False)
     cluster_options: dict[str, Any] = field(default_factory=dict, hash=False)
+    stream: bool = False
+    feed_window: int = 64
     label: str | None = None
 
     # ------------------------------------------------------------------
@@ -253,6 +269,8 @@ class ScenarioSpec:
             "max_events": self.max_events,
             "node_options": dict(self.node_options),
             "cluster_options": dict(self.cluster_options),
+            "stream": self.stream,
+            "feed_window": self.feed_window,
             "label": self.label,
         }
 
@@ -274,6 +292,8 @@ class ScenarioSpec:
             max_events=data.get("max_events", 5_000_000),
             node_options=_frozen_params(data.get("node_options")),
             cluster_options=_frozen_params(data.get("cluster_options")),
+            stream=data.get("stream", False),
+            feed_window=data.get("feed_window", 64),
             label=data.get("label"),
         )
 
@@ -284,10 +304,15 @@ class ScenarioSpec:
         """Run the cell ``repeats`` times and keep the fastest repetition."""
         best: RunResult | None = None
         for _ in range(max(1, self.repeats)):
+            workload = (
+                self.workload.build_stream(self.n)
+                if self.stream
+                else self.workload.build(self.n)
+            )
             result = run_workload(
                 self.algorithm,
                 self.n,
-                self.workload.build(self.n),
+                workload,
                 seed=self.seed,
                 delay_model=self.delay.build(),
                 fifo=self.fifo,
@@ -298,6 +323,8 @@ class ScenarioSpec:
                 max_events=self.max_events,
                 node_options=self.node_options,
                 cluster_kwargs=self.cluster_options,
+                stream=self.stream,
+                feed_window=self.feed_window,
             )
             if best is None or result.run_s < best.run_s:
                 best = result
@@ -341,9 +368,13 @@ class ScenarioResult:
             "events": result.events,
             "repeats": spec.repeats,
             "setup_s": round(result.setup_s, 4),
+            "feed_s": round(result.feed_s, 4),
             "run_s": round(run_s, 4),
             "events_per_sec": round(result.events / run_s, 1) if run_s > 0 else 0.0,
             "sent_messages_records": len(metrics.sent_messages),
+            "agenda_peak": result.agenda_peak,
+            "streamed": result.streamed,
+            "feed_window": spec.feed_window if result.streamed else None,
             "peak_rss_mb": _peak_rss_mb(),
         }
         if spec.serial:

@@ -12,7 +12,7 @@ delay model, injects fail-stop failures, and records everything in a
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.core.messages import Message, next_request_id
 from repro.exceptions import SimulationError
@@ -145,6 +145,7 @@ class SimulatedCluster:
 
         self.simulator.set_delivery_handler(self._deliver)
         self.simulator.set_timer_handler(self._fire_timer)
+        self.simulator.set_request_handler(self._dispatch_request)
         for node_id, node in self.nodes.items():
             env = SimEnvironment(self, node_id)
             self._environments[node_id] = env
@@ -315,24 +316,128 @@ class SimulatedCluster:
         if not auto_release:
             hold_time = None
 
-        def issue() -> None:
-            if node_id in self.failed:
-                # The requester itself is down; the request never happens.
-                return
-            now = self.simulator.now
-            self.metrics.record_request_issued(request_id, node_id, now)
-            trace = self._trace
-            if trace is not None:
-                trace.emit(now, TraceCategory.REQUEST, node_id, request=request_id)
-            self._pending_request_ids[node_id].append(request_id)
-            self._auto_release[node_id] = hold_time
-            self.nodes[node_id].acquire()
-
         if at is None or at <= self.simulator.now:
-            issue()
+            self._issue_request(node_id, request_id, hold_time)
         else:
-            self.simulator.call_at(at, issue, label=f"request-{node_id}")
+            # Closure-free dispatch: the arrival rides the agenda as a plain
+            # tuple through the TAG_REQUEST jump-table slot (no ScheduledAction
+            # wrapper, no per-request closure capturing self/node_id/hold).
+            self.simulator.schedule_request(at, (node_id, request_id, hold_time, None))
         return request_id
+
+    def feed_workload(self, arrivals: Iterable[Any], *, window: int = 64) -> int:
+        """Inject a workload lazily, keeping at most ``window`` arrivals queued.
+
+        The streaming counterpart of :meth:`repro.workload.arrivals.Workload.apply`:
+        instead of scheduling every arrival up front (O(requests) agenda
+        entries and arrival objects before the run even starts), prime only
+        the first ``window`` arrivals and pull the next one from the
+        iterator each time a queued arrival fires.  Agenda size — and
+        therefore heap depth, which every ``heappush``/``heappop`` of the
+        whole run pays for — stays O(active + window).
+
+        ``arrivals`` is anything iterating over
+        :class:`~repro.workload.arrivals.RequestArrival`-shaped items
+        (``node``/``at``/``hold``), typically an
+        :class:`~repro.workload.arrivals.ArrivalStream`.  Arrival times must
+        be non-decreasing *beyond the window horizon*: out-of-order arrivals
+        are fine while they land inside the currently queued window (the
+        agenda re-orders them), but an arrival earlier than the already
+        reached simulation time raises :class:`SimulationError` — materialise
+        and sort such a workload instead.  Request ids are allocated at
+        injection time, in stream order, so a monotone stream gets the same
+        ids eager scheduling would have produced.
+
+        A streamed run is observably identical to eager scheduling for
+        workloads whose arrival times never exactly tie a pending
+        delivery/timer instant (all built-in generators draw continuous
+        times, so ties have measure zero).  On an exact tie the agenda's
+        insertion-order tiebreak differs: eager scheduling queued every
+        arrival up front with the lowest sequence numbers, a mid-run
+        injection gets a fresh one.
+
+        Can be called on a live cluster (e.g. to chain a second workload)
+        and multiple feeds can be active at once; each pull replenishes only
+        its own stream.
+
+        Returns:
+            The number of arrivals primed into the window now
+            (``min(window, len(stream))``); the rest inject during the run.
+        """
+        if window < 1:
+            raise SimulationError(f"feeder window must be >= 1, got {window}")
+        iterator = iter(arrivals)
+        schedule = self._schedule_streamed_arrival
+        primed = 0
+        for arrival in iterator:
+            schedule(arrival, iterator)
+            primed += 1
+            if primed >= window:
+                break
+        return primed
+
+    def _schedule_streamed_arrival(self, arrival: Any, feeder: Any) -> None:
+        """Queue one streamed arrival, tagged with the feeder to refill from.
+
+        Mirrors ``request_cs`` semantics: unknown nodes fail fast with
+        :class:`SimulationError`, and a ``hold`` of ``None`` falls back to
+        the cluster's ``cs_duration``.
+        """
+        node = arrival.node
+        if node not in self.nodes:
+            raise SimulationError(f"workload stream names unknown node {node}")
+        at = arrival.at
+        now = self.simulator.now
+        if at < now:
+            raise SimulationError(
+                f"workload stream went backwards in time: arrival at t={at} "
+                f"pulled when the simulation already reached t={now}; "
+                "increase the feeder window or materialise the workload"
+            )
+        hold = arrival.hold
+        if hold is None:
+            hold = self.cs_duration
+        self.simulator.schedule_request(at, (node, next_request_id(), hold, feeder))
+
+    def _dispatch_request(self, payload: tuple[int, int, float | None, Any]) -> None:
+        """Jump-table handler for TAG_REQUEST entries (see ``request_cs``)."""
+        node_id, request_id, hold, feeder = payload
+        if feeder is not None:
+            # Refill the feeder window before issuing: one arrival leaves the
+            # agenda, the next one of its stream enters.  Runs once per
+            # streamed request, so the _schedule_streamed_arrival frame is
+            # inlined — keep the two in sync.
+            arrival = next(feeder, None)
+            if arrival is not None:
+                node = arrival.node
+                if node not in self.nodes:
+                    raise SimulationError(f"workload stream names unknown node {node}")
+                at = arrival.at
+                simulator = self.simulator
+                if at < simulator._time:
+                    raise SimulationError(
+                        f"workload stream went backwards in time: arrival at t={at} "
+                        f"pulled when the simulation already reached t={simulator._time}; "
+                        "increase the feeder window or materialise the workload"
+                    )
+                arrival_hold = arrival.hold
+                if arrival_hold is None:
+                    arrival_hold = self.cs_duration
+                simulator.schedule_request(at, (node, next_request_id(), arrival_hold, feeder))
+        self._issue_request(node_id, request_id, hold)
+
+    def _issue_request(self, node_id: int, request_id: int, hold: float | None) -> None:
+        if node_id in self.failed:
+            # The requester itself is down; the request never happens.
+            return
+        now = self.simulator._time
+        self.metrics.record_request_issued(request_id, node_id, now)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(now, TraceCategory.REQUEST, node_id, request=request_id)
+        self._pending_request_ids[node_id].append(request_id)
+        self._auto_release[node_id] = hold
+        self.nodes[node_id].acquire()
 
     def release_cs(self, node_id: int) -> None:
         """Explicitly release the critical section held by ``node_id``."""

@@ -7,11 +7,15 @@ plain mutable list ``[time, sequence, tag, payload, cancelled, owner]``:
   ordering; sequences are unique so heap comparisons never look past index 1,
   which keeps every comparison a C-level float/int compare,
 * ``tag`` is a small int (:data:`TAG_DELIVERY`, :data:`TAG_TIMER`,
-  :data:`TAG_ACTION`) used by the simulator's jump-table dispatch instead of
-  per-event ``isinstance`` checks,
-* ``payload`` is one of the classes below — except message deliveries, the
-  hottest event type, which are stored (and handed to the delivery handler)
-  as plain ``(sender, dest, message, sent_at)`` tuples;
+  :data:`TAG_ACTION`, :data:`TAG_REQUEST`) used by the simulator's
+  jump-table dispatch instead of per-event ``isinstance`` checks,
+* ``payload`` is one of the classes below — except the two hottest event
+  types, which skip the wrapper entirely: message deliveries are stored
+  (and handed to the delivery handler) as plain
+  ``(sender, dest, message, sent_at)`` tuples, and critical-section request
+  arrivals as plain ``(node, request_id, hold, feeder)`` tuples
+  (:data:`TAG_REQUEST`; scheduled only through
+  ``Simulator.schedule_request``, there is no payload class).
   :class:`MessageDelivery` remains the construction API for callers that
   schedule deliveries directly through ``schedule_at``,
 * ``cancelled`` marks entries to skip, and ``owner`` points back at the
@@ -35,12 +39,14 @@ __all__ = [
     "TAG_DELIVERY",
     "TAG_TIMER",
     "TAG_ACTION",
+    "TAG_REQUEST",
 ]
 
 #: Jump-table indices for the simulator's dispatch (see Simulator._jump).
 TAG_DELIVERY = 0
 TAG_TIMER = 1
 TAG_ACTION = 2
+TAG_REQUEST = 3
 
 
 class MessageDelivery:

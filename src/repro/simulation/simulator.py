@@ -15,8 +15,9 @@ per-event Python niceties:
   owner]`` (see :mod:`repro.simulation.events`); sequences are unique, so
   heap comparisons resolve at C speed on the first two elements and never
   touch the payload,
-* dispatch goes through a three-slot jump table indexed by the entry's int
-  ``tag`` (computed once at schedule time) instead of ``isinstance`` chains,
+* dispatch goes through a four-slot jump table indexed by the entry's int
+  ``tag`` (computed once at schedule time) instead of ``isinstance`` chains
+  — deliveries, timers, actions and critical-section request arrivals,
 * :attr:`Simulator.pending_events` is a live counter maintained on schedule,
   cancel and pop — not an O(n) scan of the heap,
 * :meth:`Simulator.run` inlines the pop/dispatch loop so the common case
@@ -43,6 +44,7 @@ from repro.exceptions import SimulationError
 from repro.simulation.events import (
     TAG_ACTION,
     TAG_DELIVERY,
+    TAG_REQUEST,
     TAG_TIMER,
     MessageDelivery,
     ScheduledAction,
@@ -69,6 +71,10 @@ def _no_timer_handler(payload: Any) -> None:
     raise SimulationError("no timer handler registered")
 
 
+def _no_request_handler(payload: Any) -> None:
+    raise SimulationError("no request handler registered")
+
+
 class Simulator:
     """Deterministic discrete-event loop.
 
@@ -82,6 +88,7 @@ class Simulator:
         self._sequence: int = 0
         self._processed: int = 0
         self._pending: int = 0
+        self._peak_pending: int = 0
         self.rng = random.Random(seed)
         # Jump table indexed by the entry tag — the single source of truth
         # for dispatch; mutated in place so loops that hold a local
@@ -90,6 +97,7 @@ class Simulator:
             _no_delivery_handler,
             _no_timer_handler,
             _run_action,
+            _no_request_handler,
         ]
 
     # ------------------------------------------------------------------
@@ -108,6 +116,18 @@ class Simulator:
     def set_timer_handler(self, handler: Callable[[TimerExpiry], None]) -> None:
         """Register the callable invoked for each timer expiry event."""
         self._jump[TAG_TIMER] = handler
+
+    def set_request_handler(
+        self, handler: Callable[[tuple[int, int, Any, Any]], None]
+    ) -> None:
+        """Register the callable invoked for each request-arrival event.
+
+        The handler receives the arrival as a plain tuple
+        ``(node, request_id, hold, feeder)`` — ``feeder`` is an arrival
+        iterator to pull the next streamed arrival from, or ``None`` for
+        one-shot requests (see :meth:`schedule_request`).
+        """
+        self._jump[TAG_REQUEST] = handler
 
     # ------------------------------------------------------------------
     # Clock and agenda
@@ -128,6 +148,19 @@ class Simulator:
         loop batches its decrements for speed.
         """
         return self._pending
+
+    @property
+    def peak_pending(self) -> int:
+        """High-water mark of the agenda (heap) size over the run so far.
+
+        Sampled after every push — pops only shrink the heap, so push-time
+        sampling is exact.  Unlike :attr:`pending_events` it counts
+        cancelled-but-not-yet-popped entries too, which is the honest
+        memory figure.  With eager workload scheduling this is O(requests);
+        with the bounded-window feeder it stays O(active + window) — the
+        number the scale benchmark reports as ``agenda_peak``.
+        """
+        return self._peak_pending
 
     @property
     def processed_events(self) -> int:
@@ -168,8 +201,11 @@ class Simulator:
             payload = (payload.sender, payload.dest, payload.message, payload.sent_at)
         self._sequence += 1
         entry: AgendaEntry = [time, self._sequence, tag, payload, False, self]
-        heapq.heappush(self._heap, entry)
+        heap = self._heap
+        heapq.heappush(heap, entry)
         self._pending += 1
+        if len(heap) > self._peak_pending:
+            self._peak_pending = len(heap)
         return entry
 
     def schedule_delivery(
@@ -189,8 +225,36 @@ class Simulator:
         seq = self._sequence + 1
         self._sequence = seq
         entry: AgendaEntry = [time, seq, TAG_DELIVERY, (sender, dest, message, sent_at), False, self]
-        heapq.heappush(self._heap, entry)
+        heap = self._heap
+        heapq.heappush(heap, entry)
         self._pending += 1
+        if len(heap) > self._peak_pending:
+            self._peak_pending = len(heap)
+        return entry
+
+    def schedule_request(
+        self, time: float, payload: tuple[int, int, Any, Any]
+    ) -> AgendaEntry:
+        """Fast-path scheduling of one critical-section request arrival.
+
+        ``payload`` is the plain tuple ``(node, request_id, hold, feeder)``
+        handed verbatim to the request handler — no per-request closure, no
+        wrapper object.  ``feeder`` is an arrival iterator the handler pulls
+        the next streamed arrival from (bounded-window workload feeding), or
+        ``None`` for one-shot requests.
+        """
+        if time < self._time:
+            raise SimulationError(
+                f"cannot schedule an event at {time} before current time {self._time}"
+            )
+        seq = self._sequence + 1
+        self._sequence = seq
+        entry: AgendaEntry = [time, seq, TAG_REQUEST, payload, False, self]
+        heap = self._heap
+        heapq.heappush(heap, entry)
+        self._pending += 1
+        if len(heap) > self._peak_pending:
+            self._peak_pending = len(heap)
         return entry
 
     def schedule(

@@ -1,23 +1,37 @@
 """Workload generation for the evaluation experiments."""
 
 from repro.workload.arrivals import (
+    ArrivalStream,
     RequestArrival,
     Workload,
     burst_arrivals,
+    burst_stream,
     hotspot_arrivals,
+    hotspot_stream,
     poisson_arrivals,
+    poisson_stream,
     serial_random,
+    serial_random_stream,
     serial_round_robin,
+    serial_round_robin_stream,
     single_requester,
+    single_requester_stream,
 )
 
 __all__ = [
+    "ArrivalStream",
     "RequestArrival",
     "Workload",
     "burst_arrivals",
+    "burst_stream",
     "hotspot_arrivals",
+    "hotspot_stream",
     "poisson_arrivals",
+    "poisson_stream",
     "serial_random",
+    "serial_random_stream",
     "serial_round_robin",
+    "serial_round_robin_stream",
     "single_requester",
+    "single_requester_stream",
 ]

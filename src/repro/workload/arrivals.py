@@ -1,8 +1,29 @@
 """Request-arrival generators.
 
-A workload is a list of :class:`RequestArrival` items (who asks, when, and
-for how long they hold the critical section).  Generators produce
+A workload is a sequence of :class:`RequestArrival` items (who asks, when,
+and for how long they hold the critical section).  Generators produce
 deterministic workloads from a seed, so every experiment is reproducible.
+
+Streaming vs materialised workloads
+-----------------------------------
+
+Every generator exists in two forms:
+
+* ``*_stream`` returns an :class:`ArrivalStream` — a *lazy*, re-iterable
+  description of the arrivals.  Nothing is allocated up front; each
+  iteration re-seeds its own RNG, so iterating twice yields the identical
+  sequence.  This is the form the scale path consumes: the cluster's
+  workload feeder (:meth:`SimulatedCluster.feed_workload`) pulls arrivals
+  from the stream one at a time and keeps only a bounded window in the
+  agenda, so a 500k-request run never holds 500k arrival objects (or 500k
+  agenda entries) in memory.
+* the eager function (``poisson_arrivals``, ``burst_arrivals``, ...)
+  materialises the stream into a :class:`Workload` list — the right form
+  for small runs, analysis code that indexes arrivals, and tests.
+
+All generators emit arrivals in non-decreasing ``at`` order (bursts are
+ordered within and across bursts), which is what lets the feeder inject
+lazily without ever needing to schedule into the past.
 
 The paper does not specify its workload precisely; the generators here cover
 the patterns its analysis implicitly uses (a single requester at a time for
@@ -12,36 +33,98 @@ practical evaluation needs (Poisson arrivals, hotspots, bursts).
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.exceptions import ConfigurationError
 
 __all__ = [
     "RequestArrival",
+    "ArrivalStream",
     "Workload",
     "serial_round_robin",
+    "serial_round_robin_stream",
     "serial_random",
+    "serial_random_stream",
     "single_requester",
+    "single_requester_stream",
     "poisson_arrivals",
+    "poisson_stream",
     "hotspot_arrivals",
+    "hotspot_stream",
     "burst_arrivals",
+    "burst_stream",
 ]
 
 
-@dataclass(frozen=True)
 class RequestArrival:
-    """One critical-section request of the workload."""
+    """One critical-section request of the workload.
 
-    node: int
-    at: float
-    hold: float
+    A ``__slots__`` value class with a hand-written initialiser rather than
+    a frozen dataclass: streamed runs allocate one per request *inside* the
+    simulation loop, where ``frozen=True``'s ``object.__setattr__``-based
+    ``__init__`` roughly doubles the generator cost (same lesson as the
+    event payloads in :mod:`repro.simulation.events`).
+    """
+
+    __slots__ = ("node", "at", "hold")
+
+    def __init__(self, node: int, at: float, hold: float) -> None:
+        self.node = node
+        self.at = at
+        self.hold = hold
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RequestArrival):
+            return NotImplemented
+        return (self.node, self.at, self.hold) == (other.node, other.at, other.hold)
+
+    def __hash__(self) -> int:
+        return hash((self.node, self.at, self.hold))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RequestArrival(node={self.node}, at={self.at}, hold={self.hold})"
+
+
+class ArrivalStream:
+    """A named, lazy, re-iterable stream of :class:`RequestArrival` items.
+
+    Wraps a zero-argument *factory* returning a fresh iterator; every
+    ``iter()`` call invokes it, so the stream can be replayed (scenario
+    ``repeats``, parity tests) and two iterations of a seeded stream are
+    identical.  ``count`` is the number of arrivals the stream will yield
+    when known (every built-in generator knows it), or ``None`` for
+    open-ended streams.
+    """
+
+    __slots__ = ("name", "count", "_factory")
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable[[], Iterator[RequestArrival]],
+        count: int | None = None,
+    ) -> None:
+        self.name = name
+        self.count = count
+        self._factory = factory
+
+    def __iter__(self) -> Iterator[RequestArrival]:
+        return self._factory()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ArrivalStream(name={self.name!r}, count={self.count})"
+
+    def materialise(self) -> "Workload":
+        """Realise the stream into an eager :class:`Workload` list."""
+        return Workload(name=self.name, arrivals=list(self))
 
 
 @dataclass
 class Workload:
-    """A named, ordered collection of request arrivals."""
+    """A named, ordered, fully materialised collection of request arrivals."""
 
     name: str
     arrivals: list[RequestArrival]
@@ -51,6 +134,31 @@ class Workload:
 
     def __iter__(self):
         return iter(self.arrivals)
+
+    @property
+    def count(self) -> int:
+        """Number of arrivals (mirrors :attr:`ArrivalStream.count`)."""
+        return len(self.arrivals)
+
+    def stream(self) -> ArrivalStream:
+        """A re-iterable :class:`ArrivalStream` view over the list."""
+        return ArrivalStream(
+            name=self.name, factory=lambda: iter(self.arrivals), count=len(self.arrivals)
+        )
+
+    def schedule(self, cluster) -> int:
+        """Eagerly schedule every arrival; returns only the request *count*.
+
+        The counting twin of :meth:`apply` for callers that do not need the
+        id list (the experiment runner, benchmarks): scheduling 500k
+        requests should not also build a 500k-element list just to drop it.
+        """
+        request_cs = cluster.request_cs
+        count = 0
+        for arrival in self.arrivals:
+            request_cs(arrival.node, at=arrival.at, hold=arrival.hold)
+            count += 1
+        return count
 
     def apply(self, cluster) -> list[int]:
         """Schedule every arrival on a cluster; returns the request ids."""
@@ -73,14 +181,14 @@ def _check_n(n: int) -> None:
         raise ConfigurationError(f"need at least one node, got {n}")
 
 
-def serial_round_robin(
+def serial_round_robin_stream(
     n: int,
     rounds: int = 1,
     *,
     spacing: float = 50.0,
     hold: float = 0.5,
     start: float = 1.0,
-) -> Workload:
+) -> ArrivalStream:
     """Every node requests once per round, strictly one at a time.
 
     ``spacing`` must exceed the worst-case time to satisfy one request so
@@ -91,13 +199,57 @@ def serial_round_robin(
     _check_n(n)
     if rounds < 1 or spacing <= 0:
         raise ConfigurationError("rounds must be >= 1 and spacing > 0")
-    arrivals = []
-    time = start
-    for _ in range(rounds):
-        for node in range(1, n + 1):
-            arrivals.append(RequestArrival(node=node, at=time, hold=hold))
+
+    def generate() -> Iterator[RequestArrival]:
+        time = start
+        for _ in range(rounds):
+            for node in range(1, n + 1):
+                yield RequestArrival(node=node, at=time, hold=hold)
+                time += spacing
+
+    return ArrivalStream(
+        name=f"serial_round_robin(n={n}, rounds={rounds})",
+        factory=generate,
+        count=rounds * n,
+    )
+
+
+def serial_round_robin(
+    n: int,
+    rounds: int = 1,
+    *,
+    spacing: float = 50.0,
+    hold: float = 0.5,
+    start: float = 1.0,
+) -> Workload:
+    """Eager :func:`serial_round_robin_stream` (see there)."""
+    return serial_round_robin_stream(
+        n, rounds, spacing=spacing, hold=hold, start=start
+    ).materialise()
+
+
+def serial_random_stream(
+    n: int,
+    count: int,
+    *,
+    seed: int = 0,
+    spacing: float = 50.0,
+    hold: float = 0.5,
+    start: float = 1.0,
+) -> ArrivalStream:
+    """``count`` requests from uniformly random nodes, one at a time."""
+    _check_n(n)
+
+    def generate() -> Iterator[RequestArrival]:
+        rng = random.Random(seed)
+        time = start
+        for _ in range(count):
+            yield RequestArrival(node=rng.randint(1, n), at=time, hold=hold)
             time += spacing
-    return Workload(name=f"serial_round_robin(n={n}, rounds={rounds})", arrivals=arrivals)
+
+    return ArrivalStream(
+        name=f"serial_random(n={n}, count={count})", factory=generate, count=count
+    )
 
 
 def serial_random(
@@ -109,15 +261,33 @@ def serial_random(
     hold: float = 0.5,
     start: float = 1.0,
 ) -> Workload:
-    """``count`` requests from uniformly random nodes, one at a time."""
+    """Eager :func:`serial_random_stream` (see there)."""
+    return serial_random_stream(
+        n, count, seed=seed, spacing=spacing, hold=hold, start=start
+    ).materialise()
+
+
+def single_requester_stream(
+    n: int,
+    node: int,
+    count: int,
+    *,
+    spacing: float = 50.0,
+    hold: float = 0.5,
+    start: float = 1.0,
+) -> ArrivalStream:
+    """The same node requests repeatedly (workload-adaptivity experiments)."""
     _check_n(n)
-    rng = random.Random(seed)
-    arrivals = []
-    time = start
-    for _ in range(count):
-        arrivals.append(RequestArrival(node=rng.randint(1, n), at=time, hold=hold))
-        time += spacing
-    return Workload(name=f"serial_random(n={n}, count={count})", arrivals=arrivals)
+    if not 1 <= node <= n:
+        raise ConfigurationError(f"node {node} outside 1..{n}")
+
+    def generate() -> Iterator[RequestArrival]:
+        for i in range(count):
+            yield RequestArrival(node=node, at=start + i * spacing, hold=hold)
+
+    return ArrivalStream(
+        name=f"single_requester(node={node}, count={count})", factory=generate, count=count
+    )
 
 
 def single_requester(
@@ -129,14 +299,51 @@ def single_requester(
     hold: float = 0.5,
     start: float = 1.0,
 ) -> Workload:
-    """The same node requests repeatedly (workload-adaptivity experiments)."""
+    """Eager :func:`single_requester_stream` (see there)."""
+    return single_requester_stream(
+        n, node, count, spacing=spacing, hold=hold, start=start
+    ).materialise()
+
+
+def poisson_stream(
+    n: int,
+    count: int,
+    *,
+    rate: float = 0.2,
+    seed: int = 0,
+    hold: float = 0.5,
+    start: float = 1.0,
+    nodes: Sequence[int] | None = None,
+) -> ArrivalStream:
+    """Poisson-process arrivals from uniformly random nodes.
+
+    ``rate`` is the aggregate arrival rate (requests per time unit).  Keep
+    ``rate * (hold + a few deltas) < 1`` for a stable (non-saturated) system;
+    the concurrency experiments sweep this product.
+    """
     _check_n(n)
-    if not 1 <= node <= n:
-        raise ConfigurationError(f"node {node} outside 1..{n}")
-    arrivals = [
-        RequestArrival(node=node, at=start + i * spacing, hold=hold) for i in range(count)
-    ]
-    return Workload(name=f"single_requester(node={node}, count={count})", arrivals=arrivals)
+    if rate <= 0 or count < 1:
+        raise ConfigurationError("rate must be > 0 and count >= 1")
+    population = list(nodes) if nodes is not None else None
+
+    def generate() -> Iterator[RequestArrival]:
+        rng = random.Random(seed)
+        # `choice` over a list and `randint` consume the RNG stream
+        # differently; keep the original population-list sampling so seeded
+        # streams stay byte-identical to the historical eager generator.
+        pool = population if population is not None else list(range(1, n + 1))
+        # Streamed runs generate arrivals *inside* the simulation loop, so
+        # the bound methods are hoisted like the cluster's send fast path.
+        expovariate = rng.expovariate
+        choice = rng.choice
+        time = start
+        for _ in range(count):
+            time += expovariate(rate)
+            yield RequestArrival(choice(pool), time, hold)
+
+    return ArrivalStream(
+        name=f"poisson(n={n}, count={count}, rate={rate})", factory=generate, count=count
+    )
 
 
 def poisson_arrivals(
@@ -149,23 +356,51 @@ def poisson_arrivals(
     start: float = 1.0,
     nodes: Sequence[int] | None = None,
 ) -> Workload:
-    """Poisson-process arrivals from uniformly random nodes.
+    """Eager :func:`poisson_stream` (see there)."""
+    return poisson_stream(
+        n, count, rate=rate, seed=seed, hold=hold, start=start, nodes=nodes
+    ).materialise()
 
-    ``rate`` is the aggregate arrival rate (requests per time unit).  Keep
-    ``rate * (hold + a few deltas) < 1`` for a stable (non-saturated) system;
-    the concurrency experiments sweep this product.
+
+def hotspot_stream(
+    n: int,
+    count: int,
+    *,
+    hotspot_nodes: Iterable[int],
+    hotspot_fraction: float = 0.8,
+    rate: float = 0.2,
+    seed: int = 0,
+    hold: float = 0.5,
+    start: float = 1.0,
+) -> ArrivalStream:
+    """Poisson arrivals where a subset of nodes issues most of the requests.
+
+    Exercises the workload-adaptivity claim of the introduction: frequent
+    requesters drift towards the root, so their per-request cost drops
+    compared to the uniform case.
     """
     _check_n(n)
-    if rate <= 0 or count < 1:
-        raise ConfigurationError("rate must be > 0 and count >= 1")
-    rng = random.Random(seed)
-    population = list(nodes) if nodes is not None else list(range(1, n + 1))
-    arrivals = []
-    time = start
-    for _ in range(count):
-        time += rng.expovariate(rate)
-        arrivals.append(RequestArrival(node=rng.choice(population), at=time, hold=hold))
-    return Workload(name=f"poisson(n={n}, count={count}, rate={rate})", arrivals=arrivals)
+    hot = list(hotspot_nodes)
+    if not hot:
+        raise ConfigurationError("hotspot_nodes must not be empty")
+    if not 0.0 < hotspot_fraction <= 1.0:
+        raise ConfigurationError("hotspot_fraction must be in (0, 1]")
+    hot_set = set(hot)
+    cold = [node for node in range(1, n + 1) if node not in hot_set] or hot
+
+    def generate() -> Iterator[RequestArrival]:
+        rng = random.Random(seed)
+        time = start
+        for _ in range(count):
+            time += rng.expovariate(rate)
+            pool = hot if rng.random() < hotspot_fraction else cold
+            yield RequestArrival(node=rng.choice(pool), at=time, hold=hold)
+
+    return ArrivalStream(
+        name=f"hotspot(n={n}, count={count}, hot={sorted(hot)})",
+        factory=generate,
+        count=count,
+    )
 
 
 def hotspot_arrivals(
@@ -179,27 +414,77 @@ def hotspot_arrivals(
     hold: float = 0.5,
     start: float = 1.0,
 ) -> Workload:
-    """Poisson arrivals where a subset of nodes issues most of the requests.
+    """Eager :func:`hotspot_stream` (see there)."""
+    return hotspot_stream(
+        n,
+        count,
+        hotspot_nodes=hotspot_nodes,
+        hotspot_fraction=hotspot_fraction,
+        rate=rate,
+        seed=seed,
+        hold=hold,
+        start=start,
+    ).materialise()
 
-    Exercises the workload-adaptivity claim of the introduction: frequent
-    requesters drift towards the root, so their per-request cost drops
-    compared to the uniform case.
+
+def burst_stream(
+    n: int,
+    bursts: int,
+    burst_size: int,
+    *,
+    burst_spacing: float = 200.0,
+    within_burst: float = 0.5,
+    seed: int = 0,
+    hold: float = 0.5,
+    start: float = 1.0,
+) -> ArrivalStream:
+    """Bursts of nearly simultaneous requests from distinct random nodes.
+
+    Stresses the queueing behaviour (many concurrent requests racing up the
+    tree at once), the regime where Naimi-Trehel's dynamic tree degrades and
+    the open-cube's bounded diameter pays off.
+
+    When a burst's tail extends past the next burst's start
+    (``(burst_size - 1) * within_burst > burst_spacing``) the overlapping
+    arrivals are merged in time order through a small bounded buffer, so the
+    stream keeps the non-decreasing-``at`` invariant the workload feeder
+    relies on; the merge is stable, so non-overlapping bursts come out in
+    exactly the historical generation order.
     """
     _check_n(n)
-    hot = [node for node in hotspot_nodes]
-    if not hot:
-        raise ConfigurationError("hotspot_nodes must not be empty")
-    if not 0.0 < hotspot_fraction <= 1.0:
-        raise ConfigurationError("hotspot_fraction must be in (0, 1]")
-    rng = random.Random(seed)
-    cold = [node for node in range(1, n + 1) if node not in set(hot)] or hot
-    arrivals = []
-    time = start
-    for _ in range(count):
-        time += rng.expovariate(rate)
-        pool = hot if rng.random() < hotspot_fraction else cold
-        arrivals.append(RequestArrival(node=rng.choice(pool), at=time, hold=hold))
-    return Workload(name=f"hotspot(n={n}, count={count}, hot={sorted(hot)})", arrivals=arrivals)
+    if burst_size > n:
+        raise ConfigurationError("burst_size cannot exceed the number of nodes")
+
+    def generate() -> Iterator[RequestArrival]:
+        rng = random.Random(seed)
+        # Min-heap of (at, generation order, node): holds at most the bursts
+        # that overlap the next burst's start — one burst in the common
+        # non-overlapping case.
+        buffer: list[tuple[float, int, int]] = []
+        sequence = 0
+        time = start
+        for _ in range(bursts):
+            nodes = rng.sample(range(1, n + 1), burst_size)
+            for offset, node in enumerate(nodes):
+                sequence += 1
+                heapq.heappush(buffer, (time + offset * within_burst, sequence, node))
+            time += burst_spacing
+            # Everything before the next burst's start can no longer be
+            # preceded by a future arrival; arrivals tied with the start
+            # stay buffered so the heap's sequence tiebreak keeps the
+            # stable (generation) order.
+            while buffer and buffer[0][0] < time:
+                at, _, node = heapq.heappop(buffer)
+                yield RequestArrival(node, at, hold)
+        while buffer:
+            at, _, node = heapq.heappop(buffer)
+            yield RequestArrival(node, at, hold)
+
+    return ArrivalStream(
+        name=f"bursts(n={n}, bursts={bursts}, size={burst_size})",
+        factory=generate,
+        count=bursts * burst_size,
+    )
 
 
 def burst_arrivals(
@@ -213,25 +498,14 @@ def burst_arrivals(
     hold: float = 0.5,
     start: float = 1.0,
 ) -> Workload:
-    """Bursts of nearly simultaneous requests from distinct random nodes.
-
-    Stresses the queueing behaviour (many concurrent requests racing up the
-    tree at once), the regime where Naimi-Trehel's dynamic tree degrades and
-    the open-cube's bounded diameter pays off.
-    """
-    _check_n(n)
-    if burst_size > n:
-        raise ConfigurationError("burst_size cannot exceed the number of nodes")
-    rng = random.Random(seed)
-    arrivals = []
-    time = start
-    for _ in range(bursts):
-        nodes = rng.sample(range(1, n + 1), burst_size)
-        for offset, node in enumerate(nodes):
-            arrivals.append(
-                RequestArrival(node=node, at=time + offset * within_burst, hold=hold)
-            )
-        time += burst_spacing
-    return Workload(
-        name=f"bursts(n={n}, bursts={bursts}, size={burst_size})", arrivals=arrivals
-    )
+    """Eager :func:`burst_stream` (see there)."""
+    return burst_stream(
+        n,
+        bursts,
+        burst_size,
+        burst_spacing=burst_spacing,
+        within_burst=within_burst,
+        seed=seed,
+        hold=hold,
+        start=start,
+    ).materialise()

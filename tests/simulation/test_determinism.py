@@ -19,11 +19,18 @@ import pytest
 
 from repro.baselines.registry import build_cluster
 from repro.core import messages
-from repro.workload.arrivals import poisson_arrivals
+from repro.workload.arrivals import poisson_arrivals, poisson_stream
 
 #: sha256 over the full trace + metrics summary of the two scenario runs
 #: below, computed on the pre-rewrite engine.
 GOLDEN_DIGEST = "51796c98bf6d15f69aca1ddd0b336407c6264e7736cb9d439631eb96b0c90639"
+
+#: sha256 of the streamed (bounded-window feeder) run below, pinning the
+#: feeder's own event order from the PR that introduced it.  The pinned
+#: workload has distinct arrival times, so lazy injection cannot reorder
+#: arrivals relative to eager scheduling — but injection *sequence numbers*
+#: differ, and this digest locks that canonical streamed order down.
+STREAMED_DIGEST = "e613ba3eb6d8bb39366bb798615bda941831629bce6be7ff2585d0140aa78203"
 
 
 def run_golden_scenario():
@@ -72,12 +79,38 @@ def trace_digest(clusters) -> str:
     return hasher.hexdigest()
 
 
+def run_streamed_scenario():
+    """The pinned feeder scenario: a streamed n=64 Poisson run, seeded."""
+    messages._request_counter = itertools.count(1)
+    cluster = build_cluster("open-cube", 64, seed=17, trace=True)
+    stream = poisson_stream(64, 120, rate=0.8, seed=23, hold=0.3)
+    cluster.feed_workload(stream, window=8)
+    cluster.run_until_quiescent()
+    return [cluster]
+
+
 class TestGoldenTrace:
     def test_seeded_run_matches_pre_rewrite_digest(self):
         assert trace_digest(run_golden_scenario()) == GOLDEN_DIGEST
 
     def test_back_to_back_runs_are_identical(self):
         assert trace_digest(run_golden_scenario()) == trace_digest(run_golden_scenario())
+
+
+class TestStreamedGoldenTrace:
+    def test_streamed_seeded_run_matches_pinned_digest(self):
+        assert trace_digest(run_streamed_scenario()) == STREAMED_DIGEST
+
+    def test_streamed_run_matches_eager_run_of_same_workload(self):
+        """Lazy injection must not change *what* happens, only agenda size."""
+        streamed = run_streamed_scenario()[0]
+        messages._request_counter = itertools.count(1)
+        eager = build_cluster("open-cube", 64, seed=17, trace=True)
+        poisson_stream(64, 120, rate=0.8, seed=23, hold=0.3).materialise().apply(eager)
+        eager.run_until_quiescent()
+        assert streamed.metrics.summary() == eager.metrics.summary()
+        # And the agenda stayed O(active + window) instead of O(requests).
+        assert streamed.simulator.peak_pending < eager.simulator.peak_pending
 
 
 class TestCountersModeEquivalence:

@@ -1,0 +1,245 @@
+"""Tests for the bounded-window workload feeder and arrival streams.
+
+The feeder (:meth:`SimulatedCluster.feed_workload`) must be a pure
+performance device: a streamed run has to produce *exactly* the metrics an
+eager ``Workload.apply`` run produces, while keeping the agenda
+O(active + window) instead of O(requests).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.baselines.registry import build_cluster
+from repro.core import messages
+from repro.exceptions import SimulationError
+from repro.simulation.failures import FailurePlanner
+from repro.workload.arrivals import (
+    ArrivalStream,
+    RequestArrival,
+    burst_stream,
+    hotspot_stream,
+    poisson_stream,
+)
+
+STREAMS = {
+    "poisson": lambda: poisson_stream(32, 300, rate=1.0, seed=9, hold=0.2),
+    "bursts": lambda: burst_stream(32, 6, 16, seed=4, hold=0.3),
+    "hotspot": lambda: hotspot_stream(
+        32, 200, hotspot_nodes=[3, 7, 21], hotspot_fraction=0.7, seed=2, hold=0.2
+    ),
+}
+
+
+def run_cluster(stream, *, streamed, window=64, algorithm="open-cube", n=32, schedule=None):
+    """One seeded run; request ids pinned so eager/streamed runs compare."""
+    messages._request_counter = itertools.count(1)
+    cluster = build_cluster(algorithm, n, seed=11, trace=False)
+    if streamed:
+        cluster.feed_workload(stream, window=window)
+    else:
+        stream.materialise().apply(cluster)
+    if schedule is not None:
+        schedule.apply(cluster)
+    cluster.run_until_quiescent()
+    return cluster
+
+
+class TestStreamGenerators:
+    def test_streams_are_lazy_and_reiterable(self):
+        stream = poisson_stream(16, 50, rate=1.0, seed=3)
+        assert isinstance(stream, ArrivalStream)
+        assert stream.count == 50
+        assert list(stream) == list(stream)  # fresh RNG per iteration
+
+    def test_stream_matches_materialised_workload(self):
+        for name, make in STREAMS.items():
+            stream = make()
+            workload = make().materialise()
+            assert list(stream) == workload.arrivals, name
+            assert stream.name == workload.name
+
+    def test_workload_stream_round_trip(self):
+        workload = poisson_stream(8, 20, rate=1.0, seed=1).materialise()
+        view = workload.stream()
+        assert list(view) == workload.arrivals
+        assert view.count == len(workload)
+
+    def test_counting_schedule_matches_apply(self):
+        workload = poisson_stream(8, 25, rate=1.0, seed=6).materialise()
+        counting = build_cluster("open-cube", 8, seed=0, trace=False)
+        ids_cluster = build_cluster("open-cube", 8, seed=0, trace=False)
+        assert workload.schedule(counting) == len(workload.apply(ids_cluster))
+        assert counting.simulator.pending_events == ids_cluster.simulator.pending_events
+
+
+class TestFeederParity:
+    @pytest.mark.parametrize("kind", sorted(STREAMS))
+    def test_streamed_run_matches_eager_metrics(self, kind):
+        eager = run_cluster(STREAMS[kind](), streamed=False)
+        streamed = run_cluster(STREAMS[kind](), streamed=True)
+        assert streamed.metrics.summary() == eager.metrics.summary()
+        assert streamed.metrics.total_messages() == eager.metrics.total_messages()
+        assert dict(streamed.metrics.messages_by_sender) == dict(
+            eager.metrics.messages_by_sender
+        )
+        # Request ids are allocated in stream order, so even the per-request
+        # records line up one-to-one.
+        assert streamed.metrics.requests.keys() == eager.metrics.requests.keys()
+
+    @pytest.mark.parametrize("window", [1, 2, 7, 299, 300, 10_000])
+    def test_window_boundaries_do_not_change_the_run(self, window):
+        eager = run_cluster(STREAMS["poisson"](), streamed=False)
+        streamed = run_cluster(STREAMS["poisson"](), streamed=True, window=window)
+        assert streamed.metrics.summary() == eager.metrics.summary()
+
+    def test_window_larger_than_stream_primes_everything(self):
+        stream = poisson_stream(8, 10, rate=1.0, seed=5)
+        messages._request_counter = itertools.count(1)
+        cluster = build_cluster("open-cube", 8, seed=1, trace=False)
+        primed = cluster.feed_workload(stream, window=50)
+        assert primed == 10
+        assert cluster.simulator.pending_events == 10
+
+    def test_window_one_keeps_single_arrival_queued(self):
+        stream = poisson_stream(8, 40, rate=1.0, seed=5)
+        messages._request_counter = itertools.count(1)
+        cluster = build_cluster("open-cube", 8, seed=1, trace=False)
+        assert cluster.feed_workload(stream, window=1) == 1
+        assert cluster.simulator.pending_events == 1
+        cluster.run_until_quiescent()
+        assert len(cluster.metrics.requests) == 40
+
+    def test_agenda_peak_stays_within_window_plus_active(self):
+        window = 16
+        eager = run_cluster(STREAMS["poisson"](), streamed=False)
+        streamed = run_cluster(STREAMS["poisson"](), streamed=True, window=window)
+        n = 32
+        assert eager.simulator.peak_pending >= 300  # eager: O(requests)
+        assert streamed.simulator.peak_pending <= window + 2 * n
+        assert streamed.simulator.peak_pending < eager.simulator.peak_pending
+
+
+class TestFeederEdgeCases:
+    def test_invalid_window_rejected(self):
+        cluster = build_cluster("open-cube", 8, seed=0, trace=False)
+        with pytest.raises(SimulationError):
+            cluster.feed_workload(poisson_stream(8, 5), window=0)
+
+    def test_unknown_node_in_stream_rejected_like_request_cs(self):
+        cluster = build_cluster("open-cube", 8, seed=0, trace=False)
+        bad = [RequestArrival(node=99, at=1.0, hold=0.1)]
+        with pytest.raises(SimulationError, match="unknown node 99"):
+            cluster.feed_workload(iter(bad), window=4)
+        # Beyond the priming window the same guard fires at refill time.
+        cluster = build_cluster("open-cube", 8, seed=0, trace=False)
+        mixed = [
+            RequestArrival(node=1, at=1.0, hold=0.1),
+            RequestArrival(node=99, at=2.0, hold=0.1),
+        ]
+        cluster.feed_workload(iter(mixed), window=1)
+        with pytest.raises(SimulationError, match="unknown node 99"):
+            cluster.run_until_quiescent()
+
+    def test_none_hold_defaults_to_cs_duration_like_request_cs(self):
+        # request_cs(hold=None) falls back to the cluster's cs_duration and
+        # auto-releases; a streamed arrival with hold=None must behave the
+        # same (both inside the priming window and past it).
+        arrivals = [RequestArrival(node=i, at=float(i) * 40.0, hold=None) for i in (1, 2, 3)]
+        cluster = build_cluster("open-cube", 8, seed=0, trace=False)
+        cluster.feed_workload(iter(arrivals), window=1)
+        cluster.run_until_quiescent()
+        summary = cluster.metrics.summary()
+        assert summary["requests_granted"] == 3
+        assert all(
+            record.released_at is not None for record in cluster.metrics.requests.values()
+        )
+
+    def test_backwards_stream_beyond_window_raises(self):
+        # The second arrival is far in the past relative to the first; with
+        # window=1 it is only pulled once the clock has already advanced.
+        arrivals = [
+            RequestArrival(node=1, at=50.0, hold=0.1),
+            RequestArrival(node=2, at=1.0, hold=0.1),
+        ]
+        cluster = build_cluster("open-cube", 8, seed=0, trace=False)
+        cluster.feed_workload(iter(arrivals), window=1)
+        with pytest.raises(SimulationError, match="backwards in time"):
+            cluster.run_until_quiescent()
+
+    def test_out_of_order_inside_window_is_fine(self):
+        # Same workload, but the window covers both arrivals, so the agenda
+        # reorders them and the run matches the sorted eager schedule.
+        arrivals = [
+            RequestArrival(node=1, at=50.0, hold=0.1),
+            RequestArrival(node=2, at=1.0, hold=0.1),
+        ]
+        cluster = build_cluster("open-cube", 8, seed=0, trace=False)
+        cluster.feed_workload(iter(arrivals), window=2)
+        cluster.run_until_quiescent()
+        records = sorted(cluster.metrics.requests.values(), key=lambda r: r.issued_at)
+        assert [r.node for r in records] == [2, 1]
+
+    def test_overlapping_bursts_stream_in_time_order(self):
+        # A burst tail longer than the burst spacing used to leak
+        # out-of-order arrivals past the window horizon and crash the
+        # feeder; the stream now merges overlapping bursts in time order.
+        stream = burst_stream(64, 3, 60, burst_spacing=20.0, within_burst=0.5, seed=8)
+        times = [a.at for a in stream]
+        assert times == sorted(times)
+        assert len(times) == 180
+        eager = run_cluster(
+            burst_stream(64, 3, 60, burst_spacing=20.0, within_burst=0.5, seed=8),
+            streamed=False, n=64,
+        )
+        streamed = run_cluster(
+            burst_stream(64, 3, 60, burst_spacing=20.0, within_burst=0.5, seed=8),
+            streamed=True, window=4, n=64,
+        )
+        assert streamed.metrics.summary() == eager.metrics.summary()
+
+    def test_non_overlapping_bursts_keep_generation_order(self):
+        # The merge is stable: with no overlap the stream must stay
+        # byte-identical to the historical burst-grouped generation order.
+        stream = burst_stream(16, 3, 16, seed=5)
+        grouped = list(stream)
+        for i in range(3):
+            burst = grouped[i * 16 : (i + 1) * 16]
+            assert {a.node for a in burst} == set(range(1, 17))
+
+    def test_two_concurrent_feeds_interleave(self):
+        messages._request_counter = itertools.count(1)
+        cluster = build_cluster("open-cube", 16, seed=3, trace=False)
+        cluster.feed_workload(poisson_stream(16, 30, rate=1.0, seed=1), window=4)
+        cluster.feed_workload(poisson_stream(16, 20, rate=1.0, seed=2), window=4)
+        cluster.run_until_quiescent()
+        assert len(cluster.metrics.requests) == 50
+
+
+class TestFeederWithFailures:
+    def test_failed_requesters_streamed_arrival_is_skipped(self):
+        # Crash a node for a span that covers some of its streamed arrivals:
+        # those requests must never be issued, exactly as in the eager run.
+        stream_factory = lambda: poisson_stream(16, 120, rate=0.5, seed=13, hold=0.3)
+        schedule = FailurePlanner(16, seed=1).single_failure(
+            node=5, fail_at=30.0, recover_at=160.0
+        )
+        eager = run_cluster(
+            stream_factory(), streamed=False, algorithm="open-cube-ft", n=16,
+            schedule=schedule,
+        )
+        streamed = run_cluster(
+            stream_factory(), streamed=True, window=8, algorithm="open-cube-ft", n=16,
+            schedule=schedule,
+        )
+        dead_span_arrivals = [
+            a for a in stream_factory() if a.node == 5 and 30.0 <= a.at < 160.0
+        ]
+        assert dead_span_arrivals, "seed must place arrivals inside the dead span"
+        issued = {r.node for r in streamed.metrics.requests.values()}
+        assert issued  # the run still issued everyone else's requests
+        assert len(streamed.metrics.requests) == 120 - len(dead_span_arrivals)
+        assert streamed.metrics.summary() == eager.metrics.summary()
+        assert streamed.metrics.requests.keys() == eager.metrics.requests.keys()
