@@ -17,7 +17,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_scale.py            # full sweep
     PYTHONPATH=src python benchmarks/bench_scale.py --smoke    # n=256 only (CI)
 
-What it measures, per (algorithm, n) cell (schema ``bench-scale/v2``):
+What it measures, per (algorithm, n) cell (schema ``bench-scale/v3``):
 
 * wall time of ``run_until_quiescent`` (setup excluded, split into
   ``setup_s`` — cluster construction, O(n) total since the shared
@@ -38,7 +38,18 @@ What it measures, per (algorithm, n) cell (schema ``bench-scale/v2``):
   streamed (``streamed: true``) cells that feed arrivals through the
   bounded-window workload feeder.  ``--check-agenda`` turns that into a
   hard regression gate (used by the CI smoke job) so eager scheduling
-  cannot silently sneak back into the scale path.
+  cannot silently sneak back into the scale path,
+* since v3, the streaming cells run in ``metrics_detail="telemetry"``
+  (:mod:`repro.telemetry`): still zero per-message/per-request records, but
+  the mutual-exclusion and liveness properties are now checked *online*
+  (``safety_ok``/``liveness_ok`` are real booleans, not ``null``) and every
+  such row carries ``waiting_p50/p90/p99`` plus the full ``quantiles``
+  block (waiting time, CS hold time, messages per request); the big
+  streamed open-cube cells additionally record a compact ``series`` block
+  (events/s, agenda size, in-flight messages, token holder over event
+  time).  ``--check-safety`` turns the verdicts into the second CI gate: a
+  cell whose safety or liveness check fails (or that unexpectedly reports
+  "not analysed") fails the job by name.
 
 The open-cube rows are compared against ``PRE_CHANGE_BASELINE``: events/sec
 of the same workload/configuration measured on the engine as of the seed
@@ -98,6 +109,12 @@ ALGORITHM_MATRIX = ["open-cube", "raymond", "naimi-trehel", "central",
 #: never with the total request count).
 FEED_WINDOW = 64
 
+#: Series sampler of the streamed open-cube cells: initial event-time
+#: cadence and retained-row cap (the sampler decimates + doubles its cadence
+#: past the cap, so any run length fits the budget).
+SERIES_CADENCE = 64.0
+SERIES_MAX_SAMPLES = 96
+
 
 def make_spec(
     algorithm: str,
@@ -108,6 +125,8 @@ def make_spec(
     seed: int = 0,
     repeats: int = 3,
     stream: bool = False,
+    series: bool = False,
+    label: str | None = None,
 ) -> ScenarioSpec:
     """Declare one (algorithm, n) cell of the sweep.
 
@@ -115,6 +134,12 @@ def make_spec(
     event sequence) and the fastest repetition is reported: on a shared
     machine, noise only ever makes a run slower.
     """
+    telemetry: dict = {}
+    if detail == "telemetry" and series:
+        telemetry = {
+            "series_cadence": SERIES_CADENCE,
+            "series_max_samples": SERIES_MAX_SAMPLES,
+        }
     return ScenarioSpec(
         algorithm=algorithm,
         n=n,
@@ -128,6 +153,8 @@ def make_spec(
         max_events=200_000_000,
         stream=stream,
         feed_window=FEED_WINDOW,
+        telemetry=telemetry,
+        label=label,
     )
 
 
@@ -146,27 +173,48 @@ def build_specs(sizes: list[int], *, scale_requests_factor: int = 32) -> list[Sc
                 # O(requests) metrics memory.
                 if n >= LONG_RUN_MIN_N:
                     requests = scale_requests_factor * n
-                    # Single repetition: best-of-N would keep two O(requests)
-                    # metrics collections alive at once (the retained best +
-                    # the running repeat) and double the sweep's RSS
-                    # high-water; the long runs average the noise out anyway.
-                    repeats = 1
+                    # Best-of-2 became affordable at the long-run sizes with
+                    # the telemetry mode: its metrics are O(1) memory, so
+                    # keeping the best repetition alive while the next one
+                    # runs no longer doubles an O(requests) record store.
+                    # (The counters control row below stays single-repeat
+                    # for exactly that historical reason.)
+                    repeats = 2
                 else:
                     requests = 2048 if n <= 256 else 4 * n
                     repeats = 3
                 if n in PRE_CHANGE_BASELINE:
                     # Eager scheduling, like the recorded baseline engine.
                     specs.append(make_spec(algorithm, n, requests, detail="full", repeats=repeats))
-                # The counters cells are the scale path: streamed workload
-                # feeding on top of the streaming metrics mode, so both the
-                # agenda and the metrics stay O(active)/O(requests)-bounded.
+                # The telemetry cells are the scale path (the counters-mode
+                # successor since bench-scale/v3): streamed workload feeding,
+                # zero per-message/per-request records, online safety and
+                # liveness verdicts, quantile sketches, and — on these
+                # headline cells — the compact time series.
                 specs.append(
-                    make_spec(algorithm, n, requests, detail="counters", repeats=repeats, stream=True)
+                    make_spec(
+                        algorithm, n, requests,
+                        detail="telemetry", repeats=repeats, stream=True, series=True,
+                    )
                 )
+                if n >= LONG_RUN_MIN_N:
+                    # Matched-conditions control: the exact streamed counters
+                    # cell the v2 schema (PR 3) recorded, run in the same
+                    # sweep minutes as the telemetry cell above.  Absolute
+                    # events/sec drift with machine load (see the baseline
+                    # note); the telemetry-vs-control ratio within one sweep
+                    # is the honest measure of telemetry-mode overhead.
+                    specs.append(
+                        make_spec(
+                            algorithm, n, requests,
+                            detail="counters", repeats=1, stream=True,
+                            label="pr3-counters-control",
+                        )
+                    )
             else:
                 requests = min(4 * n, 4096)
                 repeats = 1 if algorithm in ("ricart-agrawala", "suzuki-kasami") else 2
-                specs.append(make_spec(algorithm, n, requests, detail="counters", repeats=repeats))
+                specs.append(make_spec(algorithm, n, requests, detail="telemetry", repeats=repeats))
     return specs
 
 
@@ -206,18 +254,23 @@ def run_complexity(n: int) -> dict:
     }
 
 
+def _print_row(row: dict) -> None:
+    """Stream one finished row to stdout, minus the bulky series block."""
+    print(json.dumps({k: v for k, v in row.items() if k != "series"}), flush=True)
+
+
 def run_sweep(sizes: list[int], *, scale_requests_factor: int = 32, parallel: int = 1) -> dict:
     """Run the full matrix and return the BENCH_scale document."""
     specs = build_specs(sizes, scale_requests_factor=scale_requests_factor)
     runner = SweepRunner(specs=specs, processes=parallel)
     # decorate_row mutates in place, so the streamed lines and the final
     # document carry the same baseline-comparison fields.
-    rows = runner.run(on_row=lambda row: print(json.dumps(decorate_row(row)), flush=True))
+    rows = runner.run(on_row=lambda row: _print_row(decorate_row(row)))
     complexity = [run_complexity(n) for n in sizes if n <= COMPLEXITY_MAX_N]
     for point in complexity:
         print(json.dumps(point), flush=True)
     return {
-        "schema": "bench-scale/v2",
+        "schema": "bench-scale/v3",
         "config": {
             "sizes": sizes,
             "workload": "poisson(rate=2.0, hold=0.1, seed=0)",
@@ -225,6 +278,8 @@ def run_sweep(sizes: list[int], *, scale_requests_factor: int = 32, parallel: in
             "trace": False,
             "parallel": parallel,
             "feed_window": FEED_WINDOW,
+            "series_cadence": SERIES_CADENCE,
+            "series_max_samples": SERIES_MAX_SAMPLES,
             "complexity_max_n": COMPLEXITY_MAX_N,
             "python": sys.version.split()[0],
         },
@@ -236,8 +291,13 @@ def run_sweep(sizes: list[int], *, scale_requests_factor: int = 32, parallel: in
                 "(full) metrics.  'events_per_sec' was measured at PR time; "
                 "'remeasured_best_of_5' is the same seed engine re-measured "
                 "under lighter machine load — divide by it for the "
-                "matched-conditions speedup.  See ROADMAP.md for the "
-                "comparison protocol."
+                "matched-conditions speedup.  Absolute numbers drift a lot "
+                "with machine load; since v3 the long-run sizes carry a "
+                "'pr3-counters-control' row (PR 3's exact streamed counters "
+                "configuration) in every sweep, so telemetry-mode overhead "
+                "is always measurable against a control from the same "
+                "sweep, not a number recorded on a different day.  See "
+                "ROADMAP.md for the comparison protocol."
             ),
         },
         "results": rows,
@@ -261,9 +321,50 @@ def check_agenda_bounds(rows: list[dict]) -> list[str]:
         bound = window + 2 * row["n"]
         if row["agenda_peak"] > bound:
             problems.append(
-                f"{row['algorithm']} n={row['n']}: agenda_peak={row['agenda_peak']} "
-                f"exceeds the streamed bound {bound} (window {window} + 2*n)"
+                f"cell ({row['algorithm']}, n={row['n']}, {row['metrics_detail']}): "
+                f"agenda_peak={row['agenda_peak']} exceeds the streamed bound "
+                f"{bound} (feed_window {window} + 2*n) — eager scheduling crept "
+                "back into the scale path"
             )
+    return problems
+
+
+def check_safety(rows: list[dict]) -> list[str]:
+    """Regression-gate the analysed cells' safety/liveness verdicts.
+
+    Every ``full`` cell (record-based analysis) and every ``telemetry`` cell
+    (online checkers) must report ``safety_ok`` *and* ``liveness_ok`` as
+    ``True`` — a ``False`` is a mutual-exclusion or starvation bug, a
+    ``None`` means a cell silently fell back to the unanalysed ``counters``
+    mode.  Returns one named, actionable message per offending cell.
+    """
+    problems = []
+    for row in rows:
+        detail = row["metrics_detail"]
+        if detail not in ("full", "telemetry"):
+            continue
+        cell = f"cell ({row['algorithm']}, n={row['n']}, {detail})"
+        for verdict in ("safety_ok", "liveness_ok"):
+            value = row.get(verdict)
+            if value is None:
+                problems.append(
+                    f"{cell}: {verdict} is null — the {detail} run skipped its "
+                    "analysis; every full/telemetry cell must carry a real verdict"
+                )
+            elif value is not True:
+                checks = row.get("online_checks") or {}
+                hint = (
+                    f" (violations={checks.get('safety_violations')}, "
+                    f"starved={checks.get('starved')}, "
+                    f"max_grant_gap={checks.get('max_grant_gap')})"
+                    if checks
+                    else ""
+                )
+                problems.append(
+                    f"{cell}: {verdict}={value}{hint} — rerun with "
+                    f"PYTHONPATH=src python benchmarks/bench_scale.py --sizes {row['n']} "
+                    "and inspect the row's online_checks/quantiles blocks"
+                )
     return problems
 
 
@@ -276,6 +377,12 @@ def main(argv: list[str] | None = None) -> int:
         "--check-agenda", action="store_true",
         help="fail (exit 1) if any streamed cell's agenda_peak exceeds "
         "feed_window + 2*n — the regression gate against eager scheduling",
+    )
+    parser.add_argument(
+        "--check-safety", action="store_true",
+        help="fail (exit 1) if any full/telemetry cell reports safety_ok or "
+        "liveness_ok as false (protocol bug) or null (analysis silently "
+        "skipped) — the online-verification gate",
     )
     parser.add_argument(
         "--sizes", type=int, nargs="+", default=None,
@@ -300,14 +407,27 @@ def main(argv: list[str] | None = None) -> int:
     document = run_sweep(sizes, parallel=args.parallel)
     args.output.write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote {args.output}")
+    failed = False
     if args.check_agenda:
         problems = check_agenda_bounds(document["results"])
         for problem in problems:
             print(f"AGENDA GATE: {problem}", file=sys.stderr)
         if problems:
-            return 1
-        print("agenda gate ok: every streamed cell stayed within feed_window + 2*n")
-    return 0
+            failed = True
+        else:
+            print("agenda gate ok: every streamed cell stayed within feed_window + 2*n")
+    if args.check_safety:
+        problems = check_safety(document["results"])
+        for problem in problems:
+            print(f"SAFETY GATE: {problem}", file=sys.stderr)
+        if problems:
+            failed = True
+        else:
+            print(
+                "safety gate ok: every full/telemetry cell reports "
+                "safety_ok=liveness_ok=true"
+            )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -16,7 +16,12 @@ from repro.experiments.runner import run_workload
 from repro.simulation.network import ConstantDelay
 from repro.workload.arrivals import Workload, poisson_arrivals, serial_random, single_requester
 
-__all__ = ["ComparisonRow", "compare_algorithms", "adaptivity_experiment"]
+__all__ = [
+    "ComparisonRow",
+    "compare_algorithms",
+    "adaptivity_experiment",
+    "reference_complexity",
+]
 
 DEFAULT_ALGORITHMS = (
     "open-cube",
@@ -54,7 +59,8 @@ class ComparisonRow:
         }
 
 
-def _reference(algorithm: str, n: int) -> str:
+def reference_complexity(algorithm: str, n: int) -> str:
+    """The textbook per-request message complexity, for table margins."""
     if algorithm in ("open-cube", "open-cube-ft"):
         return f"avg {theory.average_messages_closed_form(n):.2f}, worst {theory.worst_case_messages(n):.0f}"
     if algorithm == "raymond":
@@ -105,7 +111,7 @@ def compare_algorithms(
                 mean_messages=result.mean_messages_per_request,
                 max_messages=result.max_messages_per_request,
                 mean_waiting=result.mean_waiting_time,
-                reference=_reference(algorithm, n),
+                reference=reference_complexity(algorithm, n),
             )
         )
     return rows

@@ -79,6 +79,16 @@ class RunResult:
     agenda_peak: int = 0
     #: Whether the workload was fed lazily through the bounded-window feeder.
     streamed: bool = False
+    #: Telemetry-mode distribution summaries (waiting_time / cs_hold /
+    #: messages_per_request, each with count/mean/min/max/p50/p90/p99);
+    #: ``None`` outside ``metrics_detail="telemetry"``.
+    quantiles: dict[str, Any] | None = None
+    #: Telemetry-mode time series block (only when the scenario enabled the
+    #: series sampler); ``None`` otherwise.
+    series: dict[str, Any] | None = None
+    #: The online safety/liveness verdict detail blocks backing
+    #: ``safety_ok``/``liveness_ok`` in telemetry mode; ``None`` otherwise.
+    online_checks: dict[str, Any] | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def as_row(self) -> dict[str, Any]:
@@ -116,6 +126,7 @@ def run_workload(
     cluster_kwargs: Mapping[str, Any] | None = None,
     stream: bool | None = None,
     feed_window: int = 64,
+    telemetry: Mapping[str, Any] | None = None,
 ) -> RunResult:
     """Run ``workload`` under ``algorithm`` on ``n`` simulated nodes.
 
@@ -134,8 +145,12 @@ def run_workload(
             and runs the record-based safety/liveness analysis;
             ``"counters"`` streams aggregates only — the analysis is then
             *skipped* and ``safety_ok``/``liveness_ok``/``analysis_ok`` are
-            ``None``.  May also arrive via ``cluster_kwargs`` (legacy
-            call sites); passing both with different values is an error.
+            ``None``; ``"telemetry"`` streams aggregates *and* checks
+            safety/liveness online, so the verdicts are real booleans again
+            and :attr:`RunResult.quantiles` carries the waiting-time /
+            hold-time / messages-per-request distributions.  May also arrive
+            via ``cluster_kwargs`` (legacy call sites); passing both with
+            different values is an error.
         node_options: algorithm-specific factory options (e.g. a custom
             ``tree`` or ``enquiry_enabled``), forwarded through the registry.
         cluster_kwargs: extra :class:`SimulatedCluster` keyword arguments.
@@ -144,6 +159,9 @@ def run_workload(
             of scheduling every arrival up front.  Default (``None``):
             stream exactly when ``workload`` is an :class:`ArrivalStream`.
         feed_window: feeder lookahead window for streamed runs.
+        telemetry: telemetry-hub options
+            (:class:`~repro.telemetry.TelemetryOptions` or its dict form);
+            only valid with ``metrics_detail="telemetry"``.
     """
     kwargs = dict(cluster_kwargs or {})
     kwargs_detail = kwargs.pop("metrics_detail", None)
@@ -154,6 +172,13 @@ def run_workload(
             f"conflicting metrics_detail: {metrics_detail!r} as argument but "
             f"{kwargs_detail!r} in cluster_kwargs"
         )
+    if telemetry is not None:
+        if "telemetry_options" in kwargs and kwargs["telemetry_options"] != telemetry:
+            raise ConfigurationError(
+                "conflicting telemetry options: passed both as the telemetry "
+                "argument and in cluster_kwargs['telemetry_options']"
+            )
+        kwargs["telemetry_options"] = telemetry
     if stream is None:
         stream = isinstance(workload, ArrivalStream)
     setup_start = time.perf_counter()
@@ -186,22 +211,51 @@ def run_workload(
     run_s = time.perf_counter() - run_start
 
     metrics = cluster.metrics
-    analyse = metrics_detail != "counters"
-    if analyse:
+    quantiles: dict[str, Any] | None = None
+    series: dict[str, Any] | None = None
+    online_checks: dict[str, Any] | None = None
+    if metrics_detail == "telemetry":
+        # Constant-memory mode: the online checkers watched every CS
+        # enter/exit and grant as they happened, so the verdicts are real —
+        # no record replay needed (and none possible).
+        report = metrics.finalize_telemetry(cluster.now)
+        safety_ok = report["safety"]["ok"]
+        liveness_ok = report["liveness"]["ok"]
+        analysis_ok = safety_ok and liveness_ok
+        quantiles = report["quantiles"]
+        series = report.get("series")
+        online_checks = {"safety": report["safety"], "liveness": report["liveness"]}
+    elif metrics_detail == "counters":
+        # Streaming counters keep no per-message records; the record-based
+        # safety/liveness verdicts would be vacuous, so mark them as
+        # "not analysed" instead of reporting a hollow True.
+        safety_ok = liveness_ok = analysis_ok = None
+    else:
         crashed_in_cs = crashed_in_critical_section(metrics)
         overlaps = find_overlaps(
             metrics, end_of_time=cluster.now, exclude_nodes=sorted(crashed_in_cs)
         )
         liveness = analyse_liveness(metrics)
-        safety_ok: bool | None = not overlaps
-        liveness_ok: bool | None = liveness.ok
-        analysis_ok: bool | None = safety_ok and liveness_ok
-    else:
-        # Streaming counters keep no per-message records; the record-based
-        # safety/liveness verdicts would be vacuous, so mark them as
-        # "not analysed" instead of reporting a hollow True.
-        safety_ok = liveness_ok = analysis_ok = None
+        safety_ok = not overlaps
+        liveness_ok = liveness.ok
+        analysis_ok = safety_ok and liveness_ok
     per_request = metrics.messages_per_request() if serial else []
+    if serial and metrics.telemetry is not None:
+        # No records to difference in telemetry mode, but the hub tracked the
+        # identical issue-order attribution in its sketch: the running sum
+        # telescopes to the same total and the max is tracked exactly, so
+        # serial telemetry rows report the same mean/max a full run would.
+        mean_per_request = metrics.telemetry.request_messages.mean
+        max_per_request = metrics.telemetry.live_max_messages_per_request(
+            metrics._total_sent
+        )
+    else:
+        mean_per_request = (
+            (sum(per_request) / len(per_request))
+            if per_request
+            else metrics.mean_messages_per_request()
+        )
+        max_per_request = max(per_request) if per_request else 0
     overhead = metrics.messages_of_kinds(FT_MESSAGE_KINDS)
 
     result = RunResult(
@@ -209,16 +263,12 @@ def run_workload(
         n=n,
         workload_name=workload.name,
         cluster=cluster,
-        requests_issued=len(metrics.requests),
-        requests_granted=len(metrics.satisfied_requests()),
+        requests_issued=metrics.requests_issued_count,
+        requests_granted=metrics.requests_granted_count,
         total_messages=metrics.total_messages(),
         messages_per_request=per_request,
-        mean_messages_per_request=(
-            (sum(per_request) / len(per_request))
-            if per_request
-            else metrics.mean_messages_per_request()
-        ),
-        max_messages_per_request=max(per_request) if per_request else 0,
+        mean_messages_per_request=mean_per_request,
+        max_messages_per_request=max_per_request,
         mean_waiting_time=metrics.mean_waiting_time(),
         overhead_messages=overhead,
         failures=len(metrics.failures),
@@ -232,5 +282,8 @@ def run_workload(
         events=cluster.simulator.processed_events,
         agenda_peak=cluster.simulator.peak_pending,
         streamed=stream,
+        quantiles=quantiles,
+        series=series,
+        online_checks=online_checks,
     )
     return result

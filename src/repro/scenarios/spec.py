@@ -222,6 +222,10 @@ class ScenarioSpec:
             front — the agenda stays O(active + window) instead of
             O(requests); the scale benchmark runs its big cells this way.
         feed_window: feeder lookahead window for streamed cells.
+        telemetry: options of the telemetry hub (the dict form of
+            :class:`~repro.telemetry.TelemetryOptions`: ``sketch_growth``,
+            ``series_cadence``, ``series_max_samples``, ``max_grant_gap``);
+            only meaningful with ``metrics_detail="telemetry"``.
         label: optional human-readable cell label carried into the row.
     """
 
@@ -241,6 +245,7 @@ class ScenarioSpec:
     cluster_options: dict[str, Any] = field(default_factory=dict, hash=False)
     stream: bool = False
     feed_window: int = 64
+    telemetry: dict[str, Any] = field(default_factory=dict, hash=False)
     label: str | None = None
 
     # ------------------------------------------------------------------
@@ -271,6 +276,7 @@ class ScenarioSpec:
             "cluster_options": dict(self.cluster_options),
             "stream": self.stream,
             "feed_window": self.feed_window,
+            "telemetry": dict(self.telemetry),
             "label": self.label,
         }
 
@@ -294,6 +300,7 @@ class ScenarioSpec:
             cluster_options=_frozen_params(data.get("cluster_options")),
             stream=data.get("stream", False),
             feed_window=data.get("feed_window", 64),
+            telemetry=_frozen_params(data.get("telemetry")),
             label=data.get("label"),
         )
 
@@ -325,6 +332,7 @@ class ScenarioSpec:
                 cluster_kwargs=self.cluster_options,
                 stream=self.stream,
                 feed_window=self.feed_window,
+                telemetry=self.telemetry or None,
             )
             if best is None or result.run_s < best.run_s:
                 best = result
@@ -377,6 +385,25 @@ class ScenarioResult:
             "feed_window": spec.feed_window if result.streamed else None,
             "peak_rss_mb": _peak_rss_mb(),
         }
+        if result.quantiles is not None:
+            waiting = result.quantiles["waiting_time"]
+            # Headline waiting-time quantiles as flat columns for tables and
+            # the bench JSON diffing convention; the full three-distribution
+            # block rides along under "quantiles".
+            row["waiting_p50"] = waiting["p50"]
+            row["waiting_p90"] = waiting["p90"]
+            row["waiting_p99"] = waiting["p99"]
+            row["quantiles"] = result.quantiles
+        if result.online_checks is not None:
+            row["online_checks"] = {
+                "safety_violations": result.online_checks["safety"]["violations"],
+                "max_concurrency": result.online_checks["safety"]["max_concurrency"],
+                "starved": result.online_checks["liveness"]["starved"],
+                "excused": result.online_checks["liveness"]["excused"],
+                "max_grant_gap": result.online_checks["liveness"]["max_grant_gap"],
+            }
+        if result.series is not None:
+            row["series"] = result.series
         if spec.serial:
             row["max_messages_per_request"] = result.max_messages_per_request
         if spec.label is not None:

@@ -95,8 +95,12 @@ class SimulatedCluster:
         trace: enable trace collection (disable for large benchmark runs;
             when disabled a :class:`NullTracer` is installed and the hot
             paths skip trace emission entirely).
-        metrics_detail: ``"full"`` (default) or ``"counters"``; see
+        metrics_detail: ``"full"`` (default), ``"counters"`` or
+            ``"telemetry"``; see
             :class:`~repro.simulation.metrics.MetricsCollector`.
+        telemetry_options: configuration of the telemetry hub
+            (:class:`~repro.telemetry.TelemetryOptions` or its dict form);
+            only valid with ``metrics_detail="telemetry"``.
         cs_duration: default critical-section hold time used by
             :meth:`request_cs` when the caller does not specify one.
 
@@ -116,6 +120,7 @@ class SimulatedCluster:
         trace: bool = True,
         max_trace_records: int | None = None,
         metrics_detail: str = "full",
+        telemetry_options: Mapping[str, Any] | None = None,
         cs_duration: float = 0.5,
     ) -> None:
         self.nodes: dict[int, MutexNode] = dict(nodes)
@@ -124,7 +129,9 @@ class SimulatedCluster:
         self.simulator = Simulator(seed=seed)
         self.delay_model = delay_model or UniformDelay()
         self.channels = ChannelState(fifo=fifo)
-        self.metrics = MetricsCollector(detail=metrics_detail)
+        self.metrics = MetricsCollector(
+            detail=metrics_detail, telemetry_options=telemetry_options
+        )
         self.tracer = Tracer(enabled=True, max_records=max_trace_records) if trace else NullTracer()
         # Hot-path aliases: `_trace is None` lets _send/_deliver skip the
         # emit call (and its kwarg packing) entirely when tracing is off, and
@@ -142,6 +149,24 @@ class SimulatedCluster:
         self._active_request: dict[int, int | None] = {node_id: None for node_id in self.nodes}
         self._auto_release: dict[int, float | None] = {node_id: None for node_id in self.nodes}
         self._grant_listeners: list[Callable[[int, float], None]] = []
+        #: Deliveries popped off the agenda so far (drops included) — with
+        #: the send counter this yields the in-flight message gauge the
+        #: telemetry series samples.
+        self._delivered_total = 0
+        telemetry = self.metrics.telemetry
+        if telemetry is not None:
+            simulator = self.simulator
+            telemetry.bind_probes(
+                # The agenda sequence number: a live, deterministic count of
+                # events *scheduled* (processed_events is batched inside
+                # run() and stale for mid-run observers like the sampler).
+                events_scheduled=lambda: simulator._sequence,
+                # len(heap), not pending_events: the live, honest figure
+                # (cancelled-but-unpopped entries still occupy memory, and
+                # the pending counter is batched during run()).
+                agenda_size=lambda: len(simulator._heap),
+                in_flight=lambda: self.metrics._total_sent - self._delivered_total,
+            )
 
         self.simulator.set_delivery_handler(self._deliver)
         self.simulator.set_timer_handler(self._fire_timer)
@@ -250,6 +275,7 @@ class SimulatedCluster:
     def _deliver(self, delivery: tuple[int, int, Message, float]) -> None:
         # The simulator hands deliveries over as plain tuples (see
         # Simulator.schedule_delivery).
+        self._delivered_total += 1
         sender, dest, message, _sent_at = delivery
         if dest in self.failed:
             # Fail-stop: messages in transit towards a crashed node are lost.

@@ -12,24 +12,42 @@ Detail modes
 
 ``MetricsCollector(detail="full")`` (the default) keeps one
 :class:`SentMessage` record per send, so memory grows with the number of
-messages — fine for experiments, wasteful for large benchmarks.
+messages — fine for experiments, wasteful for large benchmarks.  This is the
+only mode the record-based safety/liveness analysis
+(:mod:`repro.verification`) runs on.
 
-``detail="counters"`` is the streaming mode for scale runs: sends only bump
+``detail="counters"`` drops the per-*message* records: sends only bump
 integer counters (``messages_by_kind``, ``messages_by_sender``, the global
 total), so memory stays O(requests) regardless of how many messages flow.
-Every aggregate in :meth:`MetricsCollector.summary` — totals, per-kind
-breakdown, per-request message attribution, waiting times — is computed from
-counters and per-request records and is identical in both modes; only the
-``sent_messages`` list stays empty.
+The per-*request* records are still kept, so every aggregate in
+:meth:`MetricsCollector.summary` — totals, per-kind breakdown, per-request
+message attribution, waiting times — is identical to full mode; but note
+that :func:`repro.experiments.runner.run_workload` *skips* the record-based
+safety/liveness analysis in this mode and reports
+``safety_ok/liveness_ok/analysis_ok = None`` ("not analysed", never a hollow
+``True``).
+
+``detail="telemetry"`` is the constant-memory scale mode: no
+:class:`SentMessage` *and* no :class:`RequestRecord` lists at all.  Instead
+the collector owns a :class:`~repro.telemetry.collector.RunTelemetry` hub
+that checks safety/liveness *online* (every CS enter/exit and grant) and
+folds waiting time, CS hold time and messages-per-request into streaming
+quantile sketches — so scale runs report real ``safety_ok``/``liveness_ok``
+booleans and p50/p90/p99 distributions in O(1) memory per metric.
+:meth:`summary` stays aggregate-identical to the other modes; the
+record-returning helpers (``sent_messages``, ``requests``,
+``satisfied_requests()``, ``messages_per_request()``) return empty
+containers, by design.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 from repro.exceptions import ConfigurationError
+from repro.telemetry.collector import RunTelemetry, TelemetryOptions
 
 __all__ = [
     "SentMessage",
@@ -96,13 +114,28 @@ class MetricsCollector:
     Args:
         detail: ``"full"`` keeps a :class:`SentMessage` record per send;
             ``"counters"`` only maintains integer counters so memory stays
-            O(requests) on arbitrarily long runs (see the module docstring).
+            O(requests) on arbitrarily long runs; ``"telemetry"`` also drops
+            the per-request records and streams everything through a
+            :class:`~repro.telemetry.collector.RunTelemetry` hub (see the
+            module docstring).
+        telemetry_options: configuration of the telemetry hub
+            (:class:`~repro.telemetry.collector.TelemetryOptions` or its
+            dict form); only valid with ``detail="telemetry"``.
     """
 
-    def __init__(self, detail: str = "full") -> None:
-        if detail not in ("full", "counters"):
+    def __init__(
+        self,
+        detail: str = "full",
+        *,
+        telemetry_options: TelemetryOptions | Mapping[str, Any] | None = None,
+    ) -> None:
+        if detail not in ("full", "counters", "telemetry"):
             raise ConfigurationError(
-                f"detail must be 'full' or 'counters', got {detail!r}"
+                f"detail must be 'full', 'counters' or 'telemetry', got {detail!r}"
+            )
+        if telemetry_options is not None and detail != "telemetry":
+            raise ConfigurationError(
+                f"telemetry_options only apply to detail='telemetry', got {detail!r}"
             )
         self.detail = detail
         self._keep_records = detail == "full"
@@ -113,14 +146,27 @@ class MetricsCollector:
         self.dropped_messages: int = 0
         self.cs_intervals: list[CriticalSectionInterval] = []
         self.requests: dict[int, RequestRecord] = {}
+        self.requests_issued_count: int = 0
+        self.requests_granted_count: int = 0
         self.failures: list[tuple[float, int]] = []
         self.recoveries: list[tuple[float, int]] = []
         self.custom: dict[str, Any] = {}
         self._open_cs: dict[int, CriticalSectionInterval] = {}
+        #: The online-telemetry hub; ``None`` outside telemetry mode.
+        self.telemetry: RunTelemetry | None = None
         if not self._keep_records:
             # Shadow the method with the streaming variant so the hot path
             # pays no per-send mode branch.
             self.record_send = self._record_send_counters  # type: ignore[method-assign]
+        if detail == "telemetry":
+            self.telemetry = RunTelemetry(telemetry_options)
+            # Same shadowing trick for the per-request/CS hooks: telemetry
+            # variants keep no records and feed the hub instead.
+            self.record_request_issued = self._record_request_issued_telemetry  # type: ignore[method-assign]
+            self.record_request_granted = self._record_request_granted_telemetry  # type: ignore[method-assign]
+            self.record_request_released = self._record_request_released_telemetry  # type: ignore[method-assign]
+            self.record_cs_enter = self._record_cs_enter_telemetry  # type: ignore[method-assign]
+            self.record_cs_exit = self._record_cs_exit_telemetry  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Recording hooks (called by the simulator / cluster)
@@ -156,6 +202,7 @@ class MetricsCollector:
 
     def record_request_issued(self, request_id: int, node: int, time: float) -> None:
         """Record the moment a node asks to enter the critical section."""
+        self.requests_issued_count += 1
         self.requests[request_id] = RequestRecord(
             request_id=request_id,
             node=node,
@@ -163,13 +210,25 @@ class MetricsCollector:
             messages_at_issue=self._total_sent,
         )
 
+    def _record_request_issued_telemetry(self, request_id: int, node: int, time: float) -> None:
+        """Telemetry-mode :meth:`record_request_issued`: hub only, no record."""
+        self.requests_issued_count += 1
+        self.telemetry.on_issue(request_id, node, time, self._total_sent)
+
     def record_request_granted(self, request_id: int, time: float) -> None:
         """Record the moment the corresponding critical section is entered."""
         record = self.requests.get(request_id)
         if record is None:
             return
+        if record.granted_at is None:
+            self.requests_granted_count += 1
         record.granted_at = time
         record.messages_at_grant = self._total_sent
+
+    def _record_request_granted_telemetry(self, request_id: int, time: float) -> None:
+        """Telemetry-mode :meth:`record_request_granted`."""
+        if self.telemetry.on_grant(request_id, time):
+            self.requests_granted_count += 1
 
     def record_request_released(self, request_id: int, time: float) -> None:
         """Record the moment the corresponding critical section is left."""
@@ -177,11 +236,19 @@ class MetricsCollector:
         if record is not None:
             record.released_at = time
 
+    def _record_request_released_telemetry(self, request_id: int, time: float) -> None:
+        """Telemetry-mode :meth:`record_request_released`: nothing to keep —
+        hold times are measured at the CS enter/exit hooks."""
+
     def record_cs_enter(self, node: int, time: float) -> None:
         """Record a critical-section entry (for the safety checker)."""
         interval = CriticalSectionInterval(node=node, entered_at=time)
         self.cs_intervals.append(interval)
         self._open_cs[node] = interval
+
+    def _record_cs_enter_telemetry(self, node: int, time: float) -> None:
+        """Telemetry-mode :meth:`record_cs_enter`: online safety check."""
+        self.telemetry.on_cs_enter(node, time)
 
     def record_cs_exit(self, node: int, time: float) -> None:
         """Record a critical-section exit."""
@@ -189,9 +256,15 @@ class MetricsCollector:
         if interval is not None:
             interval.exited_at = time
 
+    def _record_cs_exit_telemetry(self, node: int, time: float) -> None:
+        """Telemetry-mode :meth:`record_cs_exit`."""
+        self.telemetry.on_cs_exit(node, time)
+
     def record_failure(self, node: int, time: float) -> None:
         """Record an injected fail-stop failure."""
         self.failures.append((time, node))
+        if self.telemetry is not None:
+            self.telemetry.on_failure(node, time)
 
     def record_recovery(self, node: int, time: float) -> None:
         """Record a node recovery."""
@@ -242,13 +315,19 @@ class MetricsCollector:
 
     def mean_messages_per_request(self) -> float:
         """Total messages divided by the number of granted requests."""
-        granted = self.satisfied_requests()
-        if not granted:
+        if not self.requests_granted_count:
             return 0.0
-        return self.total_messages() / len(granted)
+        return self.total_messages() / self.requests_granted_count
 
     def mean_waiting_time(self) -> float:
-        """Average time between issuing a request and entering the CS."""
+        """Average time between issuing a request and entering the CS.
+
+        In telemetry mode this comes from the streaming sketch's exact
+        running sum — same additions in the same (grant) order as the
+        record-based computation, so the value is identical.
+        """
+        if self.telemetry is not None:
+            return self.telemetry.waiting_time.mean
         waits = [r.waiting_time for r in self.satisfied_requests() if r.waiting_time is not None]
         if not waits:
             return 0.0
@@ -262,17 +341,39 @@ class MetricsCollector:
         return dict(counts)
 
     def summary(self) -> dict[str, Any]:
-        """Return a dictionary summary convenient for table printing."""
-        per_request = self.messages_per_request()
+        """Return a dictionary summary convenient for table printing.
+
+        Aggregate-identical across all three detail modes (pinned by the
+        equivalence tests): telemetry mode answers from its counters and
+        sketches, the record modes from their per-request records.
+        """
+        if self.telemetry is not None:
+            max_per_request = self.telemetry.live_max_messages_per_request(self._total_sent)
+        else:
+            per_request = self.messages_per_request()
+            max_per_request = max(per_request) if per_request else 0
         return {
             "total_messages": self.total_messages(),
             "dropped_messages": self.dropped_messages,
             "messages_by_kind": dict(self.messages_by_kind),
-            "requests_issued": len(self.requests),
-            "requests_granted": len(self.satisfied_requests()),
+            "requests_issued": self.requests_issued_count,
+            "requests_granted": self.requests_granted_count,
             "mean_messages_per_request": self.mean_messages_per_request(),
-            "max_messages_per_request": max(per_request) if per_request else 0,
+            "max_messages_per_request": max_per_request,
             "mean_waiting_time": self.mean_waiting_time(),
             "failures": len(self.failures),
             "recoveries": len(self.recoveries),
         }
+
+    def finalize_telemetry(self, end_time: float) -> dict[str, Any] | None:
+        """Close the telemetry hub (idempotent) and return its report.
+
+        Returns ``None`` outside telemetry mode.  Call with the simulation
+        end time once the run is quiescent; the hub then charges the last
+        request its message tail, classifies leftover pending requests as
+        starvation, and takes the final series sample.
+        """
+        if self.telemetry is None:
+            return None
+        self.telemetry.finalize(end_time, self._total_sent)
+        return self.telemetry.report()

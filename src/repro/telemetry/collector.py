@@ -1,0 +1,213 @@
+"""The per-run telemetry hub: sketches + online checkers + series sampler.
+
+:class:`RunTelemetry` is what a
+:class:`~repro.simulation.metrics.MetricsCollector` in ``detail="telemetry"``
+mode owns instead of its record lists.  The collector forwards every
+request/CS/failure observation here; the hub fans it out to the online
+safety/liveness checkers, the streaming distribution sketches, and the
+(optional) windowed series sampler, all in O(1) memory per observation.
+
+Everything is configured through :class:`TelemetryOptions`, a plain
+JSON-serialisable value object so the declarative scenario layer
+(:class:`repro.scenarios.ScenarioSpec`'s ``telemetry`` field) can carry the
+configuration through grids, ``multiprocessing`` workers and result rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Callable, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry.online import OnlineLivenessWatchdog, OnlineSafetyChecker
+from repro.telemetry.series import SeriesSampler
+from repro.telemetry.sketches import LogHistogram
+
+__all__ = ["TelemetryOptions", "RunTelemetry"]
+
+
+@dataclass(frozen=True)
+class TelemetryOptions:
+    """Configuration of a telemetry-mode run (JSON round-trippable).
+
+    Args:
+        sketch_growth: geometric bucket width of the quantile sketches;
+            quantile relative error is ``sqrt(growth) - 1`` (~2.5% at 1.05).
+        series_cadence: event-time spacing of the series sampler; ``None``
+            (default) disables series collection — quantiles and the online
+            checks are always on, the series is the opt-in part.
+        series_max_samples: retained-row budget of the series sampler
+            (decimation threshold).
+        max_grant_gap: optional no-progress threshold of the liveness
+            watchdog (event time between consecutive grants while requests
+            are pending); ``None`` checks end-of-run starvation only.
+    """
+
+    sketch_growth: float = 1.05
+    series_cadence: float | None = None
+    series_max_samples: int = 512
+    max_grant_gap: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any] | "TelemetryOptions" | None) -> "TelemetryOptions":
+        """Coerce ``None`` / mapping / options into a :class:`TelemetryOptions`."""
+        if data is None:
+            return cls()
+        if isinstance(data, cls):
+            return data
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown telemetry option(s) {sorted(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        return cls(**dict(data))
+
+
+class RunTelemetry:
+    """Fan-out hub for one run's telemetry (see module docstring)."""
+
+    __slots__ = (
+        "options",
+        "safety",
+        "liveness",
+        "waiting_time",
+        "cs_hold",
+        "request_messages",
+        "series",
+        "token_holder",
+        "_last_issue_messages",
+        "_finalized",
+    )
+
+    def __init__(self, options: TelemetryOptions | Mapping[str, Any] | None = None) -> None:
+        options = TelemetryOptions.from_dict(options)
+        self.options = options
+        self.safety = OnlineSafetyChecker()
+        self.liveness = OnlineLivenessWatchdog(max_grant_gap=options.max_grant_gap)
+        growth = options.sketch_growth
+        self.waiting_time = LogHistogram(growth)
+        self.cs_hold = LogHistogram(growth)
+        self.request_messages = LogHistogram(growth)
+        self.series: SeriesSampler | None = (
+            SeriesSampler(options.series_cadence, max_samples=options.series_max_samples)
+            if options.series_cadence is not None
+            else None
+        )
+        #: Node of the most recent CS entry — the last known token location.
+        self.token_holder: int | None = None
+        self._last_issue_messages = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Cluster wiring
+    # ------------------------------------------------------------------
+    def bind_probes(
+        self,
+        *,
+        events_scheduled: Callable[[], int],
+        agenda_size: Callable[[], int],
+        in_flight: Callable[[], int],
+    ) -> None:
+        """Attach the series sampler's gauges (no-op when series is off)."""
+        if self.series is not None:
+            self.series.bind_probes(
+                events_scheduled=events_scheduled,
+                agenda_size=agenda_size,
+                in_flight=in_flight,
+            )
+
+    # ------------------------------------------------------------------
+    # Observation hooks (called by the MetricsCollector telemetry variants)
+    # ------------------------------------------------------------------
+    def on_issue(self, request_id: int, node: int, time: float, total_sent: int) -> None:
+        """One request issued; charges the previous request its traffic.
+
+        Message attribution mirrors the record-based
+        :meth:`~repro.simulation.metrics.MetricsCollector.messages_per_request`
+        convention: in issue order, request ``k`` is charged every message
+        sent between its issue and issue ``k+1`` (the last request's tail is
+        folded in at :meth:`finalize`).
+        """
+        if self.liveness.issued:
+            self.request_messages.add(float(total_sent - self._last_issue_messages))
+        self._last_issue_messages = total_sent
+        self.liveness.on_issue(request_id, node, time)
+        series = self.series
+        if series is not None and time >= series.due:
+            series.sample(time, self.token_holder)
+
+    def on_grant(self, request_id: int, time: float) -> bool:
+        """One request granted; returns ``False`` for an unknown request id."""
+        issued_at = self.liveness.on_grant(request_id, time)
+        if issued_at is None:
+            return False
+        self.waiting_time.add(time - issued_at)
+        series = self.series
+        if series is not None and time >= series.due:
+            series.sample(time, self.token_holder)
+        return True
+
+    def on_cs_enter(self, node: int, time: float) -> None:
+        self.safety.on_enter(node, time)
+        self.token_holder = node
+        series = self.series
+        if series is not None and time >= series.due:
+            series.sample(time, node)
+
+    def on_cs_exit(self, node: int, time: float) -> None:
+        entered_at = self.safety.on_exit(node, time)
+        if entered_at is not None:
+            self.cs_hold.add(time - entered_at)
+
+    def on_failure(self, node: int, time: float) -> None:
+        self.safety.on_failure(node, time)
+        self.liveness.on_failure(node, time)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def live_max_messages_per_request(self, total_sent: int) -> int:
+        """Exact max messages-per-request including the still-open tail."""
+        observed = int(self.request_messages.max_value) if self.request_messages.count else 0
+        if self.liveness.issued:
+            tail = total_sent - self._last_issue_messages
+            if tail > observed:
+                observed = tail
+        return observed
+
+    def finalize(self, end_time: float, total_sent: int) -> None:
+        """Close the run (idempotent): tail request charge + starvation check."""
+        if self._finalized:
+            return
+        self._finalized = True
+        if self.liveness.issued:
+            self.request_messages.add(float(total_sent - self._last_issue_messages))
+            self._last_issue_messages = total_sent
+        self.liveness.finalize(end_time)
+        series = self.series
+        if series is not None:
+            series.sample(end_time, self.token_holder)
+
+    def quantiles(self) -> dict[str, Any]:
+        """The three distribution summaries, JSON-ready."""
+        return {
+            "waiting_time": self.waiting_time.summary(),
+            "cs_hold": self.cs_hold.summary(),
+            "messages_per_request": self.request_messages.summary(),
+        }
+
+    def report(self) -> dict[str, Any]:
+        """Full JSON-ready telemetry block (call after :meth:`finalize`)."""
+        report: dict[str, Any] = {
+            "safety": self.safety.report(),
+            "liveness": self.liveness.report(),
+            "quantiles": self.quantiles(),
+        }
+        if self.series is not None:
+            report["series"] = self.series.block()
+        return report

@@ -1,0 +1,225 @@
+"""Online safety/liveness checking in O(1) memory per property.
+
+The record-based checkers in :mod:`repro.verification` replay the
+:class:`~repro.simulation.metrics.MetricsCollector` record lists after the
+run — exact, but O(messages)/O(requests) memory, which is precisely what the
+streaming metrics modes exist to avoid.  The checkers here consume the same
+observations *as they happen* and keep only the live state:
+
+* :class:`OnlineSafetyChecker` — an event-time occupancy counter over the
+  critical section.  A CS entry while any other node is inside is a mutual
+  exclusion violation, checked at every enter/exit instead of by sorting
+  intervals afterwards.  Memory: the currently open intervals (≤ n, and 1
+  when the algorithm is correct).
+* :class:`OnlineLivenessWatchdog` — tracks the requests issued but not yet
+  granted plus the largest event-time gap between consecutive grants while
+  requests were pending.  At the end of the run, leftover pending requests
+  whose requester did not crash are starvation; an optional ``max_grant_gap``
+  threshold additionally flags no-progress stalls even when every request is
+  eventually served.  Memory: O(outstanding requests).
+
+Verdict parity with the record-based checkers is pinned by
+``tests/telemetry/test_online_checkers.py`` (see
+:func:`repro.verification.online.replay_online` for the validation bridge).
+One deliberate divergence: the record-based overlap check excludes *every*
+interval of a node that crashed inside the CS, while the online checker
+excuses only the interval that was actually cut short by the crash — the
+online verdict is never weaker.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["OnlineSafetyChecker", "OnlineLivenessWatchdog"]
+
+
+class OnlineSafetyChecker:
+    """Event-time mutual-exclusion occupancy counter (see module docstring)."""
+
+    __slots__ = (
+        "_open",
+        "violations",
+        "max_concurrency",
+        "first_violation",
+        "crashed_in_cs",
+    )
+
+    def __init__(self) -> None:
+        #: Currently open critical sections: node -> entry time.
+        self._open: dict[int, float] = {}
+        self.violations = 0
+        self.max_concurrency = 0
+        #: ``(time, entering_node, occupant_nodes)`` of the first violation.
+        self.first_violation: tuple[float, int, tuple[int, ...]] | None = None
+        self.crashed_in_cs: set[int] = set()
+
+    def on_enter(self, node: int, time: float) -> None:
+        """Record a CS entry; flags a violation if the CS is occupied."""
+        open_cs = self._open
+        if open_cs:
+            self.violations += 1
+            if self.first_violation is None:
+                self.first_violation = (time, node, tuple(sorted(open_cs)))
+        open_cs[node] = time
+        if len(open_cs) > self.max_concurrency:
+            self.max_concurrency = len(open_cs)
+
+    def on_exit(self, node: int, time: float) -> float | None:
+        """Record a CS exit; returns the matching entry time (for hold stats)."""
+        return self._open.pop(node, None)
+
+    def on_failure(self, node: int, time: float) -> None:
+        """Fail-stop crash: an open interval of ``node`` ends at the crash."""
+        if self._open.pop(node, None) is not None:
+            self.crashed_in_cs.add(node)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of nodes currently inside the critical section."""
+        return len(self._open)
+
+    @property
+    def ok(self) -> bool:
+        """Whether mutual exclusion held at every observed entry."""
+        return self.violations == 0
+
+    def report(self) -> dict[str, Any]:
+        """JSON-ready verdict block."""
+        report: dict[str, Any] = {
+            "ok": self.ok,
+            "violations": self.violations,
+            "max_concurrency": self.max_concurrency,
+        }
+        if self.first_violation is not None:
+            time, node, occupants = self.first_violation
+            report["first_violation"] = {
+                "time": time,
+                "entering_node": node,
+                "occupants": list(occupants),
+            }
+        if self.crashed_in_cs:
+            report["crashed_in_cs"] = sorted(self.crashed_in_cs)
+        return report
+
+
+class OnlineLivenessWatchdog:
+    """Streaming starvation + no-progress detector (see module docstring).
+
+    Args:
+        max_grant_gap: optional event-time threshold; when set, a gap larger
+            than this between consecutive grants *while requests were
+            pending* fails the liveness verdict even if every request is
+            eventually granted.  ``None`` (default) only checks end-of-run
+            starvation, matching the record-based
+            :func:`repro.verification.liveness.analyse_liveness` semantics.
+    """
+
+    __slots__ = (
+        "max_grant_gap",
+        "_pending",
+        "issued",
+        "granted",
+        "excused",
+        "max_gap",
+        "max_gap_pending",
+        "_last_progress_at",
+        "_starved_at_end",
+        "_finalized",
+    )
+
+    def __init__(self, *, max_grant_gap: float | None = None) -> None:
+        self.max_grant_gap = max_grant_gap
+        #: Outstanding requests: request_id -> (node, issued_at).
+        self._pending: dict[int, tuple[int, float]] = {}
+        self.issued = 0
+        self.granted = 0
+        self.excused = 0
+        #: Largest observed event-time gap between consecutive grants while
+        #: at least one request was pending, and the pending count then.
+        self.max_gap = 0.0
+        self.max_gap_pending = 0
+        self._last_progress_at = 0.0
+        self._starved_at_end = 0
+        self._finalized = False
+
+    def on_issue(self, request_id: int, node: int, time: float) -> None:
+        """Record a request being issued."""
+        if not self._pending:
+            # Nobody was waiting: the stall clock (re)starts now, so idle
+            # stretches between bursts never count as no-progress.
+            self._last_progress_at = time
+        self._pending[request_id] = (node, time)
+        self.issued += 1
+
+    def on_grant(self, request_id: int, time: float) -> float | None:
+        """Record a grant; returns the request's issue time (``None`` if unknown)."""
+        entry = self._pending.pop(request_id, None)
+        if entry is None:
+            return None
+        gap = time - self._last_progress_at
+        if gap > self.max_gap:
+            self.max_gap = gap
+            self.max_gap_pending = len(self._pending) + 1
+        self._last_progress_at = time
+        self.granted += 1
+        return entry[1]
+
+    def on_failure(self, node: int, time: float) -> None:
+        """Fail-stop crash: pending requests of ``node`` are excused."""
+        if not self._pending:
+            return
+        doomed = [rid for rid, (owner, _issued) in self._pending.items() if owner == node]
+        for rid in doomed:
+            del self._pending[rid]
+        self.excused += len(doomed)
+
+    def finalize(self, end_time: float) -> None:
+        """Close the run: leftover pending requests are starvation.
+
+        Idempotent; also folds the final grant-to-end gap into
+        :attr:`max_gap` when requests were still waiting at the end.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        self._starved_at_end = len(self._pending)
+        if self._pending:
+            gap = end_time - self._last_progress_at
+            if gap > self.max_gap:
+                self.max_gap = gap
+                self.max_gap_pending = len(self._pending)
+
+    @property
+    def pending(self) -> int:
+        """Number of currently outstanding (issued, ungranted) requests."""
+        return len(self._pending)
+
+    @property
+    def starved(self) -> int:
+        """Requests left ungranted (and unexcused) at finalize time."""
+        return self._starved_at_end if self._finalized else len(self._pending)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every non-excused request was granted (and no stall tripped)."""
+        if self._finalized and self._starved_at_end:
+            return False
+        if not self._finalized and self._pending:
+            return False
+        if self.max_grant_gap is not None and self.max_gap > self.max_grant_gap:
+            return False
+        return True
+
+    def report(self) -> dict[str, Any]:
+        """JSON-ready verdict block."""
+        return {
+            "ok": self.ok,
+            "issued": self.issued,
+            "granted": self.granted,
+            "starved": self.starved,
+            "excused": self.excused,
+            "max_grant_gap": round(self.max_gap, 6),
+            "max_grant_gap_pending": self.max_gap_pending,
+            "grant_gap_threshold": self.max_grant_gap,
+        }

@@ -1,0 +1,169 @@
+"""Windowed time-series sampling with a bounded sample budget.
+
+:class:`SeriesSampler` turns a scale run into a compact plottable series —
+event time, engine progress, agenda size, in-flight messages, and the last
+token holder — without ever scheduling its own events: samples are taken
+opportunistically when a telemetry hook (request issue/grant, CS
+enter/exit) observes that event time crossed the next cadence boundary, so
+the simulation's event order is byte-identical with and without sampling
+(the golden-digest guarantee).
+
+Memory stays O(``max_samples``) for any run length: when the sample list
+outgrows the budget, every other row is dropped and the cadence doubles —
+the classic decimating recorder, deterministic because it is driven purely
+by event time.
+
+Columns
+-------
+
+``t``
+    Event time of the sample.
+``events_sched``
+    Simulator agenda sequence number — total events *scheduled* so far, a
+    live, deterministic progress counter (the processed-events counter is
+    batched inside ``run()`` and stale mid-run).
+``events_per_sec``
+    Scheduled events per *wall-clock* second since the previous sample.
+    The only nondeterministic column — it measures the machine, not the
+    simulation — and therefore never participates in digests or verdicts.
+``agenda``
+    Current agenda (heap) size, cancelled entries included.
+``in_flight``
+    Messages sent but not yet delivered (or dropped).
+``token_holder``
+    The node of the most recent CS entry — the last known token location
+    (O(1) to track; the token is either there or in transit onward).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Callable
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SeriesSampler", "SERIES_COLUMNS"]
+
+SERIES_COLUMNS = (
+    "t",
+    "events_sched",
+    "events_per_sec",
+    "agenda",
+    "in_flight",
+    "token_holder",
+)
+
+#: Probe returning an instantaneous integer gauge (agenda size, ...).
+Probe = Callable[[], int]
+
+
+def _zero() -> int:
+    return 0
+
+
+class SeriesSampler:
+    """Decimating event-time sampler (see module docstring).
+
+    Args:
+        cadence: initial event-time spacing between samples; doubles on each
+            decimation.
+        max_samples: hard cap on retained rows (decimation threshold).
+    """
+
+    __slots__ = (
+        "cadence",
+        "initial_cadence",
+        "max_samples",
+        "rows",
+        "decimations",
+        "_next_at",
+        "_probe_events",
+        "_probe_agenda",
+        "_probe_in_flight",
+        "_last_events",
+        "_last_wall",
+    )
+
+    def __init__(self, cadence: float, *, max_samples: int = 512) -> None:
+        if cadence <= 0:
+            raise ConfigurationError(f"series cadence must be > 0, got {cadence}")
+        if max_samples < 2:
+            raise ConfigurationError(f"series max_samples must be >= 2, got {max_samples}")
+        self.cadence = cadence
+        self.initial_cadence = cadence
+        self.max_samples = max_samples
+        self.rows: list[list[Any]] = []
+        self.decimations = 0
+        self._next_at = 0.0
+        self._probe_events: Probe = _zero
+        self._probe_agenda: Probe = _zero
+        self._probe_in_flight: Probe = _zero
+        self._last_events = 0
+        self._last_wall = _time.perf_counter()
+
+    def bind_probes(
+        self,
+        *,
+        events_scheduled: Probe,
+        agenda_size: Probe,
+        in_flight: Probe,
+    ) -> None:
+        """Attach the gauges sampled on every tick (cluster wiring)."""
+        self._probe_events = events_scheduled
+        self._probe_agenda = agenda_size
+        self._probe_in_flight = in_flight
+        self._last_events = events_scheduled()
+        self._last_wall = _time.perf_counter()
+
+    @property
+    def due(self) -> float:
+        """Event time at/after which the next sample fires."""
+        return self._next_at
+
+    def sample(self, now: float, token_holder: int | None) -> None:
+        """Take one sample at event time ``now`` and advance the cadence clock."""
+        events = self._probe_events()
+        wall = _time.perf_counter()
+        wall_delta = wall - self._last_wall
+        events_per_sec = (
+            round((events - self._last_events) / wall_delta, 1) if wall_delta > 0 else 0.0
+        )
+        self._last_events = events
+        self._last_wall = wall
+        self.rows.append(
+            [
+                round(now, 6),
+                events,
+                events_per_sec,
+                self._probe_agenda(),
+                self._probe_in_flight(),
+                token_holder,
+            ]
+        )
+        cadence = self.cadence
+        # Next boundary strictly after `now`, aligned to the cadence grid so
+        # sparse activity cannot drift the sample instants.
+        self._next_at = (now // cadence + 1.0) * cadence
+        if len(self.rows) > self.max_samples:
+            # Decimate: keep every other row, double the cadence.  Event-time
+            # driven, so the retained rows are a deterministic function of
+            # the run.
+            del self.rows[1::2]
+            self.cadence = cadence * 2.0
+            self.decimations += 1
+            self._next_at = (now // self.cadence + 1.0) * self.cadence
+
+    def block(self) -> dict[str, Any]:
+        """JSON-ready ``series`` block."""
+        return {
+            "columns": list(SERIES_COLUMNS),
+            "cadence": self.cadence,
+            "initial_cadence": self.initial_cadence,
+            "decimations": self.decimations,
+            "samples": [list(row) for row in self.rows],
+            "note": (
+                "samples are taken opportunistically at telemetry events "
+                "(never scheduled, so event order is unperturbed); "
+                "events_per_sec is wall-clock and machine-dependent"
+            ),
+        }

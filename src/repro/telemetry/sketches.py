@@ -1,0 +1,156 @@
+"""Streaming quantile sketches: constant memory, pure python, deterministic.
+
+The scale runs need waiting-time/holding-time/messages-per-request
+*distributions* (p50/p90/p99), not just means, without keeping O(requests)
+samples around.  :class:`LogHistogram` is a fixed-growth log-bucketed
+histogram: every observation lands in the bucket ``floor(log(v) /
+log(growth))``, so a quantile query is answered within a *relative* error of
+``sqrt(growth) - 1`` (2.5% at the default ``growth=1.05``) from a sparse
+dict of bucket counters whose size is bounded by the dynamic range of the
+data (~1.4k buckets across eighteen decades), never by the number of
+observations.
+
+Why a log-histogram and not P²: P² keeps five markers per tracked quantile
+and interpolates, which is even smaller but (a) answers only the quantiles
+chosen up front and (b) its marker updates are famously sensitive to
+floating-point evaluation order.  The log-histogram answers *any* quantile
+after the fact, its inserts are two flops and a dict increment, and its
+state is a deterministic pure function of the multiset of observations —
+the property the reproducibility tests pin.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["LogHistogram"]
+
+#: Observations below this magnitude share the exact "zero" bucket instead
+#: of a log bucket (log would diverge); waiting times of 0.0 (a request
+#: granted at its issue instant) are the common case.
+ZERO_FLOOR = 1e-9
+
+
+class LogHistogram:
+    """Fixed-growth log-bucketed streaming histogram (see module docstring).
+
+    Args:
+        growth: geometric bucket width; quantiles are exact up to a relative
+            error of ``sqrt(growth) - 1``.  Must be > 1.
+
+    ``count``/``total``/``min_value``/``max_value`` are tracked exactly, so
+    :attr:`mean` and the extremes carry no sketch error at all — only the
+    interior quantiles are approximate.
+    """
+
+    __slots__ = (
+        "growth",
+        "_inv_log_growth",
+        "_sqrt_growth",
+        "_buckets",
+        "_zeros",
+        "count",
+        "total",
+        "min_value",
+        "max_value",
+    )
+
+    def __init__(self, growth: float = 1.05) -> None:
+        if growth <= 1.0:
+            raise ConfigurationError(f"sketch growth must be > 1, got {growth}")
+        self.growth = growth
+        self._inv_log_growth = 1.0 / math.log(growth)
+        self._sqrt_growth = math.sqrt(growth)
+        self._buckets: dict[int, int] = {}
+        self._zeros = 0
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    def add(self, value: float) -> None:
+        """Insert one observation (must be >= 0)."""
+        if value < 0.0:
+            raise ValueError(f"log-histogram observations must be >= 0, got {value}")
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        if value < ZERO_FLOOR:
+            self._zeros += 1
+            return
+        index = math.floor(math.log(value) * self._inv_log_growth)
+        buckets = self._buckets
+        buckets[index] = buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Exact running mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of occupied buckets — the sketch's actual memory footprint."""
+        return len(self._buckets) + (1 if self._zeros else 0)
+
+    def quantile(self, q: float) -> float:
+        """Return the approximate ``q``-quantile (0 <= q <= 1).
+
+        The answer is the geometric midpoint of the bucket holding the
+        rank-``ceil(q * count)`` observation, clamped to the exact observed
+        ``[min_value, max_value]`` range; the endpoints ``quantile(0)`` /
+        ``quantile(1)`` answer the exact tracked extremes, interior
+        quantiles are within the relative error bound.  Returns 0.0 on an
+        empty sketch.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.min_value
+        if q == 1.0:
+            return self.max_value
+        target = max(1, math.ceil(q * self.count))
+        cumulative = self._zeros
+        if target <= cumulative:
+            return 0.0
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= target:
+                representative = self.growth**index * self._sqrt_growth
+                return min(max(representative, self.min_value), self.max_value)
+        return self.max_value  # pragma: no cover - cumulative always reaches count
+
+    def summary(self, *, ndigits: int = 6) -> dict[str, Any]:
+        """p50/p90/p99 + exact count/mean/min/max, JSON-ready."""
+        if self.count == 0:
+            return {
+                "count": 0,
+                "mean": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "p50": 0.0,
+                "p90": 0.0,
+                "p99": 0.0,
+            }
+        return {
+            "count": self.count,
+            "mean": round(self.mean, ndigits),
+            "min": round(self.min_value, ndigits),
+            "max": round(self.max_value, ndigits),
+            "p50": round(self.quantile(0.50), ndigits),
+            "p90": round(self.quantile(0.90), ndigits),
+            "p99": round(self.quantile(0.99), ndigits),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LogHistogram(count={self.count}, mean={self.mean:.4g}, "
+            f"buckets={self.bucket_count})"
+        )

@@ -9,12 +9,18 @@ from repro.verification.invariants import (
     quiescent_structure_report,
 )
 from repro.verification.liveness import LivenessReport, analyse_liveness, assert_liveness
+from repro.verification.online import OnlineVerdicts, replay_online
 from repro.verification.safety import (
     Overlap,
     assert_mutual_exclusion,
     crashed_in_critical_section,
     find_overlaps,
 )
+
+# The online checkers are first-class citizens of the verification layer;
+# they live in repro.telemetry because the streaming metrics mode feeds them
+# during the run, but verification code should import them from here.
+from repro.telemetry.online import OnlineLivenessWatchdog, OnlineSafetyChecker
 
 __all__ = [
     "check_branch_bound",
@@ -30,4 +36,8 @@ __all__ = [
     "assert_mutual_exclusion",
     "crashed_in_critical_section",
     "find_overlaps",
+    "OnlineSafetyChecker",
+    "OnlineLivenessWatchdog",
+    "OnlineVerdicts",
+    "replay_online",
 ]

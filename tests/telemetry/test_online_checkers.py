@@ -1,0 +1,229 @@
+"""Online vs record-based verification parity (the PR's core guarantee).
+
+The same seeded full-mode run must yield identical safety/liveness verdicts
+from the record-based checkers (`find_overlaps` / `analyse_liveness`) and
+the online ones — both when the online checkers *replay* the records
+(`repro.verification.replay_online`) and when they run *live* inside a
+telemetry-mode run of the identical scenario.  The negative cases inject a
+violation through the metric hooks themselves (the test-only entry point the
+simulator uses), so both checker families see the same bogus history.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.baselines.registry import build_cluster
+from repro.core import messages
+from repro.simulation.metrics import MetricsCollector
+from repro.verification import (
+    OnlineLivenessWatchdog,
+    OnlineSafetyChecker,
+    analyse_liveness,
+    crashed_in_critical_section,
+    find_overlaps,
+    replay_online,
+)
+from repro.workload.arrivals import poisson_arrivals
+
+
+def run_cluster(algorithm: str, n: int, *, detail: str, requests: int, seed: int,
+                fail: tuple[int, float, float] | None = None):
+    """One seeded run; returns the quiescent cluster."""
+    messages._request_counter = itertools.count(1)
+    cluster = build_cluster(algorithm, n, seed=seed, trace=False, metrics_detail=detail)
+    workload = poisson_arrivals(n, requests, rate=0.5, seed=seed + 1, hold=0.3)
+    workload.apply(cluster)
+    if fail is not None:
+        node, down_at, up_at = fail
+        cluster.fail_node(node, at=down_at)
+        cluster.recover_node(node, at=up_at)
+    cluster.run_until_quiescent()
+    return cluster
+
+
+SCENARIOS = [
+    ("open-cube", 16, 60, 3, None),
+    ("raymond", 8, 40, 11, None),
+    ("open-cube-ft", 8, 24, 7, (3, 20.0, 45.0)),
+    ("open-cube-ft", 8, 32, 9, (5, 15.0, 200.0)),
+]
+
+
+class TestReplayParity:
+    @pytest.mark.parametrize("algorithm,n,requests,seed,fail", SCENARIOS)
+    def test_online_replay_matches_record_based_verdicts(
+        self, algorithm, n, requests, seed, fail
+    ):
+        cluster = run_cluster(
+            algorithm, n, detail="full", requests=requests, seed=seed, fail=fail
+        )
+        metrics = cluster.metrics
+        crashed = crashed_in_critical_section(metrics)
+        record_safety = not find_overlaps(
+            metrics, end_of_time=cluster.now, exclude_nodes=sorted(crashed)
+        )
+        record_liveness = analyse_liveness(metrics)
+
+        verdicts = replay_online(metrics, end_of_time=cluster.now)
+        assert verdicts.safety_ok == record_safety
+        assert verdicts.liveness_ok == record_liveness.ok
+        assert verdicts.liveness.issued == record_liveness.issued
+        assert verdicts.liveness.granted == record_liveness.granted
+        assert verdicts.liveness.starved == len(record_liveness.starved)
+        assert verdicts.liveness.excused == len(record_liveness.excused)
+        assert verdicts.safety.crashed_in_cs == crashed
+
+    @pytest.mark.parametrize("algorithm,n,requests,seed,fail", SCENARIOS)
+    def test_live_telemetry_run_matches_record_based_verdicts(
+        self, algorithm, n, requests, seed, fail
+    ):
+        """The live hub on the identical seeded run agrees with the records."""
+        full = run_cluster(algorithm, n, detail="full", requests=requests, seed=seed, fail=fail)
+        crashed = crashed_in_critical_section(full.metrics)
+        record_safety = not find_overlaps(
+            full.metrics, end_of_time=full.now, exclude_nodes=sorted(crashed)
+        )
+        record_liveness = analyse_liveness(full.metrics)
+
+        telemetry_cluster = run_cluster(
+            algorithm, n, detail="telemetry", requests=requests, seed=seed, fail=fail
+        )
+        hub = telemetry_cluster.metrics.telemetry
+        hub.finalize(telemetry_cluster.now, telemetry_cluster.metrics._total_sent)
+        assert hub.safety.ok == record_safety
+        assert hub.liveness.ok == record_liveness.ok
+        assert hub.liveness.issued == record_liveness.issued
+        assert hub.liveness.granted == record_liveness.granted
+        assert hub.liveness.excused == len(record_liveness.excused)
+
+
+class TestInjectedViolations:
+    """Negative cases: both checker families must flag the same bogus history.
+
+    The injection goes through the MetricsCollector record hooks — the exact
+    interface the simulator drives — so this is the test-only hook for
+    producing a history no correct algorithm would generate.
+    """
+
+    def _overlap_history(self, collector: MetricsCollector) -> None:
+        collector.record_cs_enter(1, 10.0)
+        collector.record_cs_enter(2, 10.5)  # violation: node 1 still inside
+        collector.record_cs_exit(1, 11.0)
+        collector.record_cs_exit(2, 11.5)
+
+    def test_overlap_flagged_by_both_checkers(self):
+        full = MetricsCollector(detail="full")
+        self._overlap_history(full)
+        assert find_overlaps(full, end_of_time=20.0)
+
+        live = MetricsCollector(detail="telemetry")
+        self._overlap_history(live)
+        safety = live.telemetry.safety
+        assert not safety.ok
+        assert safety.violations == 1
+        assert safety.max_concurrency == 2
+        assert safety.first_violation == (10.5, 2, (1,))
+
+        replayed = replay_online(full, end_of_time=20.0)
+        assert not replayed.safety_ok
+
+    def test_back_to_back_intervals_are_not_a_violation(self):
+        """Exit and next enter at the same instant must stay legal."""
+        full = MetricsCollector(detail="full")
+        full.record_cs_enter(1, 1.0)
+        full.record_cs_exit(1, 2.0)
+        full.record_cs_enter(2, 2.0)
+        full.record_cs_exit(2, 3.0)
+        assert not find_overlaps(full, end_of_time=5.0)
+        assert replay_online(full, end_of_time=5.0).safety_ok
+
+        live = MetricsCollector(detail="telemetry")
+        live.record_cs_enter(1, 1.0)
+        live.record_cs_exit(1, 2.0)
+        live.record_cs_enter(2, 2.0)
+        live.record_cs_exit(2, 3.0)
+        assert live.telemetry.safety.ok
+
+    def test_starvation_flagged_by_both_checkers(self):
+        def starve(collector: MetricsCollector) -> None:
+            collector.record_request_issued(1, 4, 1.0)
+            collector.record_request_issued(2, 5, 2.0)
+            collector.record_request_granted(1, 3.0)
+            # Request 2 is never granted and node 5 never crashed.
+
+        full = MetricsCollector(detail="full")
+        starve(full)
+        assert not analyse_liveness(full).ok
+
+        live = MetricsCollector(detail="telemetry")
+        starve(live)
+        live.telemetry.finalize(10.0, 0)
+        assert not live.telemetry.liveness.ok
+        assert live.telemetry.liveness.starved == 1
+
+        assert not replay_online(full, end_of_time=10.0).liveness_ok
+
+    def test_crash_while_waiting_is_excused_by_both_checkers(self):
+        def crashed_requester(collector: MetricsCollector) -> None:
+            collector.record_request_issued(1, 4, 1.0)
+            collector.record_failure(4, 2.0)
+
+        full = MetricsCollector(detail="full")
+        crashed_requester(full)
+        report = analyse_liveness(full)
+        assert report.ok and len(report.excused) == 1
+
+        live = MetricsCollector(detail="telemetry")
+        crashed_requester(live)
+        live.telemetry.finalize(10.0, 0)
+        assert live.telemetry.liveness.ok
+        assert live.telemetry.liveness.excused == 1
+
+        assert replay_online(full, end_of_time=10.0).liveness_ok
+
+    def test_crash_inside_cs_is_excused_by_the_safety_checker(self):
+        live = MetricsCollector(detail="telemetry")
+        live.record_cs_enter(3, 1.0)
+        live.record_failure(3, 2.0)
+        live.record_cs_enter(5, 4.0)  # after the crash: CS is free again
+        live.record_cs_exit(5, 5.0)
+        safety = live.telemetry.safety
+        assert safety.ok
+        assert safety.crashed_in_cs == {3}
+
+
+class TestWatchdog:
+    def test_grant_gap_threshold(self):
+        watchdog = OnlineLivenessWatchdog(max_grant_gap=5.0)
+        watchdog.on_issue(1, 0, 0.0)
+        watchdog.on_grant(1, 2.0)
+        watchdog.on_issue(2, 1, 10.0)
+        watchdog.on_grant(2, 30.0)  # 20 time units with a pending request
+        watchdog.finalize(31.0)
+        assert watchdog.starved == 0
+        assert watchdog.max_gap == pytest.approx(20.0)
+        assert watchdog.max_gap_pending == 1
+        assert not watchdog.ok  # the stall tripped the threshold
+
+    def test_idle_time_does_not_count_as_stall(self):
+        watchdog = OnlineLivenessWatchdog(max_grant_gap=5.0)
+        watchdog.on_issue(1, 0, 0.0)
+        watchdog.on_grant(1, 1.0)
+        # 100 idle time units with nothing pending, then a quick request.
+        watchdog.on_issue(2, 1, 101.0)
+        watchdog.on_grant(2, 103.0)
+        watchdog.finalize(104.0)
+        assert watchdog.ok
+        assert watchdog.max_gap == pytest.approx(2.0)
+
+    def test_online_safety_checker_reports(self):
+        checker = OnlineSafetyChecker()
+        checker.on_enter(1, 1.0)
+        assert checker.occupancy == 1
+        assert checker.on_exit(1, 2.0) == 1.0
+        assert checker.on_exit(1, 2.0) is None  # double exit is harmless
+        report = checker.report()
+        assert report["ok"] is True and report["violations"] == 0

@@ -1,0 +1,70 @@
+"""SeriesSampler: cadence grid, decimation budget, probe wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry.series import SERIES_COLUMNS, SeriesSampler
+
+
+class TestSeriesSampler:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SeriesSampler(0.0)
+        with pytest.raises(ConfigurationError):
+            SeriesSampler(10.0, max_samples=1)
+
+    def test_samples_align_to_the_cadence_grid(self):
+        sampler = SeriesSampler(10.0, max_samples=100)
+        for t in (0.5, 3.0, 11.0, 12.0, 47.5, 90.0):
+            if t >= sampler.due:
+                sampler.sample(t, token_holder=None)
+        times = [row[0] for row in sampler.rows]
+        # 3.0 and 12.0 fall inside an already-sampled window; 0.5, 11.0,
+        # 47.5 and 90.0 each cross a fresh boundary.
+        assert times == [0.5, 11.0, 47.5, 90.0]
+        # After sampling at 47.5 the next boundary is 50, not 57.5: the grid
+        # is aligned, so sparse activity cannot drift the sample instants.
+        assert sampler.due == 100.0
+
+    def test_decimation_keeps_the_budget_and_doubles_cadence(self):
+        sampler = SeriesSampler(1.0, max_samples=8)
+        t = 0.0
+        for _ in range(64):
+            t += 1.0
+            if t >= sampler.due:
+                sampler.sample(t, token_holder=None)
+        assert len(sampler.rows) <= 8
+        assert sampler.cadence > 1.0
+        assert sampler.decimations >= 1
+        times = [row[0] for row in sampler.rows]
+        assert times == sorted(times)
+
+    def test_probes_feed_the_columns(self):
+        sampler = SeriesSampler(5.0, max_samples=16)
+        gauges = {"events": 0, "agenda": 3, "in_flight": 1}
+        sampler.bind_probes(
+            events_scheduled=lambda: gauges["events"],
+            agenda_size=lambda: gauges["agenda"],
+            in_flight=lambda: gauges["in_flight"],
+        )
+        gauges.update(events=120, agenda=7, in_flight=4)
+        sampler.sample(5.0, token_holder=2)
+        [row] = sampler.rows
+        as_dict = dict(zip(SERIES_COLUMNS, row))
+        assert as_dict["t"] == 5.0
+        assert as_dict["events_sched"] == 120
+        assert as_dict["agenda"] == 7
+        assert as_dict["in_flight"] == 4
+        assert as_dict["token_holder"] == 2
+        assert as_dict["events_per_sec"] >= 0.0
+
+    def test_block_shape(self):
+        sampler = SeriesSampler(2.0, max_samples=4)
+        sampler.sample(2.0, token_holder=None)
+        block = sampler.block()
+        assert block["columns"] == list(SERIES_COLUMNS)
+        assert block["initial_cadence"] == 2.0
+        assert len(block["samples"]) == 1
+        assert len(block["samples"][0]) == len(SERIES_COLUMNS)

@@ -1,0 +1,101 @@
+"""LogHistogram: accuracy bound, determinism, constant memory."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry.sketches import LogHistogram
+
+
+def exact_quantile(values: list[float], q: float) -> float:
+    """Rank-based reference quantile (same convention as the sketch)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestLogHistogram:
+    def test_rejects_bad_growth_and_negative_values(self):
+        with pytest.raises(ConfigurationError):
+            LogHistogram(1.0)
+        sketch = LogHistogram()
+        with pytest.raises(ValueError):
+            sketch.add(-0.1)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+
+    def test_empty_sketch(self):
+        sketch = LogHistogram()
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.summary()["count"] == 0
+        assert sketch.mean == 0.0
+
+    def test_exact_aggregates(self):
+        sketch = LogHistogram()
+        values = [0.0, 0.5, 1.5, 300.0, 7.25]
+        for v in values:
+            sketch.add(v)
+        assert sketch.count == len(values)
+        assert sketch.min_value == 0.0
+        assert sketch.max_value == 300.0
+        assert sketch.mean == pytest.approx(sum(values) / len(values))
+
+    @pytest.mark.parametrize("growth", [1.02, 1.05, 1.2])
+    def test_quantile_relative_error_bound(self, growth):
+        rng = random.Random(42)
+        # Log-uniform over six decades: exercises many buckets.
+        values = [10 ** rng.uniform(-3, 3) for _ in range(5000)]
+        sketch = LogHistogram(growth)
+        for v in values:
+            sketch.add(v)
+        bound = math.sqrt(growth) - 1.0
+        for q in (0.1, 0.5, 0.9, 0.99):
+            exact = exact_quantile(values, q)
+            approx = sketch.quantile(q)
+            assert abs(approx - exact) / exact <= bound + 1e-9, (q, exact, approx)
+
+    def test_extreme_quantiles_are_exact(self):
+        sketch = LogHistogram()
+        values = [3.7, 11.0, 0.2, 950.0]
+        for v in values:
+            sketch.add(v)
+        assert sketch.quantile(0.0) == pytest.approx(min(values))
+        assert sketch.quantile(1.0) == pytest.approx(max(values))
+
+    def test_zeros_bucket(self):
+        sketch = LogHistogram()
+        for _ in range(90):
+            sketch.add(0.0)
+        for _ in range(10):
+            sketch.add(5.0)
+        assert sketch.quantile(0.5) == 0.0
+        # Within the sketch's relative error bound of the exact answer (5.0).
+        assert sketch.quantile(0.95) == pytest.approx(5.0, rel=math.sqrt(sketch.growth) - 1)
+
+    def test_deterministic_and_order_independent_quantiles(self):
+        rng = random.Random(7)
+        values = [rng.expovariate(0.1) for _ in range(2000)]
+        forward = LogHistogram()
+        backward = LogHistogram()
+        for v in values:
+            forward.add(v)
+        for v in reversed(values):
+            backward.add(v)
+        # Bucket counts are a pure function of the multiset: every quantile
+        # agrees exactly, whatever the insertion order.
+        for q in (0.25, 0.5, 0.9, 0.99):
+            assert forward.quantile(q) == backward.quantile(q)
+        assert forward.summary(ndigits=12)["p99"] == backward.summary(ndigits=12)["p99"]
+
+    def test_memory_is_bounded_by_dynamic_range_not_count(self):
+        sketch = LogHistogram()
+        rng = random.Random(1)
+        for _ in range(50_000):
+            sketch.add(rng.uniform(1.0, 100.0))
+        # Two decades at 5% growth is on the order of a hundred buckets.
+        assert sketch.bucket_count < 120
+        assert sketch.count == 50_000
