@@ -17,7 +17,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_scale.py            # full sweep
     PYTHONPATH=src python benchmarks/bench_scale.py --smoke    # n=256 only (CI)
 
-What it measures, per (algorithm, n) cell (schema ``bench-scale/v3``):
+What it measures, per (algorithm, n) cell (schema ``bench-scale/v4``):
 
 * wall time of ``run_until_quiescent`` (setup excluded, split into
   ``setup_s`` — cluster construction, O(n) total since the shared
@@ -49,7 +49,21 @@ What it measures, per (algorithm, n) cell (schema ``bench-scale/v3``):
   (events/s, agenda size, in-flight messages, token holder over event
   time).  ``--check-safety`` turns the verdicts into the second CI gate: a
   cell whose safety or liveness check fails (or that unexpectedly reports
-  "not analysed") fails the job by name.
+  "not analysed") fails the job by name,
+* since v4, every telemetry cell carries the per-node fairness block
+  (``jain_index``, grant-share extremes, ``max_node_starvation_gap`` — see
+  :mod:`repro.telemetry.fairness`), the matrix gains a **hotspot** cell per
+  size (skewed workload: the fairness figures quantify who actually waits)
+  and a **failure-schedule** cell (open-cube-ft under periodic crashes),
+  and those cells declare calibrated ``liveness_thresholds`` (see
+  ``LIVENESS_THRESHOLDS`` below): a protocol that stalls-but-recovers
+  inside the run now *breaches a bound* instead of hiding in a passing
+  ``liveness_ok``.  ``--check-fairness`` is the third CI gate: it fails the
+  job naming any telemetry cell that lost its fairness columns, breached a
+  declared threshold, or fell below its workload class's Jain floor.  The
+  whole sweep is also streamed as JSON Lines (one row per completed cell,
+  written the moment the cell finishes) to ``<output>.jsonl`` next to the
+  JSON document.
 
 The open-cube rows are compared against ``PRE_CHANGE_BASELINE``: events/sec
 of the same workload/configuration measured on the engine as of the seed
@@ -66,13 +80,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 from pathlib import Path
 
 from repro.analysis import theory
 from repro.experiments.complexity import measure_complexity
-from repro.scenarios import ScenarioSpec, SweepRunner, WorkloadSpec
+from repro.scenarios import FailureSpec, ScenarioSpec, SweepRunner, WorkloadSpec
 
 #: events/sec of the pre-change engine (seed commit) on this harness's exact
 #: open-cube workload — poisson(rate=2.0, hold=0.1, seed=0), UniformDelay,
@@ -115,6 +130,82 @@ FEED_WINDOW = 64
 SERIES_CADENCE = 64.0
 SERIES_MAX_SAMPLES = 96
 
+#: Calibrated stall gates per workload class (the ``liveness_thresholds``
+#: convention; keys are :data:`repro.experiments.runner.LIVENESS_THRESHOLD_KEYS`).
+#: Calibration: observed ``max_grant_gap`` across the recorded sweeps stays
+#: under 15 event-time units for every failure-free analysed cell up to
+#: n = 16384 (grants happen constantly even when queues saturate), so 120 is
+#: ~8x headroom while still catching a genuine no-progress stall (a lost
+#: token, a broken tree) within two delay-model orders of magnitude.
+#: ``max_node_starvation_gap`` is deliberately NOT bounded on the saturated
+#: poisson long cells (a saturated queue's tail wait is a workload property,
+#: not a protocol stall); the hotspot and failure cells get *formula* bounds
+#: from :func:`hotspot_thresholds` / :func:`failure_thresholds` because both
+#: legitimate figures scale with the cell — see there.
+LIVENESS_THRESHOLDS = {
+    "poisson": {"max_grant_gap": 120.0},
+}
+
+#: Poisson-process delay model constants the threshold formulas below rely
+#: on (UniformDelay(0.5, 1.0) and hold=0.1 everywhere in this harness).
+MEAN_DELAY = 0.75
+MAX_DELAY = 1.0
+CS_HOLD = 0.1
+
+
+def hotspot_thresholds(n: int, requests: int) -> dict:
+    """Stall gates of a hotspot cell: global bound + full-drain per-node bound.
+
+    A cold node at the back of a skewed backlog may legitimately wait for
+    the *entire* backlog to drain once: ``requests`` CS passes, each costing
+    the hold time plus the token's mean travel (mean delay x the EXP-AVG
+    mean distance, ~``log2(n)/2 + 1`` hops on an open cube).  Recorded
+    worst cases sit at 0.45x this bound (n = 16384) and below — a node
+    waiting *longer than one full drain* is being passed over, which is a
+    protocol fairness bug, not queueing.
+    """
+    hops = math.log2(n) / 2.0 + 1.0
+    drain = requests * (CS_HOLD + MEAN_DELAY * hops)
+    return {"max_grant_gap": 120.0, "max_node_starvation_gap": round(drain, 1)}
+
+
+def failure_thresholds(n: int, *, cs_duration_estimate: float = 1.0) -> dict:
+    """Stall gate of a failure-schedule cell: a few suspicion periods.
+
+    A crash of the token holder legitimately stalls *everyone* until some
+    waiting node's patience timer fires and the regeneration protocol
+    rebuilds the token — and that patience is the paper's suspicion delay,
+    ``2n(e + 2*delta)`` (``fault_tolerant_node.py``): O(n), not O(1).  The
+    recorded n = 1024 cell recovers within ~3 periods (18.6k vs the 6.1k
+    period); 8 periods is the bound — a stall past that means regeneration
+    itself is broken, not merely slow.
+    """
+    suspicion_period = 2.0 * n * (cs_duration_estimate + 2.0 * MAX_DELAY)
+    return {"max_grant_gap": round(8.0 * suspicion_period, 1)}
+
+#: ``--check-fairness`` floors on Jain's index per workload class.  A
+#: uniform workload granting ``m`` requests per node on average has an
+#: expected Jain index of ``m / (m + 1)`` (per-node counts are ~Poisson(m),
+#: so ``E[x²] = m² + m``), which the recorded sweeps hit within 2% — e.g.
+#: 0.888 observed vs 0.889 expected at (n=256, 2048 requests).  The poisson
+#: and failure floors are therefore *fractions of that expectation* (scale-
+#: free: they work at n=64 and n=16384 alike); the hotspot floor is absolute
+#: and tiny — that cell is deliberately skewed, the floor only asserts the
+#: cold nodes were not starved out of the grant census entirely.
+FAIRNESS_FLOORS = {
+    "poisson": 0.5,  # fraction of m/(m+1)
+    "failures": 0.5,  # fraction of m/(m+1)
+    "hotspot": 0.02,  # absolute
+}
+
+#: Agenda bound per-node factor of the streamed gate: plain algorithms keep
+#: at most ~2 agenda entries per active node (in-flight message + release
+#: timer); the fault-tolerant nodes also keep failure-detection machinery
+#: (ping/test timers and their replies) alive per node, observed at ~4.6
+#: entries/node under the periodic-failure schedule.
+AGENDA_NODE_FACTOR = {"open-cube-ft": 6}
+AGENDA_NODE_FACTOR_DEFAULT = 2
+
 
 def make_spec(
     algorithm: str,
@@ -127,12 +218,17 @@ def make_spec(
     stream: bool = False,
     series: bool = False,
     label: str | None = None,
+    workload: WorkloadSpec | None = None,
+    failures: FailureSpec | None = None,
+    thresholds: dict | None = None,
 ) -> ScenarioSpec:
     """Declare one (algorithm, n) cell of the sweep.
 
     The cell is repeated ``repeats`` times (identical seed, so identical
     event sequence) and the fastest repetition is reported: on a shared
-    machine, noise only ever makes a run slower.
+    machine, noise only ever makes a run slower.  ``workload`` defaults to
+    the harness's canonical poisson workload; ``thresholds`` attaches a
+    calibrated ``liveness_thresholds`` block (see ``LIVENESS_THRESHOLDS``).
     """
     telemetry: dict = {}
     if detail == "telemetry" and series:
@@ -143,7 +239,8 @@ def make_spec(
     return ScenarioSpec(
         algorithm=algorithm,
         n=n,
-        workload=WorkloadSpec(
+        workload=workload
+        or WorkloadSpec(
             "poisson", {"count": requests, "rate": 2.0, "seed": seed, "hold": 0.1}
         ),
         seed=seed,
@@ -154,6 +251,8 @@ def make_spec(
         stream=stream,
         feed_window=FEED_WINDOW,
         telemetry=telemetry,
+        failures=failures,
+        liveness_thresholds=dict(thresholds or {}),
         label=label,
     )
 
@@ -189,12 +288,13 @@ def build_specs(sizes: list[int], *, scale_requests_factor: int = 32) -> list[Sc
                 # The telemetry cells are the scale path (the counters-mode
                 # successor since bench-scale/v3): streamed workload feeding,
                 # zero per-message/per-request records, online safety and
-                # liveness verdicts, quantile sketches, and — on these
-                # headline cells — the compact time series.
+                # liveness verdicts, quantile sketches, fairness census, and
+                # — on these headline cells — the compact time series.
                 specs.append(
                     make_spec(
                         algorithm, n, requests,
                         detail="telemetry", repeats=repeats, stream=True, series=True,
+                        thresholds=LIVENESS_THRESHOLDS["poisson"],
                     )
                 )
                 if n >= LONG_RUN_MIN_N:
@@ -215,12 +315,59 @@ def build_specs(sizes: list[int], *, scale_requests_factor: int = 32) -> list[Sc
                 requests = min(4 * n, 4096)
                 repeats = 1 if algorithm in ("ricart-agrawala", "suzuki-kasami") else 2
                 specs.append(make_spec(algorithm, n, requests, detail="telemetry", repeats=repeats))
+        # Fairness-gated cells (since v4), one of each per size:
+        # (a) a hotspot workload — a few nodes issue 80% of the requests, so
+        # the Jain index / per-node starvation columns actually measure
+        # something (the uniform poisson cells sit near 1.0); streamed +
+        # telemetry like the scale path, bounded by the hotspot thresholds.
+        hot_requests = min(4 * n, 16384)
+        hot_nodes = list(range(1, max(2, n // 64) + 1))
+        specs.append(
+            make_spec(
+                "open-cube", n, hot_requests,
+                detail="telemetry", repeats=2, stream=True,
+                workload=WorkloadSpec(
+                    "hotspot",
+                    {
+                        "count": hot_requests, "hotspot_nodes": hot_nodes,
+                        "hotspot_fraction": 0.8, "rate": 2.0, "seed": 0, "hold": 0.1,
+                    },
+                ),
+                thresholds=hotspot_thresholds(n, hot_requests),
+                label="hotspot",
+            )
+        )
+        # (b) a failure schedule on the fault-tolerant algorithm: periodic
+        # crashes with recovery, stall-bounded by the failure-class
+        # thresholds declared ON the FailureSpec itself (the failure class,
+        # not the cell, knows how long its recovery may legitimately take).
+        if n <= 1024:
+            fail_requests = min(2 * n, 2048)
+            specs.append(
+                make_spec(
+                    "open-cube-ft", n, fail_requests,
+                    detail="telemetry", repeats=1, stream=True,
+                    failures=FailureSpec(
+                        "periodic",
+                        {"count": 3, "start": 50.0, "spacing": 150.0, "recover_after": 40.0},
+                        liveness_thresholds=failure_thresholds(n),
+                    ),
+                    label="failure-schedule",
+                )
+            )
     return specs
 
 
 def decorate_row(row: dict) -> dict:
-    """Attach the pre-change baseline comparison to open-cube rows."""
+    """Attach the pre-change baseline comparison to open-cube rows.
+
+    Only the canonical poisson workload compares against the recorded
+    baseline — the baseline was measured on it, so a speedup figure on the
+    hotspot (or any other labelled) cell would be apples-to-oranges.
+    """
     baseline = PRE_CHANGE_BASELINE.get(row["n"])
+    if not str(row.get("workload", "")).startswith("poisson("):
+        return row
     if row["algorithm"] == "open-cube" and baseline is not None:
         # The baseline was recorded in the seed engine's only metrics mode
         # (full), so the detail=="full" row is the apples-to-apples engine
@@ -259,18 +406,32 @@ def _print_row(row: dict) -> None:
     print(json.dumps({k: v for k, v in row.items() if k != "series"}), flush=True)
 
 
-def run_sweep(sizes: list[int], *, scale_requests_factor: int = 32, parallel: int = 1) -> dict:
-    """Run the full matrix and return the BENCH_scale document."""
+def run_sweep(
+    sizes: list[int],
+    *,
+    scale_requests_factor: int = 32,
+    parallel: int = 1,
+    jsonl_path: Path | None = None,
+) -> dict:
+    """Run the full matrix and return the BENCH_scale document.
+
+    ``jsonl_path`` additionally streams every finished row as one JSON Lines
+    record the moment its cell completes (the ``SweepRunner`` sink), so an
+    interrupted sweep still leaves its completed cells on disk.
+    """
     specs = build_specs(sizes, scale_requests_factor=scale_requests_factor)
     runner = SweepRunner(specs=specs, processes=parallel)
-    # decorate_row mutates in place, so the streamed lines and the final
-    # document carry the same baseline-comparison fields.
-    rows = runner.run(on_row=lambda row: _print_row(decorate_row(row)))
+    # decorate_row mutates in place before the sink records the row, so the
+    # stdout lines, the JSONL stream and the final document all carry the
+    # same baseline-comparison fields.
+    rows = runner.run(
+        on_row=lambda row: _print_row(decorate_row(row)), sink=jsonl_path
+    )
     complexity = [run_complexity(n) for n in sizes if n <= COMPLEXITY_MAX_N]
     for point in complexity:
         print(json.dumps(point), flush=True)
     return {
-        "schema": "bench-scale/v3",
+        "schema": "bench-scale/v4",
         "config": {
             "sizes": sizes,
             "workload": "poisson(rate=2.0, hold=0.1, seed=0)",
@@ -280,6 +441,17 @@ def run_sweep(sizes: list[int], *, scale_requests_factor: int = 32, parallel: in
             "feed_window": FEED_WINDOW,
             "series_cadence": SERIES_CADENCE,
             "series_max_samples": SERIES_MAX_SAMPLES,
+            "liveness_thresholds": {
+                **LIVENESS_THRESHOLDS,
+                # The scale-aware classes record their formulas; the actual
+                # per-cell bounds sit in each row's liveness_thresholds.
+                "hotspot": "hotspot_thresholds(n, requests): max_grant_gap=120, "
+                "max_node_starvation_gap=requests*(hold+mean_delay*(log2(n)/2+1))",
+                "failures": "failure_thresholds(n): max_grant_gap="
+                "8*2n(e+2*delta) — 8 suspicion periods",
+            },
+            "fairness_floors": FAIRNESS_FLOORS,
+            "jsonl": jsonl_path.name if jsonl_path else None,
             "complexity_max_n": COMPLEXITY_MAX_N,
             "python": sys.version.split()[0],
         },
@@ -308,23 +480,27 @@ def run_sweep(sizes: list[int], *, scale_requests_factor: int = 32, parallel: in
 def check_agenda_bounds(rows: list[dict]) -> list[str]:
     """Regression-gate the streamed cells' agenda high-water mark.
 
-    A streamed cell whose ``agenda_peak`` exceeds ``feed_window + 2 * n``
-    (window + the per-node active bound) means eager scheduling crept back
-    into the scale path — exactly the O(requests)-agenda behaviour this
-    harness exists to keep out.  Returns a list of violation messages.
+    A streamed cell whose ``agenda_peak`` exceeds
+    ``feed_window + factor * n`` (window + the per-node active bound,
+    ``factor`` from ``AGENDA_NODE_FACTOR`` — fault-tolerant nodes carry
+    failure-detection timers on top of the plain 2/node) means eager
+    scheduling crept back into the scale path — exactly the
+    O(requests)-agenda behaviour this harness exists to keep out.  Returns a
+    list of violation messages.
     """
     problems = []
     for row in rows:
         if not row.get("streamed"):
             continue
         window = row.get("feed_window") or 0
-        bound = window + 2 * row["n"]
+        factor = AGENDA_NODE_FACTOR.get(row["algorithm"], AGENDA_NODE_FACTOR_DEFAULT)
+        bound = window + factor * row["n"]
         if row["agenda_peak"] > bound:
             problems.append(
                 f"cell ({row['algorithm']}, n={row['n']}, {row['metrics_detail']}): "
                 f"agenda_peak={row['agenda_peak']} exceeds the streamed bound "
-                f"{bound} (feed_window {window} + 2*n) — eager scheduling crept "
-                "back into the scale path"
+                f"{bound} (feed_window {window} + {factor}*n) — eager scheduling "
+                "crept back into the scale path"
             )
     return problems
 
@@ -368,6 +544,80 @@ def check_safety(rows: list[dict]) -> list[str]:
     return problems
 
 
+def _workload_class(row: dict) -> str:
+    """Which LIVENESS_THRESHOLDS / FAIRNESS_FLOORS class a row belongs to."""
+    if row.get("failures"):
+        return "failures"
+    if str(row.get("workload", "")).startswith("hotspot"):
+        return "hotspot"
+    return "poisson"
+
+
+def check_fairness(rows: list[dict]) -> list[str]:
+    """Regression-gate the telemetry cells' fairness columns and stall bounds.
+
+    Three failure modes, each named per cell:
+
+    * a telemetry cell lost its fairness columns (``jain_index`` /
+      ``max_node_starvation_gap`` / the ``fairness`` block) — the census was
+      silently disabled or dropped from the row schema;
+    * a cell breached one of its declared ``liveness_thresholds`` (the
+      breach detail from the runner names the node, gap and limit);
+    * a cell's Jain index fell below its workload class's floor — hotspot
+      starvation that global liveness cannot see.
+    """
+    problems = []
+    for row in rows:
+        if row["metrics_detail"] != "telemetry":
+            continue
+        label = f" [{row['label']}]" if row.get("label") else ""
+        cell = f"cell ({row['algorithm']}, n={row['n']}, {row['workload']}{label})"
+        if "jain_index" not in row or "fairness" not in row:
+            problems.append(
+                f"{cell}: fairness columns missing — the per-node census was "
+                "disabled or dropped from the row schema; every telemetry "
+                "cell must report jain_index / max_node_starvation_gap"
+            )
+            continue
+        for breach in (row.get("online_checks") or {}).get("threshold_breaches", ()):
+            where = f" at node {breach['node']}" if "node" in breach else ""
+            problems.append(
+                f"{cell}: {breach['threshold']}={breach['observed']}{where} "
+                f"breached the calibrated bound {breach['limit']} — the "
+                "protocol stalled (or starved a node) beyond what this "
+                "workload class allows"
+            )
+        floor = _jain_floor(row)
+        if floor is not None and row["jain_index"] < floor:
+            worst = (row.get("fairness") or {}).get("min_share") or {}
+            hint = (
+                f" (least-served node {worst.get('node')} got share "
+                f"{worst.get('share')})"
+                if worst
+                else ""
+            )
+            problems.append(
+                f"{cell}: jain_index={row['jain_index']} below the "
+                f"{_workload_class(row)} floor {round(floor, 4)}{hint}"
+            )
+    return problems
+
+
+def _jain_floor(row: dict) -> float | None:
+    """The Jain-index floor for one row (see ``FAIRNESS_FLOORS``).
+
+    Hotspot cells get the absolute floor; uniform classes scale theirs by
+    the workload's own ``m/(m+1)`` expectation (``m`` = granted requests per
+    node), so the gate is meaningful at every sweep size.
+    """
+    workload_class = _workload_class(row)
+    floor = FAIRNESS_FLOORS.get(workload_class)
+    if floor is None or workload_class == "hotspot":
+        return floor
+    m = row["requests_granted"] / row["n"]
+    return floor * (m / (m + 1.0))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -383,6 +633,12 @@ def main(argv: list[str] | None = None) -> int:
         help="fail (exit 1) if any full/telemetry cell reports safety_ok or "
         "liveness_ok as false (protocol bug) or null (analysis silently "
         "skipped) — the online-verification gate",
+    )
+    parser.add_argument(
+        "--check-fairness", action="store_true",
+        help="fail (exit 1) if any telemetry cell lost its fairness columns, "
+        "breached a declared liveness threshold, or fell below its workload "
+        "class's Jain-index floor — the per-node fairness/stall gate",
     )
     parser.add_argument(
         "--sizes", type=int, nargs="+", default=None,
@@ -404,9 +660,10 @@ def main(argv: list[str] | None = None) -> int:
         sizes = [256]
     else:
         sizes = [256, 1024, 4096, 16384]
-    document = run_sweep(sizes, parallel=args.parallel)
+    jsonl_path = args.output.with_suffix(".jsonl")
+    document = run_sweep(sizes, parallel=args.parallel, jsonl_path=jsonl_path)
     args.output.write_text(json.dumps(document, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    print(f"wrote {args.output} (+ streamed {jsonl_path})")
     failed = False
     if args.check_agenda:
         problems = check_agenda_bounds(document["results"])
@@ -415,7 +672,10 @@ def main(argv: list[str] | None = None) -> int:
         if problems:
             failed = True
         else:
-            print("agenda gate ok: every streamed cell stayed within feed_window + 2*n")
+            print(
+                "agenda gate ok: every streamed cell stayed within its "
+                "feed_window + factor*n bound"
+            )
     if args.check_safety:
         problems = check_safety(document["results"])
         for problem in problems:
@@ -426,6 +686,17 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 "safety gate ok: every full/telemetry cell reports "
                 "safety_ok=liveness_ok=true"
+            )
+    if args.check_fairness:
+        problems = check_fairness(document["results"])
+        for problem in problems:
+            print(f"FAIRNESS GATE: {problem}", file=sys.stderr)
+        if problems:
+            failed = True
+        else:
+            print(
+                "fairness gate ok: every telemetry cell carries its fairness "
+                "columns, within thresholds and Jain floors"
             )
     return 1 if failed else 0
 

@@ -17,10 +17,99 @@ from repro.simulation.cluster import SimulatedCluster
 from repro.simulation.failures import FailureSchedule
 from repro.simulation.network import DelayModel, UniformDelay
 from repro.verification.liveness import analyse_liveness
+from repro.verification.online import replay_online
 from repro.verification.safety import crashed_in_critical_section, find_overlaps
 from repro.workload.arrivals import ArrivalStream, Workload
 
-__all__ = ["RunResult", "run_workload"]
+__all__ = ["RunResult", "run_workload", "LIVENESS_THRESHOLD_KEYS"]
+
+#: The declarative stall/fairness gates a run can carry (the
+#: ``liveness_thresholds`` block of :class:`repro.scenarios.ScenarioSpec` /
+#: ``FailureSpec``).  Any breach turns ``liveness_ok`` into ``False`` with a
+#: detail record naming the offending node and observed value:
+#:
+#: * ``max_grant_gap`` — largest event-time gap between consecutive grants
+#:   anywhere while requests were pending (the watchdog's global
+#:   no-progress figure; a protocol that stalls-but-recovers breaches it).
+#: * ``max_node_starvation_gap`` — largest stretch a single node spent
+#:   waiting without *it* being granted (per-node: hotspot starvation that
+#:   global progress hides).
+#: * ``min_jain_index`` — lower bound on Jain's fairness index over the
+#:   per-node grant counts.
+LIVENESS_THRESHOLD_KEYS = frozenset(
+    {"max_grant_gap", "max_node_starvation_gap", "min_jain_index"}
+)
+
+
+def _threshold_breaches(
+    thresholds: Mapping[str, float],
+    liveness_report: Mapping[str, Any],
+    fairness_report: Mapping[str, Any] | None,
+) -> list[dict[str, Any]]:
+    """Evaluate the declarative gates against one run's verdict blocks.
+
+    Returns one JSON-ready record per breached threshold, each naming the
+    offending node where one is attributable (the global ``max_grant_gap``
+    is attributed to the worst per-node waiter when fairness data exists).
+    """
+    breaches: list[dict[str, Any]] = []
+    worst_starvation = (fairness_report or {}).get("max_node_starvation")
+    limit = thresholds.get("max_grant_gap")
+    if limit is not None and liveness_report["max_grant_gap"] > limit:
+        breach: dict[str, Any] = {
+            "threshold": "max_grant_gap",
+            "limit": limit,
+            "observed": liveness_report["max_grant_gap"],
+            "pending": liveness_report["max_grant_gap_pending"],
+        }
+        if worst_starvation is not None:
+            breach["node"] = worst_starvation["node"]
+        breaches.append(breach)
+    limit = thresholds.get("max_node_starvation_gap")
+    if limit is not None and worst_starvation is not None and worst_starvation["gap"] > limit:
+        breaches.append(
+            {
+                "threshold": "max_node_starvation_gap",
+                "limit": limit,
+                "observed": worst_starvation["gap"],
+                "node": worst_starvation["node"],
+            }
+        )
+    limit = thresholds.get("min_jain_index")
+    if limit is not None and fairness_report is not None:
+        observed = fairness_report["jain_index"]
+        if observed < limit:
+            breach = {
+                "threshold": "min_jain_index",
+                "limit": limit,
+                "observed": observed,
+            }
+            min_share = fairness_report.get("min_share")
+            if min_share is not None:
+                breach["node"] = min_share["node"]
+            breaches.append(breach)
+    return breaches
+
+
+def _validate_thresholds(
+    thresholds: Mapping[str, float] | None, metrics_detail: str
+) -> dict[str, float]:
+    """Reject unknown keys and un-analysable modes up front."""
+    if not thresholds:
+        return {}
+    unknown = set(thresholds) - LIVENESS_THRESHOLD_KEYS
+    if unknown:
+        raise ConfigurationError(
+            f"unknown liveness threshold(s) {sorted(unknown)}; "
+            f"known: {', '.join(sorted(LIVENESS_THRESHOLD_KEYS))}"
+        )
+    if metrics_detail == "counters":
+        raise ConfigurationError(
+            "liveness_thresholds need an analysed run: use "
+            "metrics_detail='telemetry' (online) or 'full' (record replay), "
+            "not the unanalysed 'counters' mode"
+        )
+    return dict(thresholds)
 
 #: Message kinds that only exist because of the fault-tolerance machinery.
 FT_MESSAGE_KINDS = frozenset(
@@ -87,8 +176,12 @@ class RunResult:
     #: series sampler); ``None`` otherwise.
     series: dict[str, Any] | None = None
     #: The online safety/liveness verdict detail blocks backing
-    #: ``safety_ok``/``liveness_ok`` in telemetry mode; ``None`` otherwise.
+    #: ``safety_ok``/``liveness_ok`` in telemetry mode (and in full mode when
+    #: ``liveness_thresholds`` forced a record replay); ``None`` otherwise.
     online_checks: dict[str, Any] | None = None
+    #: Per-node fairness block (Jain index, grant shares, max per-node
+    #: starvation gap); populated whenever the fairness census ran.
+    fairness: dict[str, Any] | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def as_row(self) -> dict[str, Any]:
@@ -127,6 +220,7 @@ def run_workload(
     stream: bool | None = None,
     feed_window: int = 64,
     telemetry: Mapping[str, Any] | None = None,
+    liveness_thresholds: Mapping[str, float] | None = None,
 ) -> RunResult:
     """Run ``workload`` under ``algorithm`` on ``n`` simulated nodes.
 
@@ -162,6 +256,14 @@ def run_workload(
         telemetry: telemetry-hub options
             (:class:`~repro.telemetry.TelemetryOptions` or its dict form);
             only valid with ``metrics_detail="telemetry"``.
+        liveness_thresholds: declarative stall/fairness gates (see
+            :data:`LIVENESS_THRESHOLD_KEYS`).  A breach turns ``liveness_ok``
+            into ``False`` and records a ``threshold_breaches`` detail (node,
+            limit, observed) on the liveness verdict block.  In telemetry
+            mode the gates run against the online checkers; in full mode the
+            records are replayed through them
+            (:func:`repro.verification.replay_online`); the unanalysed
+            ``counters`` mode rejects thresholds outright.
     """
     kwargs = dict(cluster_kwargs or {})
     kwargs_detail = kwargs.pop("metrics_detail", None)
@@ -179,6 +281,28 @@ def run_workload(
                 "argument and in cluster_kwargs['telemetry_options']"
             )
         kwargs["telemetry_options"] = telemetry
+    thresholds = _validate_thresholds(liveness_thresholds, metrics_detail)
+    if thresholds and metrics_detail == "telemetry":
+        options = dict(kwargs.get("telemetry_options") or {})
+        if "max_grant_gap" in thresholds:
+            # The global stall gate is enforced by the watchdog itself, so
+            # thread it into the hub's options (the declarative threshold and
+            # an explicitly configured watchdog gap must agree, not fight).
+            configured = options.get("max_grant_gap")
+            if configured is not None and configured != thresholds["max_grant_gap"]:
+                raise ConfigurationError(
+                    f"conflicting max_grant_gap: {thresholds['max_grant_gap']} in "
+                    f"liveness_thresholds but {configured} in the telemetry options"
+                )
+            options["max_grant_gap"] = thresholds["max_grant_gap"]
+        if options.get("fairness") is False and (
+            "max_node_starvation_gap" in thresholds or "min_jain_index" in thresholds
+        ):
+            raise ConfigurationError(
+                "per-node liveness thresholds need the fairness census: "
+                "remove fairness=False from the telemetry options"
+            )
+        kwargs["telemetry_options"] = options
     if stream is None:
         stream = isinstance(workload, ArrivalStream)
     setup_start = time.perf_counter()
@@ -214,6 +338,7 @@ def run_workload(
     quantiles: dict[str, Any] | None = None
     series: dict[str, Any] | None = None
     online_checks: dict[str, Any] | None = None
+    fairness: dict[str, Any] | None = None
     if metrics_detail == "telemetry":
         # Constant-memory mode: the online checkers watched every CS
         # enter/exit and grant as they happened, so the verdicts are real —
@@ -221,9 +346,15 @@ def run_workload(
         report = metrics.finalize_telemetry(cluster.now)
         safety_ok = report["safety"]["ok"]
         liveness_ok = report["liveness"]["ok"]
-        analysis_ok = safety_ok and liveness_ok
         quantiles = report["quantiles"]
         series = report.get("series")
+        fairness = report.get("fairness")
+        if thresholds:
+            breaches = _threshold_breaches(thresholds, report["liveness"], fairness)
+            if breaches:
+                report["liveness"]["threshold_breaches"] = breaches
+                liveness_ok = False
+        analysis_ok = safety_ok and liveness_ok
         online_checks = {"safety": report["safety"], "liveness": report["liveness"]}
     elif metrics_detail == "counters":
         # Streaming counters keep no per-message records; the record-based
@@ -238,6 +369,26 @@ def run_workload(
         liveness = analyse_liveness(metrics)
         safety_ok = not overlaps
         liveness_ok = liveness.ok
+        if thresholds:
+            # Full mode keeps records, not live checkers: replay them through
+            # the online pair (with the fairness census attached) so the same
+            # gates run on the same observation stream telemetry mode sees.
+            verdicts = replay_online(
+                metrics,
+                end_of_time=cluster.now,
+                max_grant_gap=thresholds.get("max_grant_gap"),
+                fairness=True,
+            )
+            fairness = verdicts.fairness.report()
+            liveness_block = verdicts.liveness.report()
+            breaches = _threshold_breaches(thresholds, liveness_block, fairness)
+            if breaches:
+                liveness_block["threshold_breaches"] = breaches
+            liveness_ok = liveness_ok and verdicts.liveness.ok and not breaches
+            online_checks = {
+                "safety": verdicts.safety.report(),
+                "liveness": liveness_block,
+            }
         analysis_ok = safety_ok and liveness_ok
     per_request = metrics.messages_per_request() if serial else []
     if serial and metrics.telemetry is not None:
@@ -285,5 +436,6 @@ def run_workload(
         quantiles=quantiles,
         series=series,
         online_checks=online_checks,
+        fairness=fairness,
     )
     return result

@@ -142,12 +142,21 @@ class FailureSpec:
     ``burst_failures``, ``targeted_failures`` or ``single_failure``) and
     ``params`` are its keyword arguments; ``seed``/``protected_nodes``
     configure the planner itself.
+
+    ``liveness_thresholds`` declares the stall gates this failure class is
+    calibrated for (see
+    :data:`repro.experiments.runner.LIVENESS_THRESHOLD_KEYS`): a schedule
+    that crashes the token holder is expected to stall *briefly* — the
+    threshold is the bound on "briefly", and a breach turns the run's
+    ``liveness_ok`` into ``False``.  Spec-level thresholds override
+    same-named failure-level ones.
     """
 
     mode: str
     params: dict[str, Any] = field(default_factory=dict, hash=False)
     seed: int = 0
     protected_nodes: tuple[int, ...] = ()
+    liveness_thresholds: dict[str, float] = field(default_factory=dict, hash=False)
 
     def __post_init__(self) -> None:
         if self.mode not in _FAILURE_MODES:
@@ -171,6 +180,7 @@ class FailureSpec:
             "params": dict(self.params),
             "seed": self.seed,
             "protected_nodes": list(self.protected_nodes),
+            "liveness_thresholds": dict(self.liveness_thresholds),
         }
 
     @classmethod
@@ -180,6 +190,7 @@ class FailureSpec:
             params=_frozen_params(data.get("params")),
             seed=data.get("seed", 0),
             protected_nodes=tuple(data.get("protected_nodes", ())),
+            liveness_thresholds=_frozen_params(data.get("liveness_thresholds")),
         )
 
 
@@ -224,8 +235,15 @@ class ScenarioSpec:
         feed_window: feeder lookahead window for streamed cells.
         telemetry: options of the telemetry hub (the dict form of
             :class:`~repro.telemetry.TelemetryOptions`: ``sketch_growth``,
-            ``series_cadence``, ``series_max_samples``, ``max_grant_gap``);
-            only meaningful with ``metrics_detail="telemetry"``.
+            ``series_cadence``, ``series_max_samples``, ``max_grant_gap``,
+            ``fairness``); only meaningful with ``metrics_detail="telemetry"``.
+        liveness_thresholds: declarative stall/fairness gates for this cell
+            (:data:`repro.experiments.runner.LIVENESS_THRESHOLD_KEYS`:
+            ``max_grant_gap``, ``max_node_starvation_gap``,
+            ``min_jain_index``).  Merged over the failure schedule's own
+            ``liveness_thresholds`` (cell-level wins per key); a breach turns
+            the row's ``liveness_ok`` into ``False`` with a detail naming the
+            node and gap.
         label: optional human-readable cell label carried into the row.
     """
 
@@ -246,6 +264,7 @@ class ScenarioSpec:
     stream: bool = False
     feed_window: int = 64
     telemetry: dict[str, Any] = field(default_factory=dict, hash=False)
+    liveness_thresholds: dict[str, float] = field(default_factory=dict, hash=False)
     label: str | None = None
 
     # ------------------------------------------------------------------
@@ -277,6 +296,7 @@ class ScenarioSpec:
             "stream": self.stream,
             "feed_window": self.feed_window,
             "telemetry": dict(self.telemetry),
+            "liveness_thresholds": dict(self.liveness_thresholds),
             "label": self.label,
         }
 
@@ -301,14 +321,24 @@ class ScenarioSpec:
             stream=data.get("stream", False),
             feed_window=data.get("feed_window", 64),
             telemetry=_frozen_params(data.get("telemetry")),
+            liveness_thresholds=_frozen_params(data.get("liveness_thresholds")),
             label=data.get("label"),
         )
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def effective_liveness_thresholds(self) -> dict[str, float]:
+        """The cell's stall gates: failure-class defaults under cell overrides."""
+        merged: dict[str, float] = {}
+        if self.failures is not None:
+            merged.update(self.failures.liveness_thresholds)
+        merged.update(self.liveness_thresholds)
+        return merged
+
     def run(self) -> "ScenarioResult":
         """Run the cell ``repeats`` times and keep the fastest repetition."""
+        thresholds = self.effective_liveness_thresholds()
         best: RunResult | None = None
         for _ in range(max(1, self.repeats)):
             workload = (
@@ -333,6 +363,7 @@ class ScenarioSpec:
                 stream=self.stream,
                 feed_window=self.feed_window,
                 telemetry=self.telemetry or None,
+                liveness_thresholds=thresholds or None,
             )
             if best is None or result.run_s < best.run_s:
                 best = result
@@ -402,6 +433,19 @@ class ScenarioResult:
                 "excused": result.online_checks["liveness"]["excused"],
                 "max_grant_gap": result.online_checks["liveness"]["max_grant_gap"],
             }
+            breaches = result.online_checks["liveness"].get("threshold_breaches")
+            if breaches:
+                row["online_checks"]["threshold_breaches"] = breaches
+        if result.fairness is not None:
+            # Headline fairness columns as flat fields (same convention as
+            # the waiting-time quantiles); the full block rides along.
+            row["jain_index"] = result.fairness["jain_index"]
+            worst = result.fairness.get("max_node_starvation")
+            row["max_node_starvation_gap"] = worst["gap"] if worst else 0.0
+            row["fairness"] = result.fairness
+        thresholds = spec.effective_liveness_thresholds()
+        if thresholds:
+            row["liveness_thresholds"] = thresholds
         if result.series is not None:
             row["series"] = result.series
         if spec.serial:

@@ -8,7 +8,10 @@ The :class:`SweepRunner` is the canonical way to run many
   counts can scale with the cluster size);
 * :meth:`SweepRunner.run` executes the cells serially (timing-faithful, the
   benchmark default) or across a ``multiprocessing`` pool, streaming one
-  JSON row per finished cell to an optional callback.
+  JSON row per finished cell to an optional callback and/or an optional
+  JSONL ``sink`` (a path or open text handle) — with ``collect=False`` a
+  100+ cell matrix whose rows carry quantile/series blocks streams to disk
+  without ever being held in memory.
 
 Workers receive specs as plain dictionaries and return plain row
 dictionaries, so the pool works under both the ``fork`` and ``spawn`` start
@@ -17,6 +20,8 @@ methods and every row is JSON-serialisable by construction.
 
 from __future__ import annotations
 
+import contextlib
+import io
 import itertools
 import json
 import multiprocessing
@@ -109,36 +114,83 @@ class SweepRunner:
         return cls(specs=expand_grid(**grid), processes=processes)
 
     def run(
-        self, *, on_row: Callable[[dict[str, Any]], None] | None = None
+        self,
+        *,
+        on_row: Callable[[dict[str, Any]], None] | None = None,
+        sink: Path | str | io.TextIOBase | None = None,
+        collect: bool = True,
     ) -> list[dict[str, Any]]:
-        """Run every cell; returns one row per spec, in spec order."""
+        """Run every cell; returns one row per spec, in spec order.
+
+        Args:
+            on_row: called with each finished row as it completes — *before*
+                the sink records it, so a callback that enriches the row in
+                place (the scale bench's baseline decoration) is reflected in
+                the JSONL stream and the returned list alike.
+            sink: stream each finished row as one JSON Lines record the
+                moment the cell completes — serial and pool runs alike.  A
+                path (opened/truncated here, flushed per row, closed at the
+                end) or an already-open text handle (flushed per row, left
+                open).  Crash-tolerant by construction: everything finished
+                before an interrupt is already on disk.
+            collect: ``False`` skips accumulating the (quantile/series-heavy)
+                rows in memory and returns an empty list — the streaming
+                mode for 100+ cell matrices; requires a ``sink`` or
+                ``on_row`` to receive the rows.
+        """
         if not self.specs:
             return []
         if self.processes < 1:
             raise ConfigurationError(f"processes must be >= 1, got {self.processes}")
+        if not collect and sink is None and on_row is None:
+            raise ConfigurationError(
+                "collect=False discards the rows: pass a sink or on_row to "
+                "receive them"
+            )
         rows: list[dict[str, Any]] = []
-        if self.processes == 1:
-            for spec in self.specs:
-                row = run_scenario(spec)
+        with contextlib.ExitStack() as stack:
+            if sink is None:
+                handle = None
+            elif isinstance(sink, (str, Path)):
+                handle = stack.enter_context(Path(sink).open("w", encoding="utf-8"))
+            else:
+                handle = sink
+
+            def emit(row: dict[str, Any]) -> None:
                 if on_row is not None:
                     on_row(row)
-                rows.append(row)
-            return rows
-        payloads = [spec.to_dict() for spec in self.specs]
-        workers = min(self.processes, len(payloads))
-        method = self.start_method
-        if method is None and "fork" in multiprocessing.get_all_start_methods():
-            method = "fork"
-        with multiprocessing.get_context(method).Pool(workers) as pool:
-            for row in pool.imap(_run_spec_payload, payloads):
-                if on_row is not None:
-                    on_row(row)
-                rows.append(row)
+                if handle is not None:
+                    _write_jsonl_row(handle, row)
+                if collect:
+                    rows.append(row)
+
+            if self.processes == 1:
+                for spec in self.specs:
+                    emit(run_scenario(spec))
+                return rows
+            payloads = [spec.to_dict() for spec in self.specs]
+            workers = min(self.processes, len(payloads))
+            method = self.start_method
+            if method is None and "fork" in multiprocessing.get_all_start_methods():
+                method = "fork"
+            with multiprocessing.get_context(method).Pool(workers) as pool:
+                for row in pool.imap(_run_spec_payload, payloads):
+                    emit(row)
         return rows
 
     def write_rows(self, rows: Iterable[dict[str, Any]], path: Path | str) -> None:
-        """Write rows as JSON Lines (one row object per line)."""
-        target = Path(path)
-        with target.open("w", encoding="utf-8") as handle:
+        """Write precomputed rows as JSON Lines (one row object per line).
+
+        Thin post-hoc wrapper over the same emitter :meth:`run`'s ``sink``
+        streams through; prefer ``run(sink=...)`` when the rows are being
+        produced anyway.
+        """
+        with Path(path).open("w", encoding="utf-8") as handle:
             for row in rows:
-                handle.write(json.dumps(row) + "\n")
+                _write_jsonl_row(handle, row)
+
+
+def _write_jsonl_row(handle: io.TextIOBase, row: dict[str, Any]) -> None:
+    """One JSON Lines record, flushed so interrupted sweeps keep their rows."""
+    handle.write(json.dumps(row) + "\n")
+    handle.flush()

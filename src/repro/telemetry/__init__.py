@@ -9,6 +9,9 @@ zero per-message/per-request records yet still report
 * p50/p90/p99 + mean/max of waiting time, CS hold time and
   messages-per-request from deterministic log-histogram sketches
   (:mod:`repro.telemetry.sketches`), and
+* per-node fairness figures — Jain's index over grant counts, grant shares,
+  max per-node starvation gap — from a bounded O(n) census riding the
+  liveness watchdog's event stream (:mod:`repro.telemetry.fairness`), and
 * an optional compact time series of engine progress, agenda size,
   in-flight messages and token location (:mod:`repro.telemetry.series`).
 
@@ -19,6 +22,7 @@ is its JSON-serialisable configuration, carried declaratively by
 """
 
 from repro.telemetry.collector import RunTelemetry, TelemetryOptions
+from repro.telemetry.fairness import FairnessTracker
 from repro.telemetry.online import OnlineLivenessWatchdog, OnlineSafetyChecker
 from repro.telemetry.series import SERIES_COLUMNS, SeriesSampler
 from repro.telemetry.sketches import LogHistogram
@@ -28,6 +32,7 @@ __all__ = [
     "TelemetryOptions",
     "OnlineSafetyChecker",
     "OnlineLivenessWatchdog",
+    "FairnessTracker",
     "SeriesSampler",
     "SERIES_COLUMNS",
     "LogHistogram",

@@ -19,6 +19,7 @@ from dataclasses import asdict, dataclass, fields
 from typing import Any, Callable, Mapping
 
 from repro.exceptions import ConfigurationError
+from repro.telemetry.fairness import FairnessTracker
 from repro.telemetry.online import OnlineLivenessWatchdog, OnlineSafetyChecker
 from repro.telemetry.series import SeriesSampler
 from repro.telemetry.sketches import LogHistogram
@@ -41,12 +42,17 @@ class TelemetryOptions:
         max_grant_gap: optional no-progress threshold of the liveness
             watchdog (event time between consecutive grants while requests
             are pending); ``None`` checks end-of-run starvation only.
+        fairness: keep the per-node
+            :class:`~repro.telemetry.fairness.FairnessTracker` on the
+            watchdog's event stream (O(n) memory; on by default — the scale
+            rows' Jain index / starvation-gap columns come from it).
     """
 
     sketch_growth: float = 1.05
     series_cadence: float | None = None
     series_max_samples: int = 512
     max_grant_gap: float | None = None
+    fairness: bool = True
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -75,6 +81,7 @@ class RunTelemetry:
         "options",
         "safety",
         "liveness",
+        "fairness",
         "waiting_time",
         "cs_hold",
         "request_messages",
@@ -88,7 +95,14 @@ class RunTelemetry:
         options = TelemetryOptions.from_dict(options)
         self.options = options
         self.safety = OnlineSafetyChecker()
-        self.liveness = OnlineLivenessWatchdog(max_grant_gap=options.max_grant_gap)
+        #: Per-node fairness census; rides the watchdog's event stream so
+        #: crash excuses stay in lockstep (``None`` when disabled).
+        self.fairness: FairnessTracker | None = (
+            FairnessTracker() if options.fairness else None
+        )
+        self.liveness = OnlineLivenessWatchdog(
+            max_grant_gap=options.max_grant_gap, fairness=self.fairness
+        )
         growth = options.sketch_growth
         self.waiting_time = LogHistogram(growth)
         self.cs_hold = LogHistogram(growth)
@@ -208,6 +222,8 @@ class RunTelemetry:
             "liveness": self.liveness.report(),
             "quantiles": self.quantiles(),
         }
+        if self.fairness is not None:
+            report["fairness"] = self.fairness.report()
         if self.series is not None:
             report["series"] = self.series.block()
         return report

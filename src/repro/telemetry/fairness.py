@@ -1,0 +1,208 @@
+"""Per-node fairness telemetry: who actually waits, in O(n) memory.
+
+The liveness watchdog (:class:`repro.telemetry.online.OnlineLivenessWatchdog`)
+sees *global* progress only: a hotspot workload that starves one cold node, or
+a protocol that keeps granting the same requester, passes the end-of-run
+starvation check as long as every request is eventually served.  The
+:class:`FairnessTracker` closes that gap with a bounded per-node accumulator —
+one small counter record per node that ever issued a request (≤ n entries,
+never O(requests)) — feeding three figures:
+
+* **Jain's fairness index** over the per-node grant counts:
+  ``(Σx)² / (k · Σx²)`` for the ``k`` participating nodes — 1.0 when every
+  participant got the same number of grants, → ``1/k`` when one node got
+  everything.
+* **Per-node grant share**: each participant's fraction of all grants, with
+  the most- and least-served nodes named in the report.
+* **Max per-node starvation gap**: the longest contiguous event-time stretch
+  any single node spent with a request pending and no grant arriving *to it*
+  (grant-to-grant per node, plus the issue-to-first-grant head and the
+  still-waiting tail at the end of the run).  The global watchdog's
+  ``max_grant_gap`` resets whenever *anyone* is served; this figure does not,
+  so it is the one a per-node stall threshold should bound.
+
+Excuse convention (the fairness convention, recorded in ROADMAP.md): the
+tracker is driven by the watchdog's own event stream, so a fail-stop crash
+excuses a node here exactly when the watchdog excuses its pending requests —
+the node's open waiting stretch is discarded at crash time and the node is
+dropped from the Jain/share *participants* (its grant count is a consequence
+of the injected failure, not of the protocol's scheduling).  A node that
+recovers and issues again re-enters the starvation-gap accounting (real
+post-recovery waits still count) but stays excluded from the index.
+
+Parity with the record-based world is pinned by
+``tests/telemetry/test_fairness.py`` through
+:func:`repro.verification.online.replay_online`: replaying a full-mode run's
+records yields bit-identical Jain index / shares / gaps to the live
+telemetry-mode run of the same seeded scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["FairnessTracker"]
+
+
+class FairnessTracker:
+    """Bounded per-node grant/wait accumulator (see module docstring).
+
+    Every dict is keyed by node id and holds one scalar, so memory is
+    O(nodes that ever issued), bounded by n — never by the request count.
+    """
+
+    __slots__ = (
+        "_issued",
+        "_grants",
+        "_pending",
+        "_wait_start",
+        "_max_starve",
+        "_excused",
+        "_finalized",
+    )
+
+    def __init__(self) -> None:
+        #: Requests issued per node (participation census).
+        self._issued: dict[int, int] = {}
+        #: Grants received per node (the Jain/share input vector).
+        self._grants: dict[int, int] = {}
+        #: Outstanding request count per node.
+        self._pending: dict[int, int] = {}
+        #: Start of the node's current waiting stretch (present iff pending).
+        self._wait_start: dict[int, float] = {}
+        #: Longest completed waiting stretch per node.
+        self._max_starve: dict[int, float] = {}
+        #: Nodes excused by a fail-stop crash (excluded from the index).
+        self._excused: set[int] = set()
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Observation hooks (driven by the liveness watchdog's event stream)
+    # ------------------------------------------------------------------
+    def on_issue(self, node: int, time: float) -> None:
+        """One request issued by ``node``; opens its waiting stretch."""
+        self._issued[node] = self._issued.get(node, 0) + 1
+        pending = self._pending.get(node, 0)
+        self._pending[node] = pending + 1
+        if not pending:
+            # The node just became a waiter: its starvation clock starts now.
+            self._wait_start[node] = time
+
+    def on_grant(self, node: int, time: float) -> None:
+        """One grant to ``node``; closes (or restarts) its waiting stretch."""
+        self._grants[node] = self._grants.get(node, 0) + 1
+        start = self._wait_start.get(node)
+        if start is not None:
+            gap = time - start
+            if gap > self._max_starve.get(node, 0.0):
+                self._max_starve[node] = gap
+        pending = self._pending.get(node, 0) - 1
+        if pending > 0:
+            self._pending[node] = pending
+            # Still waiting: the next gap is measured grant-to-grant.
+            self._wait_start[node] = time
+        else:
+            self._pending.pop(node, None)
+            self._wait_start.pop(node, None)
+
+    def on_failure(self, node: int, time: float) -> None:
+        """Fail-stop crash: the node's open wait is excused, like the watchdog's."""
+        self._pending.pop(node, None)
+        self._wait_start.pop(node, None)
+        self._excused.add(node)
+
+    def finalize(self, end_time: float) -> None:
+        """Close the run (idempotent): still-open waits become tail gaps."""
+        if self._finalized:
+            return
+        self._finalized = True
+        for node, start in self._wait_start.items():
+            gap = end_time - start
+            if gap > self._max_starve.get(node, 0.0):
+                self._max_starve[node] = gap
+
+    # ------------------------------------------------------------------
+    # Derived figures
+    # ------------------------------------------------------------------
+    @property
+    def participants(self) -> list[int]:
+        """Nodes in the fairness census: issued at least once, never crashed."""
+        return sorted(node for node in self._issued if node not in self._excused)
+
+    @property
+    def jain_index(self) -> float:
+        """Jain's fairness index over the participants' grant counts.
+
+        1.0 for perfect equality (including the degenerate empty/all-zero
+        cases), approaching ``1/k`` when a single node receives every grant.
+        """
+        total = 0
+        total_sq = 0
+        k = 0
+        grants = self._grants
+        for node in self._issued:
+            if node in self._excused:
+                continue
+            k += 1
+            x = grants.get(node, 0)
+            total += x
+            total_sq += x * x
+        if not k or not total_sq:
+            return 1.0
+        return (total * total) / (k * total_sq)
+
+    def grant_counts(self) -> dict[int, int]:
+        """Grants per node (copy; includes excused nodes' counts)."""
+        return dict(self._grants)
+
+    def grant_shares(self) -> dict[int, float]:
+        """Each participant's fraction of the participants' total grants."""
+        grants = self._grants
+        participants = self.participants
+        total = sum(grants.get(node, 0) for node in participants)
+        if not total:
+            return {node: 0.0 for node in participants}
+        return {node: grants.get(node, 0) / total for node in participants}
+
+    def max_starvation_gap(self) -> tuple[int, float] | None:
+        """``(node, gap)`` of the worst per-node starvation stretch, if any.
+
+        Ties break towards the lower node id so the figure is deterministic.
+        """
+        worst: tuple[int, float] | None = None
+        for node in sorted(self._max_starve):
+            gap = self._max_starve[node]
+            if worst is None or gap > worst[1]:
+                worst = (node, gap)
+        return worst
+
+    def report(self) -> dict[str, Any]:
+        """JSON-ready fairness block (call after :meth:`finalize`).
+
+        Bounded output: scalars plus the named extremes — never the full
+        per-node vector (n may be 16384; tests use the accessor methods).
+        """
+        participants = self.participants
+        shares = self.grant_shares()
+        report: dict[str, Any] = {
+            "jain_index": round(self.jain_index, 6),
+            "participants": len(participants),
+            "total_grants": sum(self._grants.get(node, 0) for node in participants),
+        }
+        if shares:
+            max_node = max(shares, key=lambda node: (shares[node], -node))
+            min_node = min(shares, key=lambda node: (shares[node], node))
+            report["max_share"] = {"node": max_node, "share": round(shares[max_node], 6)}
+            report["min_share"] = {"node": min_node, "share": round(shares[min_node], 6)}
+        worst = self.max_starvation_gap()
+        if worst is not None:
+            report["max_node_starvation"] = {"node": worst[0], "gap": round(worst[1], 6)}
+        if self._excused:
+            report["excused_nodes"] = len(self._excused)
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FairnessTracker(participants={len(self.participants)}, "
+            f"jain={self.jain_index:.4f})"
+        )

@@ -16,7 +16,10 @@ observations *as they happen* and keep only the live state:
   requests were pending.  At the end of the run, leftover pending requests
   whose requester did not crash are starvation; an optional ``max_grant_gap``
   threshold additionally flags no-progress stalls even when every request is
-  eventually served.  Memory: O(outstanding requests).
+  eventually served.  Memory: O(outstanding requests).  An optional
+  :class:`~repro.telemetry.fairness.FairnessTracker` rides the watchdog's
+  event stream (issues, node-resolved grants, fail-stop excuses) to add
+  per-node grant-share/starvation figures in O(n).
 
 Verdict parity with the record-based checkers is pinned by
 ``tests/telemetry/test_online_checkers.py`` (see
@@ -113,10 +116,17 @@ class OnlineLivenessWatchdog:
             eventually granted.  ``None`` (default) only checks end-of-run
             starvation, matching the record-based
             :func:`repro.verification.liveness.analyse_liveness` semantics.
+        fairness: optional :class:`~repro.telemetry.fairness.FairnessTracker`
+            fed from this watchdog's own event stream — issues, grants (with
+            the node resolved from the pending map) and fail-stop excuses all
+            flow through in the same order, so a crashed node is excused by
+            the fairness census exactly when its pending requests are excused
+            here.
     """
 
     __slots__ = (
         "max_grant_gap",
+        "fairness",
         "_pending",
         "issued",
         "granted",
@@ -128,8 +138,11 @@ class OnlineLivenessWatchdog:
         "_finalized",
     )
 
-    def __init__(self, *, max_grant_gap: float | None = None) -> None:
+    def __init__(
+        self, *, max_grant_gap: float | None = None, fairness: Any | None = None
+    ) -> None:
         self.max_grant_gap = max_grant_gap
+        self.fairness = fairness
         #: Outstanding requests: request_id -> (node, issued_at).
         self._pending: dict[int, tuple[int, float]] = {}
         self.issued = 0
@@ -151,6 +164,8 @@ class OnlineLivenessWatchdog:
             self._last_progress_at = time
         self._pending[request_id] = (node, time)
         self.issued += 1
+        if self.fairness is not None:
+            self.fairness.on_issue(node, time)
 
     def on_grant(self, request_id: int, time: float) -> float | None:
         """Record a grant; returns the request's issue time (``None`` if unknown)."""
@@ -163,10 +178,14 @@ class OnlineLivenessWatchdog:
             self.max_gap_pending = len(self._pending) + 1
         self._last_progress_at = time
         self.granted += 1
+        if self.fairness is not None:
+            self.fairness.on_grant(entry[0], time)
         return entry[1]
 
     def on_failure(self, node: int, time: float) -> None:
         """Fail-stop crash: pending requests of ``node`` are excused."""
+        if self.fairness is not None:
+            self.fairness.on_failure(node, time)
         if not self._pending:
             return
         doomed = [rid for rid, (owner, _issued) in self._pending.items() if owner == node]
@@ -183,6 +202,8 @@ class OnlineLivenessWatchdog:
         if self._finalized:
             return
         self._finalized = True
+        if self.fairness is not None:
+            self.fairness.finalize(end_time)
         self._starved_at_end = len(self._pending)
         if self._pending:
             gap = end_time - self._last_progress_at

@@ -88,6 +88,33 @@ class LogHistogram:
         buckets = self._buckets
         buckets[index] = buckets.get(index, 0) + 1
 
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other``'s observations into this sketch (in place).
+
+        Because the state is a pure function of the observation multiset,
+        ``a.merge(b)`` equals adding every observation of both sketches into
+        one — whatever the split or merge order (pinned by the order-
+        independence tests).  Both sketches must share the same ``growth``
+        (bucket boundaries differ otherwise, and the merged counts would be
+        silently wrong rather than approximate).  Returns ``self``.
+        """
+        if other.growth != self.growth:
+            raise ConfigurationError(
+                f"cannot merge sketches of different growth: "
+                f"{self.growth} vs {other.growth}"
+            )
+        self.count += other.count
+        self.total += other.total
+        if other.min_value < self.min_value:
+            self.min_value = other.min_value
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+        self._zeros += other._zeros
+        buckets = self._buckets
+        for index, count in other._buckets.items():
+            buckets[index] = buckets.get(index, 0) + count
+        return self
+
     @property
     def mean(self) -> float:
         """Exact running mean of the observations (0.0 when empty)."""

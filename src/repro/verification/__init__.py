@@ -17,9 +17,11 @@ from repro.verification.safety import (
     find_overlaps,
 )
 
-# The online checkers are first-class citizens of the verification layer;
+# The online checkers (and the per-node fairness census that rides the
+# liveness watchdog) are first-class citizens of the verification layer;
 # they live in repro.telemetry because the streaming metrics mode feeds them
 # during the run, but verification code should import them from here.
+from repro.telemetry.fairness import FairnessTracker
 from repro.telemetry.online import OnlineLivenessWatchdog, OnlineSafetyChecker
 
 __all__ = [
@@ -39,5 +41,6 @@ __all__ = [
     "OnlineSafetyChecker",
     "OnlineLivenessWatchdog",
     "OnlineVerdicts",
+    "FairnessTracker",
     "replay_online",
 ]

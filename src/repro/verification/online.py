@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.simulation.metrics import MetricsCollector
+from repro.telemetry.fairness import FairnessTracker
 from repro.telemetry.online import OnlineLivenessWatchdog, OnlineSafetyChecker
 
 __all__ = ["OnlineVerdicts", "replay_online"]
@@ -34,11 +35,18 @@ _PRIO_ENTER = 4
 
 @dataclass
 class OnlineVerdicts:
-    """The two online checkers after a full replay (or live run)."""
+    """The online checkers after a full replay (or live run).
+
+    ``fairness`` is populated when the replay was asked to carry a
+    :class:`~repro.telemetry.fairness.FairnessTracker` on the watchdog's
+    event stream (``replay_online(..., fairness=True)``); it is the
+    record-based side of the fairness parity tests.
+    """
 
     safety: OnlineSafetyChecker
     liveness: OnlineLivenessWatchdog
     end_of_time: float
+    fairness: FairnessTracker | None = None
 
     @property
     def safety_ok(self) -> bool:
@@ -58,6 +66,7 @@ def replay_online(
     *,
     end_of_time: float,
     max_grant_gap: float | None = None,
+    fairness: bool = False,
 ) -> OnlineVerdicts:
     """Drive a full-mode collector's records through the online checkers.
 
@@ -69,9 +78,14 @@ def replay_online(
             at entries, not at interval ends).
         max_grant_gap: optional no-progress threshold forwarded to the
             watchdog (the record-based checker has no equivalent).
+        fairness: attach a per-node
+            :class:`~repro.telemetry.fairness.FairnessTracker` to the
+            watchdog, so the records also yield Jain index / grant shares /
+            per-node starvation gaps (returned on the verdicts).
     """
     safety = OnlineSafetyChecker()
-    liveness = OnlineLivenessWatchdog(max_grant_gap=max_grant_gap)
+    tracker = FairnessTracker() if fairness else None
+    liveness = OnlineLivenessWatchdog(max_grant_gap=max_grant_gap, fairness=tracker)
 
     events: list[tuple[float, int, int, int]] = []
     for record in metrics.requests.values():
@@ -102,4 +116,6 @@ def replay_online(
             safety.on_enter(node, time)
 
     liveness.finalize(end_of_time)
-    return OnlineVerdicts(safety=safety, liveness=liveness, end_of_time=end_of_time)
+    return OnlineVerdicts(
+        safety=safety, liveness=liveness, end_of_time=end_of_time, fairness=tracker
+    )

@@ -59,18 +59,32 @@ class TestSpecSerialisation:
                 {"count": 2, "start": 30.0, "spacing": 40.0, "recover_after": 15.0},
                 seed=5,
                 protected_nodes=(1,),
+                liveness_thresholds={"max_grant_gap": 300.0},
             ),
             metrics_detail="counters",
             serial=False,
             repeats=2,
             node_options={"enquiry_enabled": False},
             cluster_options={"cs_duration": 0.3},
+            liveness_thresholds={"max_grant_gap": 120.0, "min_jain_index": 0.1},
             label="ft-cell",
         )
         clone = ScenarioSpec.from_dict(spec.to_dict())
         assert clone == spec
         # And the dict itself must be JSON-serialisable as-is.
         json.dumps(spec.to_dict())
+
+    def test_effective_thresholds_merge_failure_class_under_cell(self):
+        failure = FailureSpec(
+            "single", {"node": 2, "fail_at": 10.0},
+            liveness_thresholds={"max_grant_gap": 300.0, "min_jain_index": 0.2},
+        )
+        spec = poisson_spec(failures=failure, liveness_thresholds={"max_grant_gap": 90.0})
+        assert spec.effective_liveness_thresholds() == {
+            "max_grant_gap": 90.0,  # cell-level wins per key
+            "min_jain_index": 0.2,  # failure-class default survives
+        }
+        assert poisson_spec().effective_liveness_thresholds() == {}
 
     def test_specs_are_hashable_for_dedup(self):
         a, b, c = poisson_spec(), poisson_spec(), poisson_spec(seed=99)
@@ -190,3 +204,106 @@ class TestGridAndSweep:
         lines = target.read_text().splitlines()
         assert len(lines) == 1
         assert json.loads(lines[0])["algorithm"] == "open-cube"
+
+
+class TestStreamingSink:
+    def specs(self):
+        return expand_grid(
+            algorithms=["open-cube", "central"],
+            sizes=[8],
+            workloads=[WorkloadSpec("poisson", {"count": 12, "rate": 1.0})],
+            seeds=[0, 1],
+        )
+
+    def test_serial_sink_streams_one_row_per_cell(self, tmp_path):
+        target = tmp_path / "sweep.jsonl"
+        rows = SweepRunner(specs=self.specs()).run(sink=target)
+        lines = [json.loads(line) for line in target.read_text().splitlines()]
+        assert lines == rows
+        assert len(lines) == 4
+
+    def test_parallel_sink_matches_serial_rows(self, tmp_path):
+        serial_target = tmp_path / "serial.jsonl"
+        parallel_target = tmp_path / "parallel.jsonl"
+        SweepRunner(specs=self.specs()).run(sink=serial_target)
+        SweepRunner(specs=self.specs(), processes=2).run(sink=parallel_target)
+        keys = ("algorithm", "n", "seed", "total_messages", "requests_granted", "events")
+        pick = lambda path: [
+            {k: row[k] for k in keys}
+            for row in map(json.loads, path.read_text().splitlines())
+        ]
+        assert pick(parallel_target) == pick(serial_target)
+
+    def test_sink_rows_see_on_row_enrichment(self, tmp_path):
+        target = tmp_path / "tagged.jsonl"
+
+        def tag(row):
+            row["tagged"] = True
+
+        SweepRunner(specs=self.specs()[:1]).run(on_row=tag, sink=target)
+        [line] = target.read_text().splitlines()
+        assert json.loads(line)["tagged"] is True
+
+    def test_open_handle_sink_is_left_open(self, tmp_path):
+        target = tmp_path / "handle.jsonl"
+        with target.open("w", encoding="utf-8") as handle:
+            SweepRunner(specs=self.specs()[:1]).run(sink=handle)
+            assert not handle.closed
+            SweepRunner(specs=self.specs()[:1]).run(sink=handle)  # appends
+        assert len(target.read_text().splitlines()) == 2
+
+    def test_collect_false_streams_without_accumulating(self, tmp_path):
+        target = tmp_path / "stream-only.jsonl"
+        rows = SweepRunner(specs=self.specs()).run(sink=target, collect=False)
+        assert rows == []
+        assert len(target.read_text().splitlines()) == 4
+
+    def test_collect_false_without_receiver_rejected(self):
+        with pytest.raises(ConfigurationError, match="collect=False"):
+            SweepRunner(specs=self.specs()).run(collect=False)
+
+    def test_rows_hit_disk_as_cells_complete_not_at_the_end(self, tmp_path):
+        target = tmp_path / "incremental.jsonl"
+        seen: list[int] = []
+        with target.open("w", encoding="utf-8") as handle:
+
+            def count_lines(row):
+                handle.flush()
+                seen.append(len(target.read_text().splitlines()))
+
+            # on_row runs BEFORE the sink write: after cell k the file holds
+            # exactly k-1 earlier rows — proof the stream is per-cell.
+            SweepRunner(specs=self.specs()).run(on_row=count_lines, sink=handle)
+        assert seen == [0, 1, 2, 3]
+        assert len(target.read_text().splitlines()) == 4
+
+
+class TestThresholdRows:
+    def test_breaching_cell_reports_false_liveness_and_named_breach(self):
+        spec = poisson_spec(
+            n=16,
+            workload=WorkloadSpec(
+                "hotspot",
+                {"count": 60, "hotspot_nodes": [1], "hotspot_fraction": 0.9,
+                 "rate": 1.0, "seed": 3, "hold": 0.2},
+            ),
+            metrics_detail="telemetry",
+            stream=True,
+            liveness_thresholds={"max_node_starvation_gap": 0.25},
+        )
+        row = run_scenario(spec)
+        assert row["liveness_ok"] is False
+        assert row["analysis_ok"] is False
+        assert row["liveness_thresholds"] == {"max_node_starvation_gap": 0.25}
+        [breach] = row["online_checks"]["threshold_breaches"]
+        assert breach["threshold"] == "max_node_starvation_gap"
+        assert isinstance(breach["node"], int)
+        assert breach["observed"] > breach["limit"]
+        json.dumps(row)  # the enriched row must stay JSON-serialisable
+
+    def test_fairness_columns_on_telemetry_rows(self):
+        row = run_scenario(poisson_spec(metrics_detail="telemetry"))
+        assert 0.0 < row["jain_index"] <= 1.0
+        assert row["max_node_starvation_gap"] >= 0.0
+        assert row["fairness"]["participants"] > 0
+        assert "liveness_thresholds" not in row  # none declared, none echoed

@@ -218,6 +218,65 @@ class TestFeederEdgeCases:
         assert len(cluster.metrics.requests) == 50
 
 
+class TestExactTieArrivals:
+    """Pin the documented measure-zero caveat: on exact arrival-time ties
+    only the agenda's insertion-order tiebreak can differ between eager and
+    streamed runs (ROADMAP: built-in generators draw continuous times, so
+    ties never occur there — these tests construct them deliberately)."""
+
+    TIED = [
+        RequestArrival(node=1, at=10.0, hold=0.1),
+        RequestArrival(node=2, at=10.0, hold=0.1),
+        RequestArrival(node=3, at=10.0, hold=0.1),
+    ]
+
+    def run_tied(self, *, streamed, window=1):
+        messages._request_counter = itertools.count(1)
+        cluster = build_cluster("open-cube", 8, seed=11, trace=False)
+        if streamed:
+            cluster.feed_workload(iter(self.TIED), window=window)
+        else:
+            for arrival in self.TIED:
+                cluster.request_cs(arrival.node, at=arrival.at, hold=arrival.hold)
+        cluster.run_until_quiescent()
+        return cluster
+
+    def test_tied_arrivals_issue_in_insertion_order_both_ways(self):
+        # Insertion order IS the tiebreak: eager scheduling queues all three
+        # up front in list order; the window=1 feeder injects each successor
+        # mid-run with a fresh (higher) sequence number — same relative
+        # order, so ids and issue order line up exactly.
+        for streamed in (False, True):
+            cluster = self.run_tied(streamed=streamed)
+            records = sorted(cluster.metrics.requests.values(), key=lambda r: r.request_id)
+            assert [r.node for r in records] == [1, 2, 3], f"streamed={streamed}"
+            assert all(r.issued_at == 10.0 for r in records)
+            assert [r.request_id for r in records] == [1, 2, 3]
+
+    def test_tied_streams_match_eager_metrics(self):
+        eager = self.run_tied(streamed=False)
+        for window in (1, 2, 3):
+            streamed = self.run_tied(streamed=True, window=window)
+            assert streamed.metrics.summary() == eager.metrics.summary(), window
+            assert streamed.metrics.requests.keys() == eager.metrics.requests.keys()
+
+    def test_tie_with_pending_event_keeps_stream_order_within_the_feed(self):
+        # A tie against the *previous* arrival's same-instant machinery: the
+        # refill happens before the fired arrival issues, so even a
+        # zero-lookahead (window=1) feeder keeps stream order on a tie.
+        arrivals = [
+            RequestArrival(node=4, at=5.0, hold=0.2),
+            RequestArrival(node=5, at=5.0, hold=0.2),
+        ]
+        messages._request_counter = itertools.count(1)
+        cluster = build_cluster("open-cube", 8, seed=2, trace=False)
+        cluster.feed_workload(iter(arrivals), window=1)
+        cluster.run_until_quiescent()
+        by_id = sorted(cluster.metrics.requests.values(), key=lambda r: r.request_id)
+        assert [r.node for r in by_id] == [4, 5]
+        assert len(cluster.metrics.requests) == 2
+
+
 class TestFeederWithFailures:
     def test_failed_requesters_streamed_arrival_is_skipped(self):
         # Crash a node for a span that covers some of its streamed arrivals:
@@ -243,3 +302,24 @@ class TestFeederWithFailures:
         assert len(streamed.metrics.requests) == 120 - len(dead_span_arrivals)
         assert streamed.metrics.summary() == eager.metrics.summary()
         assert streamed.metrics.requests.keys() == eager.metrics.requests.keys()
+
+    def test_window_one_under_failure_schedule_matches_eager(self):
+        # The degenerate zero-lookahead window with crashes mid-stream: every
+        # refill happens while nodes are failing/recovering, and the agenda
+        # never holds more than the single next arrival (plus active work).
+        stream_factory = lambda: poisson_stream(16, 80, rate=0.5, seed=21, hold=0.3)
+        schedule_factory = lambda: FailurePlanner(16, seed=2).periodic_failures(
+            2, start=25.0, spacing=80.0, recover_after=30.0
+        )
+        eager = run_cluster(
+            stream_factory(), streamed=False, algorithm="open-cube-ft", n=16,
+            schedule=schedule_factory(),
+        )
+        streamed = run_cluster(
+            stream_factory(), streamed=True, window=1, algorithm="open-cube-ft", n=16,
+            schedule=schedule_factory(),
+        )
+        assert streamed.metrics.summary() == eager.metrics.summary()
+        assert streamed.metrics.requests.keys() == eager.metrics.requests.keys()
+        assert len(streamed.metrics.failures) == 2
+        assert streamed.simulator.peak_pending < eager.simulator.peak_pending

@@ -1,0 +1,295 @@
+"""Fairness accumulator: semantics, parity, and the threshold gates.
+
+The parity classes mirror ``tests/telemetry/test_online_checkers.py``: the
+same seeded full-mode run must yield *identical* Jain index / per-node grant
+shares / starvation gaps from the records
+(``replay_online(..., fairness=True)``) and from the live telemetry-mode run
+of the identical scenario — including the fail-stop cases, where a crashed
+node must be excused by both sides the same way.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.baselines.registry import build_cluster
+from repro.core import messages
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import run_workload
+from repro.simulation.metrics import MetricsCollector
+from repro.verification import FairnessTracker, replay_online
+from repro.workload.arrivals import hotspot_arrivals, hotspot_stream, poisson_arrivals
+
+
+class TestFairnessTracker:
+    def test_empty_tracker_is_perfectly_fair(self):
+        tracker = FairnessTracker()
+        tracker.finalize(10.0)
+        assert tracker.jain_index == 1.0
+        assert tracker.participants == []
+        assert tracker.max_starvation_gap() is None
+        assert tracker.report()["jain_index"] == 1.0
+
+    def test_uniform_grants_score_one(self):
+        tracker = FairnessTracker()
+        for rid, node in enumerate((1, 2, 3, 4), start=1):
+            tracker.on_issue(node, float(rid))
+            tracker.on_grant(node, float(rid) + 0.5)
+        tracker.finalize(10.0)
+        assert tracker.jain_index == pytest.approx(1.0)
+        assert tracker.grant_shares() == {1: 0.25, 2: 0.25, 3: 0.25, 4: 0.25}
+
+    def test_single_winner_scores_one_over_k(self):
+        # Four nodes issue, only node 1 is ever granted: Jain = 1/4.
+        tracker = FairnessTracker()
+        for node in (1, 2, 3, 4):
+            tracker.on_issue(node, 1.0)
+        for t in (2.0, 3.0, 4.0):
+            tracker.on_grant(1, t)
+            tracker.on_issue(1, t)
+        tracker.finalize(10.0)
+        assert tracker.jain_index == pytest.approx(0.25)
+        shares = tracker.grant_shares()
+        assert shares[1] == 1.0 and shares[2] == 0.0
+
+    def test_starvation_gap_head_restart_and_tail(self):
+        tracker = FairnessTracker()
+        # Head: issue at 1.0, first grant at 4.0 -> gap 3.
+        tracker.on_issue(7, 1.0)
+        tracker.on_issue(7, 1.5)  # still pending after the first grant
+        tracker.on_grant(7, 4.0)
+        # Restart: second grant at 10.0 while pending -> grant-to-grant gap 6.
+        tracker.on_grant(7, 10.0)
+        # Tail: a fresh request never granted until finalize at 30.0 -> 15.
+        tracker.on_issue(7, 15.0)
+        tracker.finalize(30.0)
+        worst = tracker.max_starvation_gap()
+        assert worst == (7, pytest.approx(15.0))
+        report = tracker.report()
+        assert report["max_node_starvation"]["node"] == 7
+
+    def test_idle_node_never_accrues_starvation(self):
+        tracker = FairnessTracker()
+        tracker.on_issue(3, 1.0)
+        tracker.on_grant(3, 2.0)
+        # Nothing pending from t=2 to finalize: no tail gap.
+        tracker.finalize(100.0)
+        assert tracker.max_starvation_gap() == (3, pytest.approx(1.0))
+
+    def test_crash_excuses_node_from_census_and_open_wait(self):
+        tracker = FairnessTracker()
+        tracker.on_issue(1, 1.0)
+        tracker.on_issue(2, 1.0)
+        tracker.on_grant(1, 2.0)
+        tracker.on_failure(2, 3.0)  # node 2's open wait is excused
+        tracker.finalize(50.0)
+        assert tracker.participants == [1]
+        assert tracker.jain_index == pytest.approx(1.0)
+        # No 47-unit tail gap for the crashed node.
+        assert tracker.max_starvation_gap() == (1, pytest.approx(1.0))
+        assert tracker.report()["excused_nodes"] == 1
+
+    def test_post_recovery_waits_still_count_in_the_gap(self):
+        tracker = FairnessTracker()
+        tracker.on_issue(5, 1.0)
+        tracker.on_failure(5, 2.0)
+        # Recovered and issuing again: real waiting, even though the node
+        # stays out of the Jain census.
+        tracker.on_issue(5, 10.0)
+        tracker.on_grant(5, 18.0)
+        tracker.finalize(20.0)
+        assert tracker.participants == []
+        assert tracker.max_starvation_gap() == (5, pytest.approx(8.0))
+
+    def test_report_is_bounded_and_json_ready(self):
+        import json
+
+        tracker = FairnessTracker()
+        for node in range(1, 2001):
+            tracker.on_issue(node, 1.0)
+            tracker.on_grant(node, 2.0)
+        tracker.finalize(3.0)
+        report = tracker.report()
+        json.dumps(report)
+        # Scalars and named extremes only — never a 2000-entry vector.
+        assert len(json.dumps(report)) < 500
+
+
+def run_cluster(algorithm: str, n: int, *, detail: str, requests: int, seed: int,
+                fail: tuple[int, float, float] | None = None):
+    """One seeded run; returns the quiescent cluster (same as the parity file)."""
+    messages._request_counter = itertools.count(1)
+    cluster = build_cluster(algorithm, n, seed=seed, trace=False, metrics_detail=detail)
+    workload = poisson_arrivals(n, requests, rate=0.5, seed=seed + 1, hold=0.3)
+    workload.apply(cluster)
+    if fail is not None:
+        node, down_at, up_at = fail
+        cluster.fail_node(node, at=down_at)
+        cluster.recover_node(node, at=up_at)
+    cluster.run_until_quiescent()
+    return cluster
+
+
+SCENARIOS = [
+    ("open-cube", 16, 60, 3, None),
+    ("raymond", 8, 40, 11, None),
+    ("open-cube-ft", 8, 24, 7, (3, 20.0, 45.0)),
+    ("open-cube-ft", 8, 32, 9, (5, 15.0, 200.0)),
+]
+
+
+class TestRecordOnlineParity:
+    @pytest.mark.parametrize("algorithm,n,requests,seed,fail", SCENARIOS)
+    def test_replayed_fairness_matches_live_telemetry_run(
+        self, algorithm, n, requests, seed, fail
+    ):
+        full = run_cluster(
+            algorithm, n, detail="full", requests=requests, seed=seed, fail=fail
+        )
+        verdicts = replay_online(full.metrics, end_of_time=full.now, fairness=True)
+        replayed = verdicts.fairness
+
+        telemetry_cluster = run_cluster(
+            algorithm, n, detail="telemetry", requests=requests, seed=seed, fail=fail
+        )
+        hub = telemetry_cluster.metrics.telemetry
+        hub.finalize(telemetry_cluster.now, telemetry_cluster.metrics._total_sent)
+        live = hub.fairness
+
+        assert live is not None and replayed is not None
+        assert live.jain_index == replayed.jain_index
+        assert live.participants == replayed.participants
+        assert live.grant_counts() == replayed.grant_counts()
+        assert live.grant_shares() == replayed.grant_shares()
+        assert live.max_starvation_gap() == replayed.max_starvation_gap()
+        assert live.report() == replayed.report()
+
+    @pytest.mark.parametrize("algorithm,n,requests,seed,fail", SCENARIOS)
+    def test_fairness_totals_agree_with_record_based_liveness(
+        self, algorithm, n, requests, seed, fail
+    ):
+        """The census totals must match the record world, not just itself."""
+        full = run_cluster(
+            algorithm, n, detail="full", requests=requests, seed=seed, fail=fail
+        )
+        verdicts = replay_online(full.metrics, end_of_time=full.now, fairness=True)
+        tracker = verdicts.fairness
+        granted = [r for r in full.metrics.requests.values() if r.granted_at is not None]
+        per_node: dict[int, int] = {}
+        for record in granted:
+            per_node[record.node] = per_node.get(record.node, 0) + 1
+        assert tracker.grant_counts() == per_node
+
+    def test_fail_stop_excuse_parity_through_metric_hooks(self):
+        """Injected crash histories excuse the node in both worlds."""
+
+        def history(collector: MetricsCollector) -> None:
+            collector.record_request_issued(1, 4, 1.0)
+            collector.record_request_issued(2, 5, 2.0)
+            collector.record_request_granted(1, 3.0)
+            collector.record_failure(5, 4.0)
+
+        live = MetricsCollector(detail="telemetry")
+        history(live)
+        live.telemetry.finalize(10.0, 0)
+
+        full = MetricsCollector(detail="full")
+        history(full)
+        verdicts = replay_online(full, end_of_time=10.0, fairness=True)
+
+        assert live.telemetry.fairness.report() == verdicts.fairness.report()
+        assert live.telemetry.fairness.participants == [4]
+
+
+class TestThresholdGates:
+    def hotspot_run(self, thresholds, *, detail="telemetry"):
+        workload = (
+            hotspot_stream(16, 80, hotspot_nodes=[1, 2], hotspot_fraction=0.9,
+                           rate=1.0, seed=3, hold=0.2)
+            if detail == "telemetry"
+            else hotspot_arrivals(16, 80, hotspot_nodes=[1, 2], hotspot_fraction=0.9,
+                                  rate=1.0, seed=3, hold=0.2)
+        )
+        return run_workload(
+            "open-cube", 16, workload,
+            metrics_detail=detail, liveness_thresholds=thresholds,
+        )
+
+    def test_per_node_starvation_breach_names_node_and_gap(self):
+        clean = self.hotspot_run(None)
+        assert clean.liveness_ok is True
+        worst = clean.fairness["max_node_starvation"]
+
+        tight = self.hotspot_run({"max_node_starvation_gap": worst["gap"] / 2})
+        assert tight.liveness_ok is False
+        assert tight.safety_ok is True  # only the liveness verdict flips
+        breaches = tight.online_checks["liveness"]["threshold_breaches"]
+        assert len(breaches) == 1
+        breach = breaches[0]
+        assert breach["threshold"] == "max_node_starvation_gap"
+        assert breach["node"] == worst["node"]
+        assert breach["observed"] == pytest.approx(worst["gap"])
+
+    def test_min_jain_breach_in_full_mode_replays_records(self):
+        result = self.hotspot_run({"min_jain_index": 0.99}, detail="full")
+        assert result.liveness_ok is False
+        assert result.fairness is not None
+        [breach] = result.online_checks["liveness"]["threshold_breaches"]
+        assert breach["threshold"] == "min_jain_index"
+        assert breach["observed"] == result.fairness["jain_index"]
+
+    def test_max_grant_gap_breach_flows_through_watchdog(self):
+        clean = self.hotspot_run(None)
+        observed = clean.online_checks["liveness"]["max_grant_gap"]
+        tight = self.hotspot_run({"max_grant_gap": observed / 2})
+        assert tight.liveness_ok is False
+        breaches = tight.online_checks["liveness"]["threshold_breaches"]
+        assert breaches[0]["threshold"] == "max_grant_gap"
+        assert "node" in breaches[0]
+
+    def test_generous_thresholds_pass(self):
+        result = self.hotspot_run(
+            {"max_grant_gap": 1e9, "max_node_starvation_gap": 1e9, "min_jain_index": 0.0}
+        )
+        assert result.liveness_ok is True
+        assert "threshold_breaches" not in result.online_checks["liveness"]
+
+    def test_unknown_threshold_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown liveness threshold"):
+            self.hotspot_run({"max_wait": 1.0})
+
+    def test_counters_mode_rejects_thresholds(self):
+        with pytest.raises(ConfigurationError, match="analysed run"):
+            self.hotspot_run({"max_grant_gap": 1.0}, detail="counters")
+
+    def test_conflicting_watchdog_gap_rejected(self):
+        with pytest.raises(ConfigurationError, match="conflicting max_grant_gap"):
+            run_workload(
+                "open-cube", 16,
+                hotspot_stream(16, 20, hotspot_nodes=[1], rate=1.0, seed=3, hold=0.2),
+                metrics_detail="telemetry",
+                telemetry={"max_grant_gap": 5.0},
+                liveness_thresholds={"max_grant_gap": 9.0},
+            )
+
+    def test_fairness_disabled_rejects_per_node_thresholds(self):
+        with pytest.raises(ConfigurationError, match="fairness census"):
+            run_workload(
+                "open-cube", 16,
+                hotspot_stream(16, 20, hotspot_nodes=[1], rate=1.0, seed=3, hold=0.2),
+                metrics_detail="telemetry",
+                telemetry={"fairness": False},
+                liveness_thresholds={"min_jain_index": 0.5},
+            )
+
+    def test_fairness_can_be_disabled(self):
+        result = run_workload(
+            "open-cube", 16,
+            hotspot_stream(16, 20, hotspot_nodes=[1], rate=1.0, seed=3, hold=0.2),
+            metrics_detail="telemetry",
+            telemetry={"fairness": False},
+        )
+        assert result.fairness is None
+        assert result.liveness_ok is True

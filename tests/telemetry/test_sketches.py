@@ -91,6 +91,107 @@ class TestLogHistogram:
             assert forward.quantile(q) == backward.quantile(q)
         assert forward.summary(ndigits=12)["p99"] == backward.summary(ndigits=12)["p99"]
 
+    @pytest.mark.parametrize("growth", [1.02, 1.05, 1.2])
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_error_bound_holds_across_seed_grid(self, growth, seed):
+        """The analytic bound is a property, not a lucky seed: grid it."""
+        rng = random.Random(seed)
+        values = [rng.expovariate(0.05) + 1e-6 for _ in range(3000)]
+        sketch = LogHistogram(growth)
+        for v in values:
+            sketch.add(v)
+        bound = math.sqrt(growth) - 1.0
+        for q in (0.05, 0.25, 0.5, 0.75, 0.9, 0.99):
+            exact = exact_quantile(values, q)
+            assert abs(sketch.quantile(q) - exact) / exact <= bound + 1e-9, (
+                growth, seed, q,
+            )
+
+    @pytest.mark.parametrize("growth", [1.02, 1.05, 1.2])
+    def test_error_bound_holds_on_heavy_tails(self, growth):
+        """Pareto-ish tails (alpha=1.1, nine decades) stay within the bound."""
+        rng = random.Random(99)
+        alpha = 1.1
+        values = [1.0 / (1.0 - rng.random()) ** (1.0 / alpha) for _ in range(8000)]
+        sketch = LogHistogram(growth)
+        for v in values:
+            sketch.add(v)
+        bound = math.sqrt(growth) - 1.0
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = exact_quantile(values, q)
+            assert abs(sketch.quantile(q) - exact) / exact <= bound + 1e-9, (growth, q)
+        # Heavy tails cost buckets logarithmically, never linearly.
+        assert sketch.bucket_count < 12 / math.log(growth)
+
+
+class TestMerge:
+    def split(self, values, chunks):
+        return [values[i::chunks] for i in range(chunks)]
+
+    def sketch_of(self, values, growth=1.05):
+        sketch = LogHistogram(growth)
+        for v in values:
+            sketch.add(v)
+        return sketch
+
+    def state(self, sketch):
+        # Everything except ``total``: the bucket state is an exact pure
+        # function of the multiset, the float running sum is compared
+        # separately (its last bits depend on addition order).
+        return (
+            sketch.count,
+            sketch.min_value,
+            sketch.max_value,
+            sketch._zeros,
+            dict(sketch._buckets),
+        )
+
+    @pytest.mark.parametrize("growth", [1.02, 1.05, 1.2])
+    @pytest.mark.parametrize("seed", [1, 42])
+    def test_merge_equals_accumulating_everything(self, growth, seed):
+        rng = random.Random(seed)
+        values = [rng.expovariate(0.2) for _ in range(1500)] + [0.0] * 25
+        merged = LogHistogram(growth)
+        for chunk in self.split(values, 4):
+            merged.merge(self.sketch_of(chunk, growth))
+        reference = self.sketch_of(values, growth)
+        assert self.state(merged) == self.state(reference)
+        assert merged.total == pytest.approx(reference.total, rel=1e-12)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert merged.quantile(q) == reference.quantile(q)
+
+    def test_merge_order_independence(self):
+        """Any merge tree over any chunking yields the identical state."""
+        rng = random.Random(3)
+        values = [10 ** rng.uniform(-2, 4) for _ in range(900)]
+        chunks = self.split(values, 3)
+        left_fold = self.sketch_of(chunks[0])
+        left_fold.merge(self.sketch_of(chunks[1])).merge(self.sketch_of(chunks[2]))
+        right_fold = self.sketch_of(chunks[2])
+        right_fold.merge(self.sketch_of(chunks[0])).merge(self.sketch_of(chunks[1]))
+        assert self.state(left_fold) == self.state(right_fold)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert left_fold.quantile(q) == right_fold.quantile(q)
+
+    def test_merge_empty_and_into_empty(self):
+        values = [0.5, 2.0, 8.0]
+        target = self.sketch_of(values)
+        target.merge(LogHistogram())  # no-op
+        assert self.state(target) == self.state(self.sketch_of(values))
+        empty = LogHistogram()
+        empty.merge(self.sketch_of(values))
+        assert self.state(empty) == self.state(self.sketch_of(values))
+
+    def test_merge_rejects_mismatched_growth(self):
+        with pytest.raises(ConfigurationError, match="different growth"):
+            LogHistogram(1.05).merge(LogHistogram(1.2))
+
+    def test_merge_returns_self_for_chaining(self):
+        sketch = LogHistogram()
+        assert sketch.merge(LogHistogram()) is sketch
+
+
+class TestMemory:
     def test_memory_is_bounded_by_dynamic_range_not_count(self):
         sketch = LogHistogram()
         rng = random.Random(1)
