@@ -15,7 +15,7 @@ from repro.baselines.registry import build_cluster
 from repro.exceptions import ConfigurationError
 from repro.simulation.cluster import SimulatedCluster
 from repro.simulation.failures import FailureSchedule
-from repro.simulation.network import DelayModel, UniformDelay
+from repro.simulation.network import DelayModel, NetworkFaults, UniformDelay
 from repro.verification.liveness import analyse_liveness
 from repro.verification.online import replay_online
 from repro.verification.safety import crashed_in_critical_section, find_overlaps
@@ -211,6 +211,7 @@ def run_workload(
     delay_model: DelayModel | None = None,
     fifo: bool = False,
     failure_schedule: FailureSchedule | None = None,
+    network_faults: NetworkFaults | None = None,
     trace: bool = False,
     serial: bool = False,
     metrics_detail: str | None = None,
@@ -235,6 +236,10 @@ def run_workload(
             then exact (difference of the global counter around each
             request) rather than an average.
         failure_schedule: optional fail-stop crash/recovery schedule.
+        network_faults: optional adversarial message-fault layer
+            (:class:`~repro.simulation.network.NetworkFaults`: seeded loss,
+            duplication, partition windows).  ``None`` (or a disabled
+            instance) keeps the exact reliable-channel fast path.
         metrics_detail: ``"full"`` (the default) keeps per-message records
             and runs the record-based safety/liveness analysis;
             ``"counters"`` streams aggregates only — the analysis is then
@@ -281,6 +286,13 @@ def run_workload(
                 "argument and in cluster_kwargs['telemetry_options']"
             )
         kwargs["telemetry_options"] = telemetry
+    if network_faults is not None:
+        if "network_faults" in kwargs and kwargs["network_faults"] is not network_faults:
+            raise ConfigurationError(
+                "conflicting network faults: passed both as the network_faults "
+                "argument and in cluster_kwargs['network_faults']"
+            )
+        kwargs["network_faults"] = network_faults
     thresholds = _validate_thresholds(liveness_thresholds, metrics_detail)
     if thresholds and metrics_detail == "telemetry":
         options = dict(kwargs.get("telemetry_options") or {})

@@ -1,0 +1,48 @@
+"""Seeded adversarial scenario fuzzer with shrinking.
+
+The fuzzer turns the scenario engine and the telemetry verdicts into a
+falsification machine for the paper's claims:
+
+* :class:`~repro.fuzz.generator.SpecSampler` random-samples valid
+  :class:`~repro.scenarios.ScenarioSpec` cells across the full grid —
+  algorithm × n × workload (poisson/bursts/hotspot) × delay
+  (constant/uniform/per-hop/heavy-tail Pareto) × FIFO/non-FIFO × crash
+  bursts × message loss/duplication/partitions — from one seed, so a
+  campaign is exactly reproducible;
+* the cells run in telemetry mode through
+  :class:`~repro.scenarios.SweepRunner` (``tolerate_errors=True``, JSONL
+  streaming sink), because adversarial faults can legitimately *crash* a
+  protocol that assumes reliable channels, not just flip its verdicts;
+* :func:`~repro.fuzz.oracle.classify` grades each row:  ``ok``,
+  ``expected_failure`` (broken safety/liveness/fairness **with network
+  faults active** — outside the paper's fail-stop model, the documented
+  boundary of its claims), or ``failure`` (broken under a configuration the
+  paper claims to handle — a real finding);
+* :func:`~repro.fuzz.shrink.shrink_spec` greedily minimises a failing spec
+  (smaller n, fewer requests, fewer fault events, simpler delays) while the
+  failure keeps reproducing, and the harness writes the result as a
+  ``fuzz-regression/v1`` JSON ready to check in under
+  ``tests/scenarios/regressions/``.
+
+Run a campaign from the CLI::
+
+    python -m repro.fuzz --budget 1000 --seed 42 --out fuzz-out
+
+Exit code 1 means a *real* failure (inside the paper's model) was found and
+its shrunk repro written; ``expected_failure`` findings exit 0.
+"""
+
+from repro.fuzz.generator import SpecSampler
+from repro.fuzz.harness import FuzzCampaign, FuzzReport
+from repro.fuzz.oracle import Verdict, classify
+from repro.fuzz.shrink import shrink_spec, spec_size
+
+__all__ = [
+    "SpecSampler",
+    "FuzzCampaign",
+    "FuzzReport",
+    "Verdict",
+    "classify",
+    "shrink_spec",
+    "spec_size",
+]

@@ -1,0 +1,70 @@
+"""CLI entry point: ``python -m repro.fuzz --budget 1000 --seed 42``.
+
+Streams one JSONL row per finished cell, writes shrunk repro JSONs, prints
+a summary document, and exits non-zero only when a *real* failure (inside
+the paper's model) was found — ``expected_failure`` boundary findings are
+part of normal operation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.fuzz.harness import FuzzCampaign
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Seeded adversarial scenario fuzzing with shrinking.",
+    )
+    parser.add_argument("--budget", type=int, default=100, help="cells to sample and run")
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sweep the cells over N worker processes (shrinking stays serial)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("fuzz-out"),
+        help="output directory (JSONL stream + shrunk repros)",
+    )
+    parser.add_argument(
+        "--max-shrink-runs", type=int, default=200, help="per-finding shrink budget"
+    )
+    args = parser.parse_args(argv)
+    if args.budget < 1:
+        parser.error("--budget must be >= 1")
+    if args.parallel < 1:
+        parser.error("--parallel must be >= 1")
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    campaign = FuzzCampaign(
+        budget=args.budget,
+        seed=args.seed,
+        processes=args.parallel,
+        jsonl=args.out / "stream.jsonl",
+        regressions_dir=args.out / "regressions",
+        max_shrink_runs=args.max_shrink_runs,
+    )
+    report = campaign.run()
+    json.dump(report.summary(), sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    if report.found_real_failure:
+        sys.stderr.write(
+            f"FUZZ: {report.failures} real failure(s) found — shrunk repros "
+            f"under {args.out / 'regressions'}\n"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

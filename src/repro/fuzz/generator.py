@@ -1,0 +1,211 @@
+"""Seeded random sampling of valid scenario specs across the full grid.
+
+One :class:`SpecSampler` owns one ``random.Random``; the same seed always
+yields the byte-identical spec list (the determinism tests pin this), so a
+failing nightly campaign is reproduced locally from its seed alone.
+
+Sampling policy, deliberately:
+
+* **Crash schedules only for the fault-tolerant algorithm.**  Fail-stop
+  crashes are exactly what the paper claims ``open-cube-ft`` tolerates; a
+  crash under any other algorithm would fail trivially and teach nothing.
+* **Network faults for everyone.**  Loss, duplication and partitions are
+  outside *every* algorithm's model here — the oracle classifies whatever
+  breaks under them as ``expected_failure``, mapping the boundary.
+* **Small cells.**  The fuzzer's job is falsification coverage, not scale;
+  ``n <= 16`` with a few dozen requests keeps a 1000-cell nightly budget in
+  minutes while still exercising every protocol path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.scenarios.spec import (
+    DelaySpec,
+    FailureSpec,
+    NetworkFaultSpec,
+    PartitionSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+__all__ = ["SpecSampler", "FUZZ_ALGORITHMS", "FT_ALGORITHM"]
+
+#: Algorithms the sampler draws from (every registry entry).
+FUZZ_ALGORITHMS = (
+    "central",
+    "naimi-trehel",
+    "open-cube",
+    "open-cube-ft",
+    "raymond",
+    "ricart-agrawala",
+    "suzuki-kasami",
+)
+
+#: The one algorithm whose model includes fail-stop crashes.
+FT_ALGORITHM = "open-cube-ft"
+
+#: Fairness floor asserted on non-hotspot cells (hotspot workloads are
+#: *designed* to be unfair, so gating them would only produce noise).  The
+#: floor is deliberately loose: it exists to catch pathological lockouts,
+#: not to grade schedulers.
+MIN_JAIN_INDEX = 0.05
+
+#: Hypercube and balanced-tree topologies need a power-of-two population;
+#: everyone else takes any n.  Sampling an invalid (algorithm, n) pair would
+#: only fuzz the constructor's validation, which plain unit tests already
+#: cover.
+_POW2_ALGORITHMS = frozenset({"open-cube", "open-cube-ft", "raymond"})
+_POW2_SIZES = (4, 8, 16)
+_SIZES = (4, 6, 8, 12, 16)
+_EVENT_BUDGET = 300_000
+
+
+class SpecSampler:
+    """Draws valid :class:`ScenarioSpec` cells from one seeded RNG."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def sample(self, budget: int) -> list[ScenarioSpec]:
+        """Return ``budget`` specs; same seed + budget = identical list."""
+        return [self.sample_one(index) for index in range(budget)]
+
+    def sample_one(self, index: int) -> ScenarioSpec:
+        rng = self.rng
+        algorithm = rng.choice(FUZZ_ALGORITHMS)
+        n = rng.choice(_POW2_SIZES if algorithm in _POW2_ALGORITHMS else _SIZES)
+        workload = self._sample_workload(n)
+        failures = (
+            self._sample_failures(n)
+            if algorithm == FT_ALGORITHM and rng.random() < 0.4
+            else None
+        )
+        network = self._sample_network(n) if rng.random() < 0.5 else None
+        thresholds = (
+            {"min_jain_index": MIN_JAIN_INDEX}
+            if workload.kind != "hotspot"
+            else {}
+        )
+        return ScenarioSpec(
+            algorithm=algorithm,
+            n=n,
+            workload=workload,
+            delay=self._sample_delay(),
+            fifo=rng.random() < 0.3,
+            seed=rng.randrange(2**16),
+            failures=failures,
+            network=network,
+            metrics_detail="telemetry",
+            max_events=_EVENT_BUDGET,
+            liveness_thresholds=thresholds,
+            label=f"fuzz-{self.seed}-{index:04d}",
+        )
+
+    # ------------------------------------------------------------------
+    def _sample_workload(self, n: int) -> WorkloadSpec:
+        rng = self.rng
+        kind = rng.choice(("poisson", "poisson", "hotspot", "bursts"))
+        hold = round(rng.uniform(0.1, 0.5), 2)
+        seed = rng.randrange(2**16)
+        if kind == "poisson":
+            return WorkloadSpec(
+                "poisson",
+                {
+                    "count": rng.randrange(8, 33),
+                    "rate": round(rng.uniform(0.3, 2.0), 2),
+                    "seed": seed,
+                    "hold": hold,
+                },
+            )
+        if kind == "hotspot":
+            hot = rng.sample(range(1, n + 1), rng.choice((1, 2)))
+            return WorkloadSpec(
+                "hotspot",
+                {
+                    "count": rng.randrange(8, 33),
+                    "hotspot_nodes": sorted(hot),
+                    "hotspot_fraction": round(rng.uniform(0.5, 0.9), 2),
+                    "rate": round(rng.uniform(0.3, 2.0), 2),
+                    "seed": seed,
+                    "hold": hold,
+                },
+            )
+        return WorkloadSpec(
+            "bursts",
+            {
+                "bursts": rng.randrange(2, 5),
+                "burst_size": rng.randrange(2, min(6, n + 1)),
+                "burst_spacing": round(rng.uniform(8.0, 20.0), 1),
+                "within_burst": round(rng.uniform(0.2, 1.0), 2),
+                "seed": seed,
+                "hold": hold,
+            },
+        )
+
+    def _sample_delay(self) -> DelaySpec:
+        rng = self.rng
+        kind = rng.choice(("constant", "uniform", "per_hop", "pareto"))
+        if kind == "constant":
+            return DelaySpec("constant", {"delay": rng.choice((0.5, 1.0))})
+        if kind == "uniform":
+            low = round(rng.uniform(0.1, 0.5), 2)
+            return DelaySpec(
+                "uniform", {"low": low, "high": round(low + rng.uniform(0.3, 1.0), 2)}
+            )
+        if kind == "per_hop":
+            return DelaySpec(
+                "per_hop",
+                {
+                    "base": round(rng.uniform(0.1, 0.3), 2),
+                    "jitter": round(rng.uniform(0.0, 0.2), 2),
+                },
+            )
+        return DelaySpec(
+            "pareto",
+            {
+                "alpha": round(rng.uniform(1.2, 2.5), 2),
+                "scale": round(rng.uniform(0.1, 0.3), 2),
+                "cap": round(rng.uniform(4.0, 10.0), 1),
+            },
+        )
+
+    def _sample_failures(self, n: int) -> FailureSpec:
+        """A small crash burst with generous recovery, inside the FT model."""
+        rng = self.rng
+        return FailureSpec(
+            mode="burst",
+            params={
+                "count": rng.choice((1, 1, 2)),
+                "at": round(rng.uniform(4.0, 15.0), 1),
+                "recover_after": round(rng.uniform(30.0, 60.0), 1),
+            },
+            seed=rng.randrange(2**16),
+        )
+
+    def _sample_network(self, n: int) -> NetworkFaultSpec:
+        rng = self.rng
+        loss = round(rng.uniform(0.01, 0.1), 3) if rng.random() < 0.5 else 0.0
+        dup = round(rng.uniform(0.01, 0.1), 3) if rng.random() < 0.4 else 0.0
+        partitions: tuple[PartitionSpec, ...] = ()
+        if rng.random() < 0.35:
+            start = round(rng.uniform(2.0, 10.0), 1)
+            heal = (
+                None
+                if rng.random() < 0.25
+                else round(start + rng.uniform(3.0, 15.0), 1)
+            )
+            side = sorted(rng.sample(range(1, n + 1), rng.randrange(1, max(2, n // 2))))
+            partitions = (PartitionSpec(start=start, heal=heal, nodes=tuple(side)),)
+        if not (loss or dup or partitions):
+            # The draw said "faulty cell" — guarantee at least one fault so
+            # the spec's network block is never a silent no-op.
+            loss = round(rng.uniform(0.01, 0.1), 3)
+        return NetworkFaultSpec(
+            loss_rate=loss,
+            dup_rate=dup,
+            partitions=partitions,
+            seed=rng.randrange(2**16),
+        )

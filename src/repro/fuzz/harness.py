@@ -1,0 +1,244 @@
+"""The fuzz campaign: generate → sweep → classify → shrink → report.
+
+A :class:`FuzzCampaign` streams its cells through
+:class:`~repro.scenarios.SweepRunner` with ``tolerate_errors=True`` (rows
+arrive in spec order on the serial and pool paths alike, so classification
+is order-independent) and an optional JSONL sink; failing cells are then
+shrunk **serially** regardless of the sweep's parallelism, which is why the
+``--parallel`` path produces byte-identical repro files.
+
+Regression files use the ``fuzz-regression/v1`` schema::
+
+    {
+      "schema": "fuzz-regression/v1",
+      "kind": "failure" | "expected_failure",
+      "reasons": ["liveness", ...],        # oracle reasons, primary first
+      "spec": { ... ScenarioSpec.to_dict() ... },   # the *shrunk* spec
+      "verdict": { ... pinned deterministic row fields ... },
+      "fuzz": {"seed": ..., "index": ..., "original_size": ..., "shrunk_size": ...}
+    }
+
+``verdict`` pins only deterministic fields (verdict booleans, error type,
+request/fault counters) so the regression replay test can assert them
+bit-for-bit; wall-clock fields never appear.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.fuzz.generator import SpecSampler
+from repro.fuzz.oracle import Verdict, classify
+from repro.fuzz.shrink import shrink_spec, spec_size
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.sweep import SweepRunner
+
+__all__ = ["FuzzCampaign", "FuzzReport", "pin_verdict", "replay_regression"]
+
+#: Deterministic row fields pinned into a regression's ``verdict`` block.
+_PINNED_FIELDS = (
+    "safety_ok",
+    "liveness_ok",
+    "requests",
+    "requests_granted",
+    "lost_messages",
+    "duplicated_messages",
+    "blocked_messages",
+)
+
+
+def pin_verdict(row: Mapping[str, Any]) -> dict[str, Any]:
+    """Extract the deterministic, replayable fields of one row."""
+    pinned: dict[str, Any] = {
+        key: row[key] for key in _PINNED_FIELDS if key in row
+    }
+    error = row.get("error")
+    if error:
+        pinned["error_type"] = error["type"]
+    return pinned
+
+
+@dataclass
+class Finding:
+    """One failing cell: the original spec and its shrunk repro."""
+
+    index: int
+    verdict: Verdict
+    spec: ScenarioSpec
+    shrunk: ScenarioSpec
+    shrunk_row: Mapping[str, Any]
+    shrunk_verdict: Verdict
+    shrink_runs: int
+
+    def to_regression(self, seed: int) -> dict[str, Any]:
+        return {
+            "schema": "fuzz-regression/v1",
+            "kind": self.shrunk_verdict.kind,
+            "reasons": list(self.shrunk_verdict.reasons),
+            "spec": self.shrunk.to_dict(),
+            "verdict": pin_verdict(self.shrunk_row),
+            "fuzz": {
+                "seed": seed,
+                "index": self.index,
+                "original_size": spec_size(self.spec),
+                "shrunk_size": spec_size(self.shrunk),
+            },
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Campaign outcome: tallies plus the shrunk findings."""
+
+    budget: int
+    seed: int
+    ok: int = 0
+    expected_failures: int = 0
+    failures: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    regression_paths: list[Path] = field(default_factory=list)
+
+    @property
+    def found_real_failure(self) -> bool:
+        return self.failures > 0
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "budget": self.budget,
+            "seed": self.seed,
+            "ok": self.ok,
+            "expected_failures": self.expected_failures,
+            "failures": self.failures,
+            "shrunk": [
+                {
+                    "index": f.index,
+                    "kind": f.shrunk_verdict.kind,
+                    "reasons": list(f.shrunk_verdict.reasons),
+                    "original_size": spec_size(f.spec),
+                    "shrunk_size": spec_size(f.shrunk),
+                    "shrink_runs": f.shrink_runs,
+                }
+                for f in self.findings
+            ],
+            "regressions": [str(p) for p in self.regression_paths],
+        }
+
+
+@dataclass
+class FuzzCampaign:
+    """One seeded fuzzing run over ``budget`` sampled cells.
+
+    Args:
+        budget: number of cells to sample and run.
+        seed: campaign seed — drives spec sampling only; each cell carries
+            its own sampled simulator/workload/fault seeds.
+        processes: sweep parallelism (shrinking stays serial either way).
+        jsonl: optional JSONL path streaming one row per finished cell.
+        regressions_dir: where shrunk repro JSONs are written (created on
+            demand); ``None`` skips writing.
+        max_shrink_runs: per-finding shrink budget (bounds campaign time).
+        max_expected_regressions: at most this many ``expected_failure``
+            findings are shrunk/written, deduplicated by failure signature
+            (algorithm + reasons) — a 1000-cell nightly can hit hundreds of
+            boundary cells and shrinking every one buys nothing.  Real
+            ``failure`` findings are always shrunk, never capped.
+    """
+
+    budget: int
+    seed: int = 0
+    processes: int = 1
+    jsonl: Path | str | None = None
+    regressions_dir: Path | str | None = None
+    max_shrink_runs: int = 200
+    max_expected_regressions: int = 5
+
+    def run(self) -> FuzzReport:
+        specs = SpecSampler(self.seed).sample(self.budget)
+        report = FuzzReport(budget=self.budget, seed=self.seed)
+        failing: list[tuple[int, ScenarioSpec, Verdict, Mapping[str, Any]]] = []
+        cursor = iter(range(self.budget))
+
+        def grade(row: Mapping[str, Any]) -> None:
+            index = next(cursor)
+            spec = specs[index]
+            verdict = classify(spec, row)
+            if verdict.kind == "ok":
+                report.ok += 1
+                return
+            if verdict.kind == "expected_failure":
+                report.expected_failures += 1
+            else:
+                report.failures += 1
+            failing.append((index, spec, verdict, row))
+
+        runner = SweepRunner(
+            specs=list(specs), processes=self.processes, tolerate_errors=True
+        )
+        runner.run(on_row=grade, sink=self.jsonl, collect=False)
+
+        seen_expected: set[tuple[str, tuple[str, ...]]] = set()
+        expected_shrunk = 0
+        for index, spec, verdict, row in failing:
+            if verdict.kind == "expected_failure":
+                signature = (spec.algorithm, verdict.reasons)
+                if (
+                    expected_shrunk >= self.max_expected_regressions
+                    or signature in seen_expected
+                ):
+                    continue
+                seen_expected.add(signature)
+                expected_shrunk += 1
+            shrunk, shrunk_row, shrunk_verdict, runs = shrink_spec(
+                spec, verdict, row, max_runs=self.max_shrink_runs
+            )
+            report.findings.append(
+                Finding(
+                    index=index,
+                    verdict=verdict,
+                    spec=spec,
+                    shrunk=shrunk,
+                    shrunk_row=shrunk_row,
+                    shrunk_verdict=shrunk_verdict,
+                    shrink_runs=runs,
+                )
+            )
+        if self.regressions_dir is not None:
+            report.regression_paths = self._write_regressions(report)
+        return report
+
+    def _write_regressions(self, report: FuzzReport) -> list[Path]:
+        directory = Path(self.regressions_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths: list[Path] = []
+        for finding in report.findings:
+            name = (
+                f"fuzz-{self.seed}-{finding.index:04d}-"
+                f"{finding.shrunk_verdict.kind}.json"
+            )
+            path = directory / name
+            path.write_text(
+                json.dumps(finding.to_regression(self.seed), indent=2, sort_keys=True)
+                + "\n",
+                encoding="utf-8",
+            )
+            paths.append(path)
+        return paths
+
+
+def replay_regression(document: Mapping[str, Any]) -> tuple[Verdict, dict[str, Any]]:
+    """Re-run a ``fuzz-regression/v1`` document; return (verdict, pinned row).
+
+    The regression replay test asserts the returned verdict kind/reasons and
+    pinned fields equal the checked-in ones — a drifting verdict means the
+    engine's behaviour under that repro changed and must be re-triaged.
+    """
+    from repro.scenarios.sweep import _run_scenario_tolerant
+
+    if document.get("schema") != "fuzz-regression/v1":
+        raise ValueError(f"not a fuzz-regression/v1 document: {document.get('schema')!r}")
+    spec = ScenarioSpec.from_dict(document["spec"])
+    row = _run_scenario_tolerant(spec)
+    return classify(spec, row), pin_verdict(row)

@@ -1,0 +1,78 @@
+"""The fuzzer's grading oracle.
+
+A row is graded against what the paper actually claims:
+
+* ``ok`` — safety and liveness (incl. the declarative fairness floors)
+  held and the run completed.
+* ``expected_failure`` — something broke, but the cell had **network
+  faults** (loss/duplication/partition) active.  Reliable channels are an
+  explicit assumption of the paper's system model; these rows *document the
+  boundary* of its claims rather than refute them.  A partition isolating
+  the token holder breaking liveness is the canonical case.
+* ``failure`` — something broke in a cell **inside** the model (reliable
+  channels, at worst fail-stop crashes).  This is a real finding: the
+  harness shrinks it and exits non-zero.
+
+"Something broke" covers all three observable shapes: a ``False`` safety
+or liveness verdict, and a run that raised (``tolerate_errors`` error rows
+— e.g. a duplicated token crashing a protocol with a ``ProtocolError``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["Verdict", "classify"]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The oracle's grade for one row: kind + machine-readable reasons."""
+
+    kind: str  # "ok" | "failure" | "expected_failure"
+    reasons: tuple[str, ...]
+
+    @property
+    def failed(self) -> bool:
+        return self.kind != "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "reasons": list(self.reasons)}
+
+
+def classify(spec: ScenarioSpec, row: Mapping[str, Any]) -> Verdict:
+    """Grade one sweep row produced by ``spec``."""
+    reasons: list[str] = []
+    error = row.get("error")
+    if error:
+        reasons.append(f"error:{error['type']}")
+    if row.get("safety_ok") is False:
+        reasons.append("safety")
+    if row.get("liveness_ok") is False:
+        reasons.append("liveness")
+    if not reasons:
+        return Verdict(kind="ok", reasons=())
+    adversarial = spec.network is not None and spec.network.enabled
+    return Verdict(
+        kind="expected_failure" if adversarial else "failure",
+        reasons=tuple(reasons),
+    )
+
+
+def same_failure(target: Verdict, candidate: Verdict) -> bool:
+    """Whether ``candidate`` still reproduces ``target``'s failure.
+
+    The shrinker uses this as its interestingness test: the kind must match
+    and the primary (first) reason must survive — secondary reasons may
+    come and go as the scenario shrinks (a run that broke safety *and*
+    liveness may shrink to one that only breaks safety, and the repro that
+    matters is the primary one).
+    """
+    return (
+        candidate.kind == target.kind
+        and bool(target.reasons)
+        and target.reasons[0] in candidate.reasons
+    )

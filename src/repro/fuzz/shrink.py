@@ -1,0 +1,257 @@
+"""Greedy deterministic shrinking of failing scenario specs.
+
+Classic delta-debugging shape: propose candidate simplifications in a fixed
+order (most aggressive first), re-run each candidate, accept the first one
+that still reproduces the original failure
+(:func:`repro.fuzz.oracle.same_failure`), restart from the accepted
+candidate, and stop when no candidate helps (fixpoint) or the run budget is
+spent.  Everything is deterministic — no RNG — so the same failing spec
+always shrinks to the same minimal repro, on the serial and parallel
+campaign paths alike.
+
+A candidate is only proposed when it is strictly smaller under
+:func:`spec_size`, so the shrunk repro is always ≤ the original spec.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.fuzz.oracle import Verdict, classify, same_failure
+from repro.scenarios.spec import (
+    DelaySpec,
+    NetworkFaultSpec,
+    PartitionSpec,
+    ScenarioSpec,
+)
+
+__all__ = ["spec_size", "shrink_spec"]
+
+_MIN_N = 4
+_MIN_COUNT = 4
+
+
+def spec_size(spec: ScenarioSpec) -> int:
+    """A scalar complexity measure driving the shrink ordering.
+
+    Counts the knobs a human reading the repro has to think about: nodes,
+    requests, crash events, fault dimensions, partition membership, and
+    non-default delay/ordering settings.
+    """
+    params = spec.workload.params
+    count = params.get("count")
+    if count is None:
+        count = params.get("bursts", 1) * params.get("burst_size", 1)
+    size = spec.n + int(count)
+    if spec.failures is not None:
+        size += 1 + int(spec.failures.params.get("count", 1))
+    if spec.network is not None:
+        size += int(spec.network.loss_rate > 0) + int(spec.network.dup_rate > 0)
+        size += sum(1 + len(p.nodes) for p in spec.network.partitions)
+    if spec.delay.kind != "constant":
+        size += 1
+    if spec.fifo:
+        size += 1
+    return size
+
+
+# ----------------------------------------------------------------------
+# Candidate transformations
+# ----------------------------------------------------------------------
+def _rebound_workload(spec: ScenarioSpec, n: int) -> ScenarioSpec:
+    """Clamp node-indexed workload params after shrinking ``n``."""
+    if spec.workload.kind == "hotspot":
+        params = dict(spec.workload.params)
+        hot = [node for node in params.get("hotspot_nodes", []) if node <= n]
+        params["hotspot_nodes"] = hot or [1]
+        return spec.with_(workload=spec.workload.__class__("hotspot", params))
+    if spec.workload.kind == "bursts":
+        params = dict(spec.workload.params)
+        if params.get("burst_size", 1) > n:
+            params["burst_size"] = n
+            return spec.with_(workload=spec.workload.__class__("bursts", params))
+    return spec
+
+
+def _rebound_network(spec: ScenarioSpec, n: int) -> ScenarioSpec:
+    """Clamp partition membership after shrinking ``n``."""
+    if spec.network is None or not spec.network.partitions:
+        return spec
+    windows: list[PartitionSpec] = []
+    for window in spec.network.partitions:
+        nodes = tuple(node for node in window.nodes if node <= n)
+        if nodes and len(nodes) < n:
+            windows.append(
+                PartitionSpec(start=window.start, heal=window.heal, nodes=nodes)
+            )
+    network = NetworkFaultSpec(
+        loss_rate=spec.network.loss_rate,
+        dup_rate=spec.network.dup_rate,
+        partitions=tuple(windows),
+        seed=spec.network.seed,
+    )
+    return spec.with_(network=network if network.enabled else None)
+
+
+def _rebound_failures(spec: ScenarioSpec, n: int) -> ScenarioSpec:
+    """Clamp crash-burst width after shrinking ``n``."""
+    if spec.failures is None:
+        return spec
+    params = dict(spec.failures.params)
+    if "count" in params and params["count"] >= n:
+        params["count"] = n - 1
+        return spec.with_(failures=spec.failures.__class__(
+            mode=spec.failures.mode, params=params, seed=spec.failures.seed,
+            protected_nodes=spec.failures.protected_nodes,
+            liveness_thresholds=spec.failures.liveness_thresholds,
+        ))
+    return spec
+
+
+def _with_n(spec: ScenarioSpec, n: int) -> ScenarioSpec:
+    shrunk = spec.with_(n=n)
+    shrunk = _rebound_workload(shrunk, n)
+    shrunk = _rebound_network(shrunk, n)
+    return _rebound_failures(shrunk, n)
+
+
+def _with_count(spec: ScenarioSpec, count: int) -> ScenarioSpec | None:
+    params = dict(spec.workload.params)
+    if "count" in params:
+        params["count"] = count
+        return spec.with_(workload=spec.workload.__class__(spec.workload.kind, params))
+    if "bursts" in params:
+        # Shrink the burst grid toward a single small burst.
+        if params["bursts"] > 1:
+            params["bursts"] = max(1, params["bursts"] // 2)
+        elif params.get("burst_size", 1) > 2:
+            params["burst_size"] = max(2, params["burst_size"] // 2)
+        else:
+            return None
+        return spec.with_(workload=spec.workload.__class__("bursts", params))
+    return None
+
+
+def _network_candidates(spec: ScenarioSpec) -> Iterator[ScenarioSpec]:
+    network = spec.network
+    if network is None:
+        return
+    if network.partitions:
+        # Keep the partition but shrink its membership to one node,
+        # preferring node 1 (the initial token holder — the interesting
+        # isolation case).
+        window = network.partitions[0]
+        if len(window.nodes) > 1:
+            keep = 1 if 1 in window.nodes else min(window.nodes)
+            yield spec.with_(
+                network=NetworkFaultSpec(
+                    loss_rate=network.loss_rate,
+                    dup_rate=network.dup_rate,
+                    partitions=(
+                        PartitionSpec(
+                            start=window.start, heal=window.heal, nodes=(keep,)
+                        ),
+                    ),
+                    seed=network.seed,
+                )
+            )
+        # Or drop partitions entirely (loss/dup may be the actual trigger).
+        slimmer = NetworkFaultSpec(
+            loss_rate=network.loss_rate,
+            dup_rate=network.dup_rate,
+            partitions=(),
+            seed=network.seed,
+        )
+        yield spec.with_(network=slimmer if slimmer.enabled else None)
+    if network.loss_rate:
+        slimmer = NetworkFaultSpec(
+            loss_rate=0.0,
+            dup_rate=network.dup_rate,
+            partitions=network.partitions,
+            seed=network.seed,
+        )
+        yield spec.with_(network=slimmer if slimmer.enabled else None)
+    if network.dup_rate:
+        slimmer = NetworkFaultSpec(
+            loss_rate=network.loss_rate,
+            dup_rate=0.0,
+            partitions=network.partitions,
+            seed=network.seed,
+        )
+        yield spec.with_(network=slimmer if slimmer.enabled else None)
+
+
+def _candidates(spec: ScenarioSpec) -> Iterator[ScenarioSpec]:
+    """Strictly-smaller simplifications of ``spec``, most aggressive first."""
+    if spec.n > _MIN_N:
+        yield _with_n(spec, _MIN_N)
+        half = max(_MIN_N, spec.n // 2)
+        if half != _MIN_N:
+            yield _with_n(spec, half)
+    params = spec.workload.params
+    count = params.get("count")
+    if count is not None and count > _MIN_COUNT:
+        aggressive = _with_count(spec, _MIN_COUNT)
+        if aggressive is not None:
+            yield aggressive
+        half = max(_MIN_COUNT, count // 2)
+        if half != _MIN_COUNT:
+            halved = _with_count(spec, half)
+            if halved is not None:
+                yield halved
+    elif count is None:
+        halved = _with_count(spec, 0)
+        if halved is not None:
+            yield halved
+    if spec.failures is not None:
+        yield spec.with_(failures=None)
+    yield from _network_candidates(spec)
+    if spec.delay.kind != "constant":
+        yield spec.with_(delay=DelaySpec("constant", {"delay": 1.0}))
+    if spec.fifo:
+        yield spec.with_(fifo=False)
+
+
+# ----------------------------------------------------------------------
+# The shrink loop
+# ----------------------------------------------------------------------
+def shrink_spec(
+    spec: ScenarioSpec,
+    verdict: Verdict,
+    row: Mapping[str, Any],
+    *,
+    runner: Callable[[ScenarioSpec], Mapping[str, Any]] | None = None,
+    max_runs: int = 200,
+) -> tuple[ScenarioSpec, Mapping[str, Any], Verdict, int]:
+    """Greedily minimise ``spec`` while ``verdict``'s failure reproduces.
+
+    Returns ``(shrunk_spec, shrunk_row, shrunk_verdict, runs_used)``; the
+    shrunk spec is ``spec`` itself when nothing smaller reproduces.
+    """
+    if runner is None:
+        from repro.scenarios.sweep import _run_scenario_tolerant
+
+        runner = _run_scenario_tolerant
+    current, current_row, current_verdict = spec, row, verdict
+    runs = 0
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        current_size = spec_size(current)
+        for candidate in _candidates(current):
+            if spec_size(candidate) >= current_size:
+                continue
+            if runs >= max_runs:
+                break
+            candidate_row = runner(candidate)
+            runs += 1
+            candidate_verdict = classify(candidate, candidate_row)
+            if same_failure(verdict, candidate_verdict):
+                current, current_row, current_verdict = (
+                    candidate,
+                    candidate_row,
+                    candidate_verdict,
+                )
+                improved = True
+                break
+    return current, current_row, current_verdict, runs

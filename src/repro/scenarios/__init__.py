@@ -18,6 +18,8 @@ from repro.scenarios.spec import (
     WORKLOAD_KINDS,
     DelaySpec,
     FailureSpec,
+    NetworkFaultSpec,
+    PartitionSpec,
     ScenarioResult,
     ScenarioSpec,
     WorkloadSpec,
@@ -29,6 +31,8 @@ __all__ = [
     "WORKLOAD_KINDS",
     "DelaySpec",
     "FailureSpec",
+    "NetworkFaultSpec",
+    "PartitionSpec",
     "ScenarioResult",
     "ScenarioSpec",
     "WorkloadSpec",

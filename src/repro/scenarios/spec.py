@@ -23,7 +23,15 @@ from typing import Any, Callable, Mapping
 from repro.exceptions import ConfigurationError
 from repro.experiments.runner import RunResult, run_workload
 from repro.simulation.failures import FailurePlanner, FailureSchedule
-from repro.simulation.network import ConstantDelay, DelayModel, PerHopDelay, UniformDelay
+from repro.simulation.network import (
+    ConstantDelay,
+    DelayModel,
+    NetworkFaults,
+    ParetoDelay,
+    PartitionWindow,
+    PerHopDelay,
+    UniformDelay,
+)
 from repro.workload.arrivals import (
     ArrivalStream,
     Workload,
@@ -39,6 +47,8 @@ __all__ = [
     "WorkloadSpec",
     "DelaySpec",
     "FailureSpec",
+    "PartitionSpec",
+    "NetworkFaultSpec",
     "ScenarioSpec",
     "ScenarioResult",
     "WORKLOAD_KINDS",
@@ -64,6 +74,7 @@ DELAY_KINDS: dict[str, Callable[..., DelayModel]] = {
     "constant": ConstantDelay,
     "uniform": UniformDelay,
     "per_hop": PerHopDelay,
+    "pareto": ParetoDelay,
 }
 
 
@@ -194,6 +205,100 @@ class FailureSpec:
         )
 
 
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Declarative partition window: ``nodes`` cut off during ``[start, heal)``.
+
+    ``heal=None`` declares a partition that never heals (JSON has no
+    ``inf``); it maps to ``math.inf`` in the built
+    :class:`~repro.simulation.network.PartitionWindow`.
+    """
+
+    start: float
+    heal: float | None
+    nodes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ConfigurationError("a partition spec needs at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ConfigurationError(
+                f"partition spec names duplicate nodes: {list(self.nodes)}"
+            )
+
+    def build(self) -> PartitionWindow:
+        heal = float("inf") if self.heal is None else self.heal
+        return PartitionWindow(start=self.start, heal=heal, nodes=frozenset(self.nodes))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"start": self.start, "heal": self.heal, "nodes": list(self.nodes)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PartitionSpec":
+        return cls(
+            start=data["start"],
+            heal=data.get("heal"),
+            nodes=tuple(data["nodes"]),
+        )
+
+
+@dataclass(frozen=True)
+class NetworkFaultSpec:
+    """Declarative adversarial message faults: loss, duplication, partitions.
+
+    The declarative face of :class:`~repro.simulation.network.NetworkFaults`
+    — the behaviours the paper's reliable-channel model rules out.  Kept as
+    a sibling of :class:`FailureSpec` (not folded into it) so a scenario
+    states explicitly whether it stays inside the paper's fail-stop model or
+    steps outside it; the fuzzer's oracle keys off that distinction.
+
+    :meth:`build` returns a *fresh* :class:`NetworkFaults` (fresh fault RNG)
+    each call, so every repetition of a cell replays the same fault
+    sequence.
+    """
+
+    loss_rate: float = 0.0
+    dup_rate: float = 0.0
+    partitions: tuple[PartitionSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Rate bounds are validated by NetworkFaults; build one eagerly so a
+        # malformed spec fails at declaration time, not inside a worker.
+        self.build()
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.loss_rate or self.dup_rate or self.partitions)
+
+    def build(self) -> NetworkFaults:
+        return NetworkFaults(
+            loss_rate=self.loss_rate,
+            dup_rate=self.dup_rate,
+            partitions=tuple(p.build() for p in self.partitions),
+            seed=self.seed,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "loss_rate": self.loss_rate,
+            "dup_rate": self.dup_rate,
+            "partitions": [p.to_dict() for p in self.partitions],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NetworkFaultSpec":
+        return cls(
+            loss_rate=data.get("loss_rate", 0.0),
+            dup_rate=data.get("dup_rate", 0.0),
+            partitions=tuple(
+                PartitionSpec.from_dict(p) for p in data.get("partitions", ())
+            ),
+            seed=data.get("seed", 0),
+        )
+
+
 def _peak_rss_mb() -> float:
     """Process RSS high-water mark (monotone within one process)."""
     usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
@@ -215,6 +320,10 @@ class ScenarioSpec:
         fifo: FIFO channels (the paper's default is out-of-order delivery).
         seed: simulator RNG seed (delays).
         failures: optional fail-stop crash/recovery schedule.
+        network: optional adversarial message-fault layer (seeded loss,
+            duplication, partition windows — :class:`NetworkFaultSpec`).
+            ``None`` or a disabled spec keeps the exact reliable-channel
+            code path, bit-identical to a cell without the field.
         metrics_detail: ``"full"`` or the streaming ``"counters"`` mode.
         trace: enable trace collection (off for scale runs).
         serial: declare the workload serial so per-request message counts
@@ -254,6 +363,7 @@ class ScenarioSpec:
     fifo: bool = False
     seed: int = 0
     failures: FailureSpec | None = None
+    network: NetworkFaultSpec | None = None
     metrics_detail: str = "full"
     trace: bool = False
     serial: bool = False
@@ -286,6 +396,7 @@ class ScenarioSpec:
             "fifo": self.fifo,
             "seed": self.seed,
             "failures": self.failures.to_dict() if self.failures else None,
+            "network": self.network.to_dict() if self.network else None,
             "metrics_detail": self.metrics_detail,
             "trace": self.trace,
             "serial": self.serial,
@@ -303,6 +414,7 @@ class ScenarioSpec:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
         failures = data.get("failures")
+        network = data.get("network")
         return cls(
             algorithm=data["algorithm"],
             n=data["n"],
@@ -311,6 +423,7 @@ class ScenarioSpec:
             fifo=data.get("fifo", False),
             seed=data.get("seed", 0),
             failures=FailureSpec.from_dict(failures) if failures else None,
+            network=NetworkFaultSpec.from_dict(network) if network else None,
             metrics_detail=data.get("metrics_detail", "full"),
             trace=data.get("trace", False),
             serial=data.get("serial", False),
@@ -354,6 +467,9 @@ class ScenarioSpec:
                 delay_model=self.delay.build(),
                 fifo=self.fifo,
                 failure_schedule=self.failures.build(self.n) if self.failures else None,
+                # Rebuilt inside the repeats loop on purpose: each repetition
+                # gets a fresh fault RNG and replays the same fault sequence.
+                network_faults=self.network.build() if self.network else None,
                 trace=self.trace,
                 serial=self.serial,
                 metrics_detail=self.metrics_detail,
@@ -443,6 +559,16 @@ class ScenarioResult:
             worst = result.fairness.get("max_node_starvation")
             row["max_node_starvation_gap"] = worst["gap"] if worst else 0.0
             row["fairness"] = result.fairness
+        if spec.network is not None and spec.network.enabled:
+            # Adversarial cells carry the fault knobs as flat columns (for
+            # tables/diffs) plus the full declarative block and the observed
+            # fault counters; clean rows stay byte-identical to before.
+            row["loss_rate"] = spec.network.loss_rate
+            row["dup_rate"] = spec.network.dup_rate
+            row["network"] = spec.network.to_dict()
+            row["lost_messages"] = metrics.lost_messages
+            row["duplicated_messages"] = metrics.duplicated_messages
+            row["blocked_messages"] = metrics.blocked_messages
         thresholds = spec.effective_liveness_thresholds()
         if thresholds:
             row["liveness_thresholds"] = thresholds

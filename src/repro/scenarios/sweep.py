@@ -44,9 +44,47 @@ def run_scenario(spec: ScenarioSpec) -> dict[str, Any]:
     return spec.run().row()
 
 
+def _error_row(spec: ScenarioSpec, exc: Exception) -> dict[str, Any]:
+    """The row a cell yields when ``tolerate_errors`` swallows its crash.
+
+    Carries enough of the cell's identity to be diffable next to real rows,
+    an ``error`` block naming the exception, and ``None`` verdicts (the run
+    died, so neither safety nor liveness was established — adversarial
+    network faults can legitimately crash a protocol that assumes reliable
+    channels, and the fuzzer's oracle classifies exactly that).
+    """
+    return {
+        "algorithm": spec.algorithm,
+        "n": spec.n,
+        "metrics_detail": spec.metrics_detail,
+        "workload": spec.workload.kind,
+        "delay": spec.delay.kind,
+        "fifo": spec.fifo,
+        "seed": spec.seed,
+        "safety_ok": None,
+        "liveness_ok": None,
+        "analysis_ok": None,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+        **({"label": spec.label} if spec.label is not None else {}),
+    }
+
+
+def _run_scenario_tolerant(spec: ScenarioSpec) -> dict[str, Any]:
+    """Run one cell, converting a crashing run into an error row."""
+    try:
+        return run_scenario(spec)
+    except Exception as exc:  # noqa: BLE001 - the point is to survive the cell
+        return _error_row(spec, exc)
+
+
 def _run_spec_payload(payload: dict[str, Any]) -> dict[str, Any]:
     """Pool worker entry point: dict in, dict out (pickle-friendly)."""
     return run_scenario(ScenarioSpec.from_dict(payload))
+
+
+def _run_spec_payload_tolerant(payload: dict[str, Any]) -> dict[str, Any]:
+    """Error-tolerant pool worker: a crashing cell yields an error row."""
+    return _run_scenario_tolerant(ScenarioSpec.from_dict(payload))
 
 
 def expand_grid(
@@ -102,11 +140,19 @@ class SweepRunner:
             ``"fork"`` where available (it does not re-import ``__main__``,
             so it also works from scripts run via stdin) and the platform
             default elsewhere.
+        tolerate_errors: ``False`` (default) lets a crashing cell abort the
+            sweep — the benchmark contract, where an exception is a bug.
+            ``True`` converts a cell that raises into an ``error`` row
+            (``safety_ok``/``liveness_ok`` ``None``, exception type +
+            message) and keeps sweeping — the fuzzing contract, where
+            adversarial faults are *expected* to crash protocols that assume
+            reliable channels.
     """
 
     specs: list[ScenarioSpec] = field(default_factory=list)
     processes: int = 1
     start_method: str | None = None
+    tolerate_errors: bool = False
 
     @classmethod
     def from_grid(cls, *, processes: int = 1, **grid: Any) -> "SweepRunner":
@@ -164,17 +210,21 @@ class SweepRunner:
                 if collect:
                     rows.append(row)
 
+            run_one = _run_scenario_tolerant if self.tolerate_errors else run_scenario
             if self.processes == 1:
                 for spec in self.specs:
-                    emit(run_scenario(spec))
+                    emit(run_one(spec))
                 return rows
+            worker = (
+                _run_spec_payload_tolerant if self.tolerate_errors else _run_spec_payload
+            )
             payloads = [spec.to_dict() for spec in self.specs]
             workers = min(self.processes, len(payloads))
             method = self.start_method
             if method is None and "fork" in multiprocessing.get_all_start_methods():
                 method = "fork"
             with multiprocessing.get_context(method).Pool(workers) as pool:
-                for row in pool.imap(_run_spec_payload, payloads):
+                for row in pool.imap(worker, payloads):
                     emit(row)
         return rows
 

@@ -18,7 +18,7 @@ from repro.core.messages import Message, next_request_id
 from repro.exceptions import SimulationError
 from repro.simulation.events import MessageDelivery, TimerExpiry
 from repro.simulation.metrics import MetricsCollector
-from repro.simulation.network import ChannelState, DelayModel, UniformDelay
+from repro.simulation.network import ChannelState, DelayModel, NetworkFaults, UniformDelay
 from repro.simulation.process import Environment, MutexNode
 from repro.simulation.simulator import Simulator
 from repro.simulation.trace import NullTracer, TraceCategory, Tracer
@@ -101,6 +101,12 @@ class SimulatedCluster:
         telemetry_options: configuration of the telemetry hub
             (:class:`~repro.telemetry.TelemetryOptions` or its dict form);
             only valid with ``metrics_detail="telemetry"``.
+        network_faults: optional adversarial message-fault layer
+            (:class:`~repro.simulation.network.NetworkFaults`: seeded loss,
+            duplication, partition windows).  ``None`` — or a fault object
+            with nothing enabled — keeps the exact reliable-channel send
+            fast path, so fault-free runs are bit-identical to a cluster
+            built without the argument.
         cs_duration: default critical-section hold time used by
             :meth:`request_cs` when the caller does not specify one.
 
@@ -121,6 +127,7 @@ class SimulatedCluster:
         max_trace_records: int | None = None,
         metrics_detail: str = "full",
         telemetry_options: Mapping[str, Any] | None = None,
+        network_faults: NetworkFaults | None = None,
         cs_duration: float = 0.5,
     ) -> None:
         self.nodes: dict[int, MutexNode] = dict(nodes)
@@ -140,6 +147,14 @@ class SimulatedCluster:
         self._fifo = fifo
         self._record_send = self.metrics.record_send
         self._sample_delay = self.delay_model.bind(self.simulator.rng)
+        if network_faults is not None:
+            network_faults.validate_nodes(len(self.nodes))
+        #: The adversarial fault layer, or ``None`` when disabled — the send
+        #: fast path specialises on this at bind time (see _make_send).
+        self.network_faults: NetworkFaults | None = (
+            network_faults if network_faults is not None and network_faults.enabled else None
+        )
+        self.metrics.network_faults_active = self.network_faults is not None
         self.cs_duration = cs_duration
         self.failed: set[int] = set()
         self._environments: dict[int, SimEnvironment] = {}
@@ -165,7 +180,16 @@ class SimulatedCluster:
                 # (cancelled-but-unpopped entries still occupy memory, and
                 # the pending counter is batched during run()).
                 agenda_size=lambda: len(simulator._heap),
-                in_flight=lambda: self.metrics._total_sent - self._delivered_total,
+                # Sent plus injected duplicates, minus what the network ate
+                # (loss/partition) and what already arrived; every fault term
+                # is 0 on a fault-free cluster so this stays sent - delivered.
+                in_flight=lambda: (
+                    self.metrics._total_sent
+                    + self.metrics.duplicated_messages
+                    - self.metrics.lost_messages
+                    - self.metrics.blocked_messages
+                    - self._delivered_total
+                ),
             )
 
         self.simulator.set_delivery_handler(self._deliver)
@@ -239,6 +263,49 @@ class SimulatedCluster:
         counters_only = not metrics._keep_records
         by_kind = metrics.messages_by_kind
         by_sender = metrics.messages_by_sender
+        faults = self.network_faults
+
+        if faults is None:
+            # Reliable channels (the paper's model): the historical fast
+            # path, untouched — fault-free runs stay bit-identical.
+            def send(dest: int, message: Message) -> None:
+                if dest not in nodes:
+                    raise SimulationError(
+                        f"node {sender} sent a message to unknown node {dest}"
+                    )
+                if sender in failed:
+                    # A crashed node cannot act; silently ignore (defensive,
+                    # the cluster never invokes handlers of crashed nodes).
+                    return
+                now = simulator._time
+                kind = message.kind
+                if counters_only:
+                    metrics._total_sent += 1
+                    by_kind[kind] += 1
+                    by_sender[sender] += 1
+                else:
+                    record_send(now, sender, dest, kind)
+                if trace is not None:
+                    trace.emit(now, TraceCategory.SEND, sender, dest=dest, kind=kind)
+                delay = sample_delay(sender, dest)
+                if fifo:
+                    arrival = delivery_time(sender, dest, now, delay)
+                else:
+                    arrival = now + delay
+                schedule_delivery(arrival, sender, dest, message, now)
+
+            return send
+
+        # Adversarial variant: same accounting, then the fault layer decides
+        # what the network actually does with the message.  All fault
+        # randomness (loss/dup coin flips and the duplicate's delay) comes
+        # from the fault RNG, never the simulator's, so the underlying run's
+        # delay sampling sequence is unperturbed by enabling faults.
+        loss_rate = faults.loss_rate
+        dup_rate = faults.dup_rate
+        partitions = faults.partitions
+        fault_rand = faults.rng.random
+        fault_delay = self.delay_model.bind(faults.rng)
 
         def send(dest: int, message: Message) -> None:
             if dest not in nodes:
@@ -246,11 +313,11 @@ class SimulatedCluster:
                     f"node {sender} sent a message to unknown node {dest}"
                 )
             if sender in failed:
-                # A crashed node cannot act; silently ignore (defensive, the
-                # cluster never invokes handlers of crashed nodes).
                 return
             now = simulator._time
             kind = message.kind
+            # The send is accounted first in every case — the sender did its
+            # part; it is the network that eats or clones the message.
             if counters_only:
                 metrics._total_sent += 1
                 by_kind[kind] += 1
@@ -259,12 +326,44 @@ class SimulatedCluster:
                 record_send(now, sender, dest, kind)
             if trace is not None:
                 trace.emit(now, TraceCategory.SEND, sender, dest=dest, kind=kind)
+            for window in partitions:
+                if window.severs(sender, dest, now):
+                    # No RNG draw for blocked messages: partition membership
+                    # is deterministic, so the fault RNG stream only depends
+                    # on the messages that actually reached the lossy link.
+                    metrics.blocked_messages += 1
+                    if trace is not None:
+                        trace.emit(
+                            now, TraceCategory.DROP, dest,
+                            sender=sender, kind=kind, fault="partition",
+                        )
+                    return
+            if loss_rate and fault_rand() < loss_rate:
+                metrics.lost_messages += 1
+                if trace is not None:
+                    trace.emit(
+                        now, TraceCategory.DROP, dest,
+                        sender=sender, kind=kind, fault="loss",
+                    )
+                return
             delay = sample_delay(sender, dest)
             if fifo:
                 arrival = delivery_time(sender, dest, now, delay)
             else:
                 arrival = now + delay
             schedule_delivery(arrival, sender, dest, message, now)
+            if dup_rate and fault_rand() < dup_rate:
+                # The clone gets its own independently sampled delay and
+                # deliberately bypasses FIFO clamping: a duplicate arriving
+                # out of order is exactly the adversarial behaviour this
+                # layer exists to inject.
+                metrics.duplicated_messages += 1
+                if trace is not None:
+                    trace.emit(
+                        now, TraceCategory.SEND, sender,
+                        dest=dest, kind=kind, fault="duplicate",
+                    )
+                schedule_delivery(now + fault_delay(sender, dest), sender, dest, message, now)
 
         return send
 

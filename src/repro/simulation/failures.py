@@ -9,6 +9,7 @@ that every experiment is reproducible.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -25,6 +26,17 @@ class FailureEvent:
     node: int
     fail_at: float
     recover_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.fail_at < 0:
+            raise ConfigurationError(
+                f"node {self.node}: fail_at must be >= 0, got {self.fail_at}"
+            )
+        if self.recover_at is not None and self.recover_at <= self.fail_at:
+            raise ConfigurationError(
+                f"node {self.node}: recovery at {self.recover_at} is not "
+                f"after its crash at {self.fail_at}"
+            )
 
 
 @dataclass
@@ -43,8 +55,35 @@ class FailureSchedule:
         """Return the set of nodes that fail at least once."""
         return {event.node for event in self.events}
 
+    def validate(self) -> None:
+        """Reject schedules that crash a node which is already down.
+
+        A node is down from ``fail_at`` until ``recover_at`` (forever when
+        ``recover_at`` is ``None``); a second crash inside that window is a
+        contradiction under fail-stop semantics and used to be applied
+        silently.  A crash exactly at a node's recovery instant is allowed —
+        the recovery is processed first.
+        """
+        down_until: dict[int, float] = {}
+        for event in sorted(self.events, key=lambda e: e.fail_at):
+            until = down_until.get(event.node)
+            if until is not None and event.fail_at < until:
+                raise ConfigurationError(
+                    f"node {event.node} crashes again at {event.fail_at} "
+                    f"while already down until "
+                    f"{'forever' if math.isinf(until) else until}"
+                )
+            down_until[event.node] = (
+                math.inf if event.recover_at is None else event.recover_at
+            )
+
     def apply(self, cluster) -> None:
-        """Schedule every crash/recovery on a :class:`SimulatedCluster`."""
+        """Schedule every crash/recovery on a :class:`SimulatedCluster`.
+
+        Validates the schedule first; malformed schedules raise
+        :class:`ConfigurationError` instead of being applied silently.
+        """
+        self.validate()
         for event in self.events:
             cluster.fail_node(event.node, at=event.fail_at)
             if event.recover_at is not None:
@@ -107,23 +146,34 @@ class FailurePlanner:
     ) -> FailureSchedule:
         """Crash a random node every ``spacing`` time units, ``count`` times.
 
-        The same node is never crashed twice in a row, and — when
-        ``recover_after`` is given — a node recovers before the next crash is
-        injected, matching the "at most one failed node at a time" regime the
-        paper uses to present the recovery protocol (the multi-failure case
-        is exercised by :meth:`burst_failures`).
+        The same node is never crashed twice in a row, a node that is still
+        down (not yet recovered, or crashed without a recovery) is never
+        crashed again, and — when ``recover_after`` is below ``spacing`` — a
+        node recovers before the next crash is injected, matching the "at
+        most one failed node at a time" regime the paper uses to present the
+        recovery protocol (the multi-failure case is exercised by
+        :meth:`burst_failures`).  Without recoveries at most ``n - protected``
+        crashes can be scheduled before the planner runs out of live nodes
+        and raises :class:`ConfigurationError`.
         """
         if count < 1 or spacing <= 0:
             raise ConfigurationError("count must be >= 1 and spacing > 0")
         events: list[FailureEvent] = []
         previous: int | None = None
+        down_until: dict[int, float] = {}
         time = start
         for _ in range(count):
-            exclude = {previous} if previous is not None else set()
+            # When every node has recovered by now the exclusion set is just
+            # {previous}, exactly as before the still-down rule: valid
+            # schedules keep the historical RNG draw sequence.
+            exclude = {node for node, until in down_until.items() if until > time}
+            if previous is not None:
+                exclude.add(previous)
             node = self._pick_node(exclude)
             fail_at = time + (self.rng.uniform(0, jitter) if jitter else 0.0)
             recover_at = fail_at + recover_after if recover_after is not None else None
             events.append(FailureEvent(node=node, fail_at=fail_at, recover_at=recover_at))
+            down_until[node] = math.inf if recover_at is None else recover_at
             previous = node
             time += spacing
         return FailureSchedule(events)

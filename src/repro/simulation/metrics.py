@@ -144,6 +144,17 @@ class MetricsCollector:
         self.messages_by_kind: Counter[str] = Counter()
         self.messages_by_sender: Counter[int] = Counter()
         self.dropped_messages: int = 0
+        #: Adversarial network-fault tallies (``repro.simulation.network
+        #: .NetworkFaults``): messages eaten by loss, extra deliveries
+        #: injected by duplication, messages severed by an active partition.
+        #: Maintained by the cluster's fault-aware send path in every detail
+        #: mode; ``network_faults_active`` gates their appearance in
+        #: :meth:`summary` so fault-free summaries (and the golden digests
+        #: computed over them) are byte-identical to the pre-fault engine.
+        self.lost_messages: int = 0
+        self.duplicated_messages: int = 0
+        self.blocked_messages: int = 0
+        self.network_faults_active: bool = False
         self.cs_intervals: list[CriticalSectionInterval] = []
         self.requests: dict[int, RequestRecord] = {}
         self.requests_issued_count: int = 0
@@ -352,7 +363,7 @@ class MetricsCollector:
         else:
             per_request = self.messages_per_request()
             max_per_request = max(per_request) if per_request else 0
-        return {
+        summary = {
             "total_messages": self.total_messages(),
             "dropped_messages": self.dropped_messages,
             "messages_by_kind": dict(self.messages_by_kind),
@@ -364,6 +375,14 @@ class MetricsCollector:
             "failures": len(self.failures),
             "recoveries": len(self.recoveries),
         }
+        if self.network_faults_active:
+            # Only when a fault layer is configured: fault-free summaries
+            # must stay byte-identical (the golden determinism digests hash
+            # this dictionary).
+            summary["lost_messages"] = self.lost_messages
+            summary["duplicated_messages"] = self.duplicated_messages
+            summary["blocked_messages"] = self.blocked_messages
+        return summary
 
     def finalize_telemetry(self, end_time: float) -> dict[str, Any] | None:
         """Close the telemetry hub (idempotent) and return its report.

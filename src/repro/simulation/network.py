@@ -6,16 +6,25 @@ may or may not be FIFO, and — for the fault-tolerance layer — a known upper
 bound ``delta`` on the transmission delay between non-failed nodes.
 
 A :class:`DelayModel` turns that model into numbers: it samples a delay for
-each message and exposes the bound ``max_delay`` (the paper's ``delta``) that
-the failure detectors rely on.
+each message and exposes the bound ``delta`` (``max_delay``) that the failure
+detectors rely on.
+
+:class:`NetworkFaults` deliberately steps *outside* that model: seeded
+message loss, duplication and partition/heal windows — the adversarial edges
+the paper's fail-stop analysis does **not** cover.  The fuzzer
+(:mod:`repro.fuzz`) uses it to probe the boundary of the paper's claims; a
+cluster built without a fault layer runs the exact reliable-channel code
+path (bind-time specialisation, zero extra RNG draws), so fault-free runs
+stay bit-identical to the historical engine.
 """
 
 from __future__ import annotations
 
 import abc
+import math
 import random
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.exceptions import ConfigurationError
 
@@ -24,7 +33,10 @@ __all__ = [
     "ConstantDelay",
     "UniformDelay",
     "PerHopDelay",
+    "ParetoDelay",
     "ChannelState",
+    "PartitionWindow",
+    "NetworkFaults",
 ]
 
 
@@ -134,6 +146,42 @@ class PerHopDelay(DelayModel):
         return min(self.max_delay, self.base * hops + rng.uniform(0.0, self.jitter))
 
 
+@dataclass
+class ParetoDelay(DelayModel):
+    """Heavy-tail (truncated Pareto) delays, capped at ``cap``.
+
+    Most messages arrive around ``scale``; a minority straggle with a
+    power-law tail of index ``alpha`` (smaller = heavier).  The truncation at
+    ``cap`` keeps ``max_delay`` (the paper's ``delta``) finite so the failure
+    detectors' timeouts remain well defined — the adversarial part is the
+    tail shape, not an unbounded delay.
+    """
+
+    alpha: float = 1.5
+    scale: float = 0.2
+    cap: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.scale <= 0 or self.cap <= self.scale:
+            raise ConfigurationError(
+                "ParetoDelay requires alpha > 0, scale > 0 and cap > scale"
+            )
+        self.max_delay = self.cap
+        self._inv_alpha = 1.0 / self.alpha
+        self.validate()
+
+    def sample(self, sender: int, dest: int, rng: random.Random) -> float:
+        # Inverse-CDF sampling; rng.random() is in [0, 1) so 1-u is in (0, 1].
+        return min(self.cap, self.scale / (1.0 - rng.random()) ** self._inv_alpha)
+
+    def bind(self, rng: random.Random) -> Callable[[int, int], float]:
+        scale = self.scale
+        cap = self.cap
+        inv_alpha = self._inv_alpha
+        rand = rng.random
+        return lambda sender, dest: min(cap, scale / (1.0 - rand()) ** inv_alpha)
+
+
 class ChannelState:
     """Per-ordered-pair channel bookkeeping.
 
@@ -160,3 +208,127 @@ class ChannelState:
     def reset(self) -> None:
         """Forget all channel history (used when a simulation is reset)."""
         self._last_delivery.clear()
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One partition interval: ``nodes`` are cut off from the complement.
+
+    While ``start <= now < heal`` every message between a node inside
+    ``nodes`` and a node outside it (either direction) is blocked; messages
+    already in transit when the partition starts still deliver — a real
+    partition severs links, it does not reach into queues.  ``heal`` may be
+    ``math.inf`` for a partition that never heals.
+    """
+
+    start: float
+    heal: float
+    nodes: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigurationError(
+                f"partition start must be >= 0, got {self.start}"
+            )
+        if not self.heal > self.start:
+            raise ConfigurationError(
+                f"partition heal time {self.heal} must be after its start {self.start}"
+            )
+        if not self.nodes:
+            raise ConfigurationError("a partition needs at least one node")
+
+    def severs(self, sender: int, dest: int, now: float) -> bool:
+        """Whether a message from ``sender`` to ``dest`` at ``now`` is cut."""
+        return (
+            self.start <= now < self.heal
+            and (sender in self.nodes) != (dest in self.nodes)
+        )
+
+
+class NetworkFaults:
+    """Seeded adversarial message faults: loss, duplication, partitions.
+
+    These are exactly the behaviours the paper's system model rules out
+    (reliable channels), kept strictly separate from the fail-stop
+    :mod:`~repro.simulation.failures` layer so the boundary of the paper's
+    claims stays explicit.  All randomness comes from a dedicated RNG seeded
+    here — never the simulator's — so enabling faults does not perturb the
+    delay/workload sampling of the underlying run, and a given
+    ``(run seed, fault seed)`` pair is exactly reproducible.
+
+    Args:
+        loss_rate: probability in ``[0, 1)`` that a sent message silently
+            vanishes in transit.
+        dup_rate: probability in ``[0, 1)`` that a delivered message is
+            delivered a second time, with an independently sampled delay
+            (duplicates bypass FIFO ordering — that is the adversarial
+            point).
+        partitions: :class:`PartitionWindow` items; overlapping windows
+            compose (a message is blocked if *any* active window severs it).
+        seed: seed of the fault RNG.
+    """
+
+    __slots__ = ("loss_rate", "dup_rate", "partitions", "seed", "rng")
+
+    def __init__(
+        self,
+        *,
+        loss_rate: float = 0.0,
+        dup_rate: float = 0.0,
+        partitions: Iterable[PartitionWindow] = (),
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {loss_rate}"
+            )
+        if not 0.0 <= dup_rate < 1.0:
+            raise ConfigurationError(
+                f"dup_rate must be in [0, 1), got {dup_rate}"
+            )
+        self.loss_rate = loss_rate
+        self.dup_rate = dup_rate
+        self.partitions = tuple(partitions)
+        for window in self.partitions:
+            if not isinstance(window, PartitionWindow):
+                raise ConfigurationError(
+                    f"partitions must be PartitionWindow items, got {window!r}"
+                )
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault is actually configured (else the cluster keeps
+        the exact reliable-channel fast path)."""
+        return bool(self.loss_rate or self.dup_rate or self.partitions)
+
+    def blocked(self, sender: int, dest: int, now: float) -> bool:
+        """Whether an active partition severs ``sender -> dest`` at ``now``."""
+        for window in self.partitions:
+            if window.severs(sender, dest, now):
+                return True
+        return False
+
+    def validate_nodes(self, n: int) -> None:
+        """Check every partition only names nodes in ``1..n``."""
+        for window in self.partitions:
+            bad = [node for node in window.nodes if not 1 <= node <= n]
+            if bad:
+                raise ConfigurationError(
+                    f"partition names node(s) {sorted(bad)} outside 1..{n}"
+                )
+            if len(window.nodes) >= n:
+                raise ConfigurationError(
+                    "a partition must leave at least one node on the other "
+                    f"side; {len(window.nodes)} nodes named with n={n}"
+                )
+
+    def last_heal_time(self) -> float:
+        """The latest finite heal time, 0.0 when there are no partitions.
+
+        ``math.inf`` heals are excluded: a never-healing partition has no
+        heal event to wait for.
+        """
+        finite = [w.heal for w in self.partitions if not math.isinf(w.heal)]
+        return max(finite, default=0.0)

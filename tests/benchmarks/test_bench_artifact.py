@@ -66,7 +66,10 @@ def smoke_document(tmp_path_factory):
 class TestSmokeArtifactSchema:
     def test_schema_version_and_config(self, smoke_document):
         document = smoke_document["document"]
-        assert document["schema"] == "bench-scale/v4"
+        assert document["schema"] == "bench-scale/v5"
+        assert document["config"]["lossy_network"]["loss_rate"] == (
+            bench_scale.LOSSY_LOSS_RATE
+        )
         config = document["config"]
         assert (
             config["liveness_thresholds"]["poisson"]
@@ -116,6 +119,26 @@ class TestSmokeArtifactSchema:
             failure["n"]
         )
 
+    def test_lossy_network_cell_present_with_fault_columns(self, smoke_document):
+        """The v5 cell: open-cube-ft absorbing 1% message loss inside the
+        gates, with the loss_rate column and exact fault counters."""
+        rows = smoke_document["document"]["results"]
+        [lossy] = [r for r in rows if r.get("label") == "lossy-network"]
+        assert lossy["algorithm"] == "open-cube-ft"
+        assert lossy["n"] == bench_scale.LOSSY_N
+        assert lossy["loss_rate"] == bench_scale.LOSSY_LOSS_RATE
+        assert lossy["lost_messages"] > 0
+        assert lossy["duplicated_messages"] == 0
+        assert lossy["blocked_messages"] == 0
+        assert lossy["network"]["loss_rate"] == bench_scale.LOSSY_LOSS_RATE
+        # The whole point of the cell: loss absorbed, verdicts still true
+        # (the smoke fixture's --check-safety/--check-fairness already gate
+        # this; the asserts keep the intent readable here).
+        assert lossy["safety_ok"] is True and lossy["liveness_ok"] is True
+        assert lossy["liveness_thresholds"] == bench_scale.lossy_thresholds(
+            lossy["n"]
+        )
+
     def test_streamed_cells_keep_zero_message_records(self, smoke_document):
         for row in smoke_document["document"]["results"]:
             if row["streamed"]:
@@ -159,6 +182,14 @@ class TestLongRunMatrixStructure:
 
     def test_failure_cell_absent_at_long_run_sizes(self, long_specs):
         assert not [s for s in long_specs if s.label == "failure-schedule"]
+
+    def test_lossy_cell_stays_pinned_at_small_n(self, long_specs):
+        """The lossy cell never scales with the sweep: larger n under the
+        same loss rate breaks safety (fuzzer territory, not a bench gate)."""
+        [lossy] = [s for s in long_specs if s.label == "lossy-network"]
+        assert lossy.n == bench_scale.LOSSY_N
+        assert lossy.network is not None
+        assert lossy.network.loss_rate == bench_scale.LOSSY_LOSS_RATE
 
 
 class TestFairnessGate:

@@ -1,0 +1,223 @@
+"""Fuzzer tests: generator validity/determinism, oracle, shrinking, campaign.
+
+The two satellite guarantees pinned here:
+
+* same fuzz seed ⇒ byte-identical generated spec list, and
+* the serial and ``--parallel`` campaign paths produce identical shrunk
+  repro files (shrinking is serial in both, and sweep rows arrive in spec
+  order either way).
+
+Plus the acceptance self-test: a known-unsafe configuration — a partition
+isolating node 1, the initial token holder — is caught by the oracle and
+shrunk to a repro no larger than the original spec.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import FuzzCampaign, SpecSampler, classify, shrink_spec, spec_size
+from repro.fuzz.oracle import Verdict, same_failure
+from repro.scenarios.spec import (
+    DelaySpec,
+    NetworkFaultSpec,
+    PartitionSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+from repro.scenarios.sweep import _run_scenario_tolerant
+
+
+class TestSpecSampler:
+    def test_same_seed_same_specs_bytewise(self):
+        first = SpecSampler(5).sample(40)
+        second = SpecSampler(5).sample(40)
+        assert first == second
+        blob = lambda specs: json.dumps([s.to_dict() for s in specs], sort_keys=True)
+        assert blob(first) == blob(second)
+
+    def test_different_seeds_differ(self):
+        assert SpecSampler(1).sample(10) != SpecSampler(2).sample(10)
+
+    def test_sampled_specs_are_buildable(self):
+        """Every sampled spec must construct its cluster, workload, schedule
+        and fault layer without raising — validity is the generator's
+        contract (invalid configs would fuzz nothing but validation)."""
+        from repro.baselines.registry import build_cluster
+
+        for spec in SpecSampler(31).sample(60):
+            cluster = build_cluster(
+                spec.algorithm,
+                spec.n,
+                seed=spec.seed,
+                metrics_detail=spec.metrics_detail,
+                network_faults=spec.network.build() if spec.network else None,
+            )
+            spec.workload.build(spec.n)
+            if spec.failures is not None:
+                spec.failures.build(spec.n).apply(cluster)
+
+    def test_specs_round_trip_through_json(self):
+        for spec in SpecSampler(9).sample(25):
+            assert ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+
+class TestOracle:
+    def _spec(self, network=None):
+        return ScenarioSpec(
+            algorithm="open-cube",
+            n=4,
+            workload=WorkloadSpec("poisson", {"count": 4}),
+            network=network,
+        )
+
+    def test_clean_pass(self):
+        verdict = classify(self._spec(), {"safety_ok": True, "liveness_ok": True})
+        assert verdict.kind == "ok" and not verdict.failed
+
+    def test_clean_failure_is_real(self):
+        verdict = classify(self._spec(), {"safety_ok": True, "liveness_ok": False})
+        assert verdict.kind == "failure"
+        assert verdict.reasons == ("liveness",)
+
+    def test_adversarial_failure_is_expected(self):
+        spec = self._spec(NetworkFaultSpec(loss_rate=0.1))
+        verdict = classify(spec, {"safety_ok": False, "liveness_ok": False})
+        assert verdict.kind == "expected_failure"
+        assert verdict.reasons == ("safety", "liveness")
+
+    def test_error_rows_classified(self):
+        row = {"safety_ok": None, "liveness_ok": None,
+               "error": {"type": "ProtocolError", "message": "boom"}}
+        assert classify(self._spec(), row).reasons == ("error:ProtocolError",)
+        assert classify(self._spec(), row).kind == "failure"
+        assert classify(self._spec(NetworkFaultSpec(dup_rate=0.1)), row).kind == (
+            "expected_failure"
+        )
+
+    def test_disabled_network_block_does_not_excuse(self):
+        """An all-zero NetworkFaultSpec is not adversarial: failures under it
+        are real findings."""
+        spec = self._spec(NetworkFaultSpec())
+        assert classify(spec, {"liveness_ok": False}).kind == "failure"
+
+    def test_same_failure_matches_primary_reason(self):
+        target = Verdict("expected_failure", ("safety", "liveness"))
+        assert same_failure(target, Verdict("expected_failure", ("safety",)))
+        assert not same_failure(target, Verdict("expected_failure", ("liveness",)))
+        assert not same_failure(target, Verdict("failure", ("safety",)))
+
+
+def partition_selftest_spec() -> ScenarioSpec:
+    """The injected known-unsafe config: node 1 (initial token holder)
+    partitioned off for the whole run."""
+    return ScenarioSpec(
+        algorithm="open-cube",
+        n=16,
+        workload=WorkloadSpec(
+            "poisson", {"count": 24, "rate": 1.0, "seed": 11, "hold": 0.3}
+        ),
+        delay=DelaySpec("uniform", {"low": 0.2, "high": 1.0}),
+        seed=5,
+        metrics_detail="telemetry",
+        max_events=300_000,
+        liveness_thresholds={"min_jain_index": 0.05},
+        network=NetworkFaultSpec(
+            partitions=(PartitionSpec(start=2.0, heal=None, nodes=(1,)),), seed=3
+        ),
+        label="selftest-partition-token-holder",
+    )
+
+
+class TestShrinking:
+    def test_partition_isolating_token_holder_caught_and_shrunk(self):
+        """The acceptance self-test: caught by the oracle, shrunk to a repro
+        no larger than the original, failure preserved."""
+        spec = partition_selftest_spec()
+        row = _run_scenario_tolerant(spec)
+        verdict = classify(spec, row)
+        assert verdict.kind == "expected_failure"
+        assert "liveness" in verdict.reasons
+        assert row["blocked_messages"] > 0
+
+        shrunk, shrunk_row, shrunk_verdict, runs = shrink_spec(spec, verdict, row)
+        assert spec_size(shrunk) <= spec_size(spec)
+        assert spec_size(shrunk) < spec_size(spec)  # it genuinely shrank
+        assert shrunk_verdict.kind == "expected_failure"
+        assert "liveness" in shrunk_verdict.reasons
+        # The cause survived minimisation: the partition still cuts node 1.
+        assert shrunk.network is not None
+        assert any(1 in p.nodes for p in shrunk.network.partitions)
+        assert runs > 0
+
+    def test_shrink_is_deterministic(self):
+        spec = partition_selftest_spec()
+        row = _run_scenario_tolerant(spec)
+        verdict = classify(spec, row)
+        a = shrink_spec(spec, verdict, row)
+        b = shrink_spec(spec, verdict, row)
+        assert a[0] == b[0]
+        assert json.dumps(a[0].to_dict(), sort_keys=True) == json.dumps(
+            b[0].to_dict(), sort_keys=True
+        )
+
+    def test_shrink_respects_run_budget(self):
+        spec = partition_selftest_spec()
+        row = _run_scenario_tolerant(spec)
+        verdict = classify(spec, row)
+        _, _, _, runs = shrink_spec(spec, verdict, row, max_runs=3)
+        assert runs <= 3
+
+
+class TestCampaign:
+    BUDGET = 12
+    SEED = 3
+
+    def _run(self, tmp_path: Path, processes: int) -> tuple[dict, dict[str, str]]:
+        out = tmp_path / f"p{processes}"
+        campaign = FuzzCampaign(
+            budget=self.BUDGET,
+            seed=self.SEED,
+            processes=processes,
+            jsonl=out / "stream.jsonl",
+            regressions_dir=out / "regressions",
+            max_shrink_runs=40,
+        )
+        out.mkdir()
+        report = campaign.run()
+        files = {
+            p.name: p.read_text() for p in sorted((out / "regressions").glob("*.json"))
+        } if (out / "regressions").exists() else {}
+        return report.summary(), files
+
+    def test_serial_and_parallel_paths_identical(self, tmp_path):
+        serial_summary, serial_files = self._run(tmp_path, processes=1)
+        parallel_summary, parallel_files = self._run(tmp_path, processes=3)
+        # Paths differ (different out dirs); everything else must match.
+        serial_summary.pop("regressions")
+        parallel_summary.pop("regressions")
+        assert serial_summary == parallel_summary
+        assert serial_files == parallel_files  # byte-identical repro JSONs
+
+    def test_jsonl_stream_has_one_row_per_cell(self, tmp_path):
+        out = tmp_path / "stream-check"
+        out.mkdir()
+        FuzzCampaign(
+            budget=self.BUDGET,
+            seed=self.SEED,
+            jsonl=out / "stream.jsonl",
+            max_shrink_runs=10,
+        ).run()
+        lines = (out / "stream.jsonl").read_text().splitlines()
+        assert len(lines) == self.BUDGET
+        for line in lines:
+            json.loads(line)  # every row is valid JSON
+
+    def test_report_tallies_sum_to_budget(self):
+        report = FuzzCampaign(budget=self.BUDGET, seed=self.SEED, max_shrink_runs=5).run()
+        assert (
+            report.ok + report.expected_failures + report.failures == self.BUDGET
+        )

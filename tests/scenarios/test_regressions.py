@@ -1,0 +1,59 @@
+"""Replay the checked-in shrunk fuzz regressions with pinned verdicts.
+
+Every ``fuzz-regression/v1`` JSON under ``tests/scenarios/regressions/`` is
+re-run and must reproduce its pinned oracle verdict (kind + reasons) and
+its deterministic row fields bit-for-bit.  A drift here means the engine's
+behaviour under that minimal repro changed — re-triage before recomputing.
+
+The checked-in set documents the boundary of the paper's fail-stop model
+(all are ``expected_failure``: the faults injected — loss, duplication,
+partition — are outside its reliable-channel assumption):
+
+* ``partition-isolates-token-holder``: node 1 (initial token holder) cut
+  off ⇒ nobody else is ever granted; safety holds, liveness does not.
+* ``loss-starves-open-cube``: a single lost message starves the plain
+  algorithm.
+* ``dup-two-tokens-suzuki-kasami``: a duplicated token message ⇒ two
+  simultaneous critical sections — a *safety* violation.
+* ``dup-crashes-central-coordinator``: a duplicated grant crashes the
+  central coordinator protocol outright (``ProtocolError``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.harness import replay_regression
+
+REGRESSION_DIR = Path(__file__).parent / "regressions"
+REGRESSIONS = sorted(REGRESSION_DIR.glob("*.json"))
+
+
+def test_regression_corpus_present():
+    """The acceptance floor: >= 3 shrunk regressions, >= 1 partition case."""
+    assert len(REGRESSIONS) >= 3
+    documents = [json.loads(p.read_text()) for p in REGRESSIONS]
+    assert any(
+        d["kind"] == "expected_failure" and d["spec"]["network"]["partitions"]
+        for d in documents
+    )
+
+
+@pytest.mark.parametrize("path", REGRESSIONS, ids=lambda p: p.stem)
+def test_regression_replays_with_pinned_verdict(path: Path):
+    document = json.loads(path.read_text())
+    assert document["schema"] == "fuzz-regression/v1"
+    verdict, pinned = replay_regression(document)
+    assert verdict.kind == document["kind"]
+    assert list(verdict.reasons) == document["reasons"]
+    assert pinned == document["verdict"]
+
+
+@pytest.mark.parametrize("path", REGRESSIONS, ids=lambda p: p.stem)
+def test_regression_spec_is_shrunk(path: Path):
+    document = json.loads(path.read_text())
+    fuzz = document["fuzz"]
+    assert fuzz["shrunk_size"] <= fuzz["original_size"]

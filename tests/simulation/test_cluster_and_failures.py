@@ -127,15 +127,28 @@ class TestFailureInjection:
 class TestFailurePlanner:
     def test_periodic_failures_never_repeat_consecutively(self):
         planner = FailurePlanner(16, seed=3)
-        schedule = planner.periodic_failures(20, start=10.0, spacing=5.0)
+        schedule = planner.periodic_failures(20, start=10.0, spacing=5.0, recover_after=2.0)
         nodes = [event.node for event in schedule]
         assert all(a != b for a, b in zip(nodes, nodes[1:]))
         assert len(schedule) == 20
 
     def test_protected_nodes_are_never_failed(self):
         planner = FailurePlanner(8, seed=1, protected_nodes=(1, 2))
-        schedule = planner.periodic_failures(30, start=1.0, spacing=1.0)
+        schedule = planner.periodic_failures(30, start=1.0, spacing=1.0, recover_after=0.5)
         assert not ({1, 2} & schedule.nodes())
+
+    def test_periodic_without_recovery_never_recrashes_a_down_node(self):
+        planner = FailurePlanner(16, seed=3)
+        schedule = planner.periodic_failures(15, start=10.0, spacing=5.0)
+        # Without recoveries every crashed node stays down, so all 15 crash
+        # targets must be distinct — and the schedule validates cleanly.
+        assert len(schedule.nodes()) == 15
+        schedule.validate()
+
+    def test_periodic_without_recovery_runs_out_of_live_nodes(self):
+        planner = FailurePlanner(16, seed=3)
+        with pytest.raises(ConfigurationError, match="no node left to fail"):
+            planner.periodic_failures(17, start=10.0, spacing=5.0)
 
     def test_burst_failures_are_distinct(self):
         planner = FailurePlanner(16, seed=5)
@@ -162,3 +175,61 @@ class TestFailurePlanner:
         assert cluster.metrics.failures == [(1.0, 4)]
         assert cluster.metrics.recoveries == [(5.0, 4)]
         assert schedule.last_event_time() == 5.0
+
+
+class TestScheduleValidation:
+    def test_recovery_at_or_before_crash_rejected(self):
+        from repro.simulation.failures import FailureEvent
+
+        with pytest.raises(ConfigurationError, match="node 4"):
+            FailureEvent(node=4, fail_at=10.0, recover_at=10.0)
+        with pytest.raises(ConfigurationError, match="node 4"):
+            FailureEvent(node=4, fail_at=10.0, recover_at=3.0)
+
+    def test_negative_fail_time_rejected(self):
+        from repro.simulation.failures import FailureEvent
+
+        with pytest.raises(ConfigurationError, match="node 2"):
+            FailureEvent(node=2, fail_at=-1.0)
+
+    def test_duplicate_crash_while_down_rejected(self):
+        from repro.simulation.failures import FailureEvent
+
+        schedule = FailureSchedule([
+            FailureEvent(node=3, fail_at=5.0, recover_at=20.0),
+            FailureEvent(node=3, fail_at=10.0, recover_at=30.0),
+        ])
+        with pytest.raises(ConfigurationError, match="node 3"):
+            schedule.validate()
+
+    def test_recrash_of_permanently_down_node_rejected(self):
+        from repro.simulation.failures import FailureEvent
+
+        schedule = FailureSchedule([
+            FailureEvent(node=7, fail_at=5.0),
+            FailureEvent(node=7, fail_at=50.0),
+        ])
+        with pytest.raises(ConfigurationError, match="down until forever"):
+            schedule.validate()
+
+    def test_malformed_schedule_is_rejected_at_apply_time(self):
+        from repro.simulation.failures import FailureEvent
+
+        cluster = build_fault_tolerant_cluster(8, delay_model=ConstantDelay(1.0))
+        schedule = FailureSchedule([
+            FailureEvent(node=3, fail_at=5.0, recover_at=20.0),
+            FailureEvent(node=3, fail_at=10.0),
+        ])
+        with pytest.raises(ConfigurationError, match="node 3"):
+            schedule.apply(cluster)
+        # Nothing was scheduled: validation runs before any injection.
+        assert cluster.metrics.failures == []
+
+    def test_crash_at_recovery_instant_allowed(self):
+        from repro.simulation.failures import FailureEvent
+
+        schedule = FailureSchedule([
+            FailureEvent(node=3, fail_at=5.0, recover_at=20.0),
+            FailureEvent(node=3, fail_at=20.0, recover_at=35.0),
+        ])
+        schedule.validate()
