@@ -77,7 +77,26 @@ What it measures, per (algorithm, n) cell (schema ``bench-scale/v5``):
   ``expected_failure`` corpus (``tests/scenarios/regressions/``), not to a
   benchmark gate.  The cell's stall bound comes from
   :func:`lossy_thresholds` (suspicion periods again, but more of them:
-  loss strikes repeatedly where a crash schedule strikes on cue).
+  loss strikes repeatedly where a crash schedule strikes on cue),
+* since v6, the sweep carries one **sharded-engine pair** (``--shards N``;
+  on by default for the full sweep, at a fixed n = 65536): the same
+  streamed telemetry workload run through the conservative parallel
+  engine (:mod:`repro.simulation.sharding`) once at ``shards = N`` and
+  once at ``shards = 1`` — the sharded engine's own serial control (the
+  determinism contract compares sharded runs against *that*, never
+  against the classic engine, whose delay streams differ by design).
+  The sharded row gains the ``shards``/``shard_by``/``sync_rounds``/
+  ``merge_s``/``lookahead`` columns plus ``speedup_vs_shard_control``:
+  the **within-sweep** run-time ratio against the control row.  The ratio
+  is never comparable across machines — the config block records the core
+  count it was measured on (on a single-core runner the conservative
+  engine's window synchronisation makes the honest ratio < 1).  Neither
+  cell of the pair declares a ``max_grant_gap`` bound: the merged figure
+  is the worst *per-shard* gap, whose semantics differ from the global
+  serial gap.  ``--check-shards`` is the fourth CI gate: the pair's
+  aggregates and verdicts must agree exactly (requests, grants, messages,
+  safety/liveness verdicts, Jain index) — the sharded engine's
+  determinism contract, enforced on every smoke run.
 
 The open-cube rows are compared against ``PRE_CHANGE_BASELINE``: events/sec
 of the same workload/configuration measured on the engine as of the seed
@@ -95,6 +114,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 import time
 from pathlib import Path
@@ -210,6 +230,26 @@ def failure_thresholds(n: int, *, cs_duration_estimate: float = 1.0) -> dict:
 LOSSY_N = 64
 LOSSY_LOSS_RATE = 0.01
 
+#: The sharded-engine pair (since v6) is pinned at this scale on the full
+#: sweep: the first n = 65536 telemetry rows of the trajectory.  Requests
+#: stay at 2*n (the pair exists to certify engine parity and record the
+#: within-sweep ratio, not to be the long-run workhorse cell).
+SHARD_SCALE_N = 65536
+
+#: Default shard count of the full sweep's sharded cell.  Deliberately
+#: modest: the conservative window protocol costs one synchronisation round
+#: per lookahead interval regardless of shard count, so wide fan-out only
+#: pays off when the cores exist (the config block records how many did).
+SHARD_SWEEP_SHARDS = 2
+
+#: Columns of the sharded cell that must match its shards=1 control
+#: bit-for-bit — the ``--check-shards`` gate (the sharded engine's
+#: determinism contract: sharding may only change wall time, never results).
+SHARD_PARITY_COLUMNS = (
+    "requests", "requests_granted", "total_messages",
+    "safety_ok", "liveness_ok", "jain_index",
+)
+
 
 def lossy_thresholds(n: int, *, cs_duration_estimate: float = 1.0) -> dict:
     """Stall gate of the lossy-network cell: many suspicion periods.
@@ -264,6 +304,7 @@ def make_spec(
     failures: FailureSpec | None = None,
     network: NetworkFaultSpec | None = None,
     thresholds: dict | None = None,
+    shards: int = 0,
 ) -> ScenarioSpec:
     """Declare one (algorithm, n) cell of the sweep.
 
@@ -297,12 +338,24 @@ def make_spec(
         failures=failures,
         network=network,
         liveness_thresholds=dict(thresholds or {}),
+        shards=shards,
         label=label,
     )
 
 
-def build_specs(sizes: list[int], *, scale_requests_factor: int = 32) -> list[ScenarioSpec]:
-    """Expand the benchmark matrix into scenario cells."""
+def build_specs(
+    sizes: list[int],
+    *,
+    scale_requests_factor: int = 32,
+    shards: int = 0,
+    shard_n: int | None = None,
+) -> list[ScenarioSpec]:
+    """Expand the benchmark matrix into scenario cells.
+
+    ``shards >= 2`` appends the v6 sharded-engine pair at ``shard_n``
+    (default: the sweep's largest size): a ``shards=1`` control followed by
+    the ``shards``-way cell, identical in every other respect.
+    """
     specs: list[ScenarioSpec] = []
     for n in sizes:
         for algorithm in ALGORITHM_MATRIX:
@@ -416,6 +469,23 @@ def build_specs(sizes: list[int], *, scale_requests_factor: int = 32) -> list[Sc
             label="lossy-network",
         )
     )
+    # (d) since v6, the sharded-engine pair: the shards=1 control MUST come
+    # first (the sweep runs cells in order, so the sharded row can pick up
+    # its within-sweep control for the speedup ratio the moment it lands).
+    # Neither cell declares a max_grant_gap bound — the merged sharded
+    # figure is the worst per-shard gap, not the global serial gap, so the
+    # poisson-class bound would compare incommensurable quantities.
+    if shards >= 2:
+        pair_n = shard_n if shard_n is not None else max(sizes)
+        pair_requests = 2 * pair_n
+        for count, label in ((1, "shard-control"), (shards, "sharded")):
+            specs.append(
+                make_spec(
+                    "open-cube", pair_n, pair_requests,
+                    detail="telemetry", repeats=1, stream=True,
+                    shards=count, label=label,
+                )
+            )
     return specs
 
 
@@ -467,12 +537,36 @@ def _print_row(row: dict) -> None:
     print(json.dumps({k: v for k, v in row.items() if k != "series"}), flush=True)
 
 
+def _decorate_shard_row(row: dict, controls: dict) -> dict:
+    """Attach the within-sweep serial-control comparison to sharded rows.
+
+    The control cell runs earlier in the same sweep (``build_specs`` orders
+    the pair), so by the time the sharded row lands its control is cached
+    here and the ratio is a genuinely matched-conditions number.  Under
+    ``--parallel`` the rows may land out of order — the column is then
+    absent, which is honest: parallel-sweep timings are not comparable
+    anyway (cells compete for cores).
+    """
+    if row.get("label") == "shard-control":
+        controls[(row["n"], row["workload"])] = row
+    elif row.get("label") == "sharded":
+        control = controls.get((row["n"], row["workload"]))
+        if control is not None:
+            row["shard_control_run_s"] = control["run_s"]
+            row["speedup_vs_shard_control"] = round(
+                control["run_s"] / row["run_s"], 3
+            )
+    return row
+
+
 def run_sweep(
     sizes: list[int],
     *,
     scale_requests_factor: int = 32,
     parallel: int = 1,
     jsonl_path: Path | None = None,
+    shards: int = 0,
+    shard_n: int | None = None,
 ) -> dict:
     """Run the full matrix and return the BENCH_scale document.
 
@@ -480,19 +574,26 @@ def run_sweep(
     record the moment its cell completes (the ``SweepRunner`` sink), so an
     interrupted sweep still leaves its completed cells on disk.
     """
-    specs = build_specs(sizes, scale_requests_factor=scale_requests_factor)
+    specs = build_specs(
+        sizes, scale_requests_factor=scale_requests_factor,
+        shards=shards, shard_n=shard_n,
+    )
     runner = SweepRunner(specs=specs, processes=parallel)
-    # decorate_row mutates in place before the sink records the row, so the
+    # The decorators mutate in place before the sink records the row, so the
     # stdout lines, the JSONL stream and the final document all carry the
-    # same baseline-comparison fields.
+    # same baseline- and shard-control-comparison fields.
+    shard_controls: dict = {}
     rows = runner.run(
-        on_row=lambda row: _print_row(decorate_row(row)), sink=jsonl_path
+        on_row=lambda row: _print_row(
+            _decorate_shard_row(decorate_row(row), shard_controls)
+        ),
+        sink=jsonl_path,
     )
     complexity = [run_complexity(n) for n in sizes if n <= COMPLEXITY_MAX_N]
     for point in complexity:
         print(json.dumps(point), flush=True)
     return {
-        "schema": "bench-scale/v5",
+        "schema": "bench-scale/v6",
         "config": {
             "sizes": sizes,
             "workload": "poisson(rate=2.0, hold=0.1, seed=0)",
@@ -525,6 +626,23 @@ def run_sweep(
                 ),
             },
             "fairness_floors": FAIRNESS_FLOORS,
+            "sharding": (
+                {
+                    "shards": shards,
+                    "n": shard_n if shard_n is not None else max(sizes),
+                    "cores": os.cpu_count(),
+                    "note": (
+                        "speedup_vs_shard_control is a WITHIN-SWEEP ratio "
+                        "(sharded run_s vs the shards=1 control from the "
+                        "same sweep) — never compare it across machines; "
+                        "'cores' records what it was measured on.  On a "
+                        "single-core runner the conservative engine's "
+                        "window synchronisation makes the honest ratio < 1."
+                    ),
+                }
+                if shards >= 2
+                else None
+            ),
             "jsonl": jsonl_path.name if jsonl_path else None,
             "complexity_max_n": COMPLEXITY_MAX_N,
             "python": sys.version.split()[0],
@@ -614,6 +732,46 @@ def check_safety(rows: list[dict]) -> list[str]:
                     f"{cell}: {verdict}={value}{hint} — rerun with "
                     f"PYTHONPATH=src python benchmarks/bench_scale.py --sizes {row['n']} "
                     "and inspect the row's online_checks/quantiles blocks"
+                )
+    return problems
+
+
+def check_shard_parity(rows: list[dict]) -> list[str]:
+    """Regression-gate the sharded cell against its same-sweep serial control.
+
+    The sharded engine's determinism contract: partitioning the cluster
+    across workers may change wall time, never results.  Every column in
+    ``SHARD_PARITY_COLUMNS`` (request/grant/message totals, both verdicts,
+    the Jain index) must match the ``shards=1`` control bit-for-bit; a
+    mismatch means a cross-shard message was lost, double-delivered or
+    reordered past the conservative horizon.  Returns one named message per
+    divergence (and flags a sharded cell whose control is missing, or a
+    sweep with no sharded cell at all — the gate must not pass vacuously).
+    """
+    problems = []
+    controls = {
+        (r["n"], r["workload"]): r for r in rows if r.get("label") == "shard-control"
+    }
+    sharded = [r for r in rows if r.get("label") == "sharded"]
+    if not sharded:
+        return ["no sharded cell in this sweep — run with --shards >= 2"]
+    for row in sharded:
+        cell = f"cell (open-cube, n={row['n']}, shards={row.get('shards')})"
+        control = controls.get((row["n"], row["workload"]))
+        if control is None:
+            problems.append(
+                f"{cell}: no shards=1 control row in the same sweep — the "
+                "parity gate needs the pair"
+            )
+            continue
+        for column in SHARD_PARITY_COLUMNS:
+            if row.get(column) != control.get(column):
+                problems.append(
+                    f"{cell}: {column}={row.get(column)!r} differs from the "
+                    f"shards=1 control's {control.get(column)!r} — the "
+                    "sharded engine diverged from its own serial schedule "
+                    "(lost, duplicated or horizon-breaking cross-shard "
+                    "message)"
                 )
     return problems
 
@@ -721,6 +879,18 @@ def main(argv: list[str] | None = None) -> int:
         "class's Jain-index floor — the per-node fairness/stall gate",
     )
     parser.add_argument(
+        "--check-shards", action="store_true",
+        help="fail (exit 1) if the sharded cell's aggregates or verdicts "
+        "differ from its same-sweep shards=1 control (or if the sweep has "
+        "no sharded pair) — the sharded-engine determinism gate",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="add the sharded-engine pair (shards=1 control + N-way sharded "
+        "cell) to the sweep; default: 2-way on the full sweep at n=65536, "
+        "none on --smoke/--sizes runs (opt in explicitly there)",
+    )
+    parser.add_argument(
         "--sizes", type=int, nargs="+", default=None,
         help="override the size sweep (powers of two)",
     )
@@ -740,8 +910,18 @@ def main(argv: list[str] | None = None) -> int:
         sizes = [256]
     else:
         sizes = [256, 1024, 4096, 16384]
+    full_sweep = args.sizes is None and not args.smoke
+    shards = args.shards if args.shards is not None else (
+        SHARD_SWEEP_SHARDS if full_sweep else 0
+    )
+    # The full sweep pins its pair at the v6 scale point; a --smoke/--sizes
+    # run shards its own largest size so the pair stays proportionate.
+    shard_n = SHARD_SCALE_N if full_sweep else max(sizes)
     jsonl_path = args.output.with_suffix(".jsonl")
-    document = run_sweep(sizes, parallel=args.parallel, jsonl_path=jsonl_path)
+    document = run_sweep(
+        sizes, parallel=args.parallel, jsonl_path=jsonl_path,
+        shards=shards, shard_n=shard_n,
+    )
     args.output.write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote {args.output} (+ streamed {jsonl_path})")
     failed = False
@@ -777,6 +957,17 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 "fairness gate ok: every telemetry cell carries its fairness "
                 "columns, within thresholds and Jain floors"
+            )
+    if args.check_shards:
+        problems = check_shard_parity(document["results"])
+        for problem in problems:
+            print(f"SHARD GATE: {problem}", file=sys.stderr)
+        if problems:
+            failed = True
+        else:
+            print(
+                "shard gate ok: the sharded cell's aggregates and verdicts "
+                "match its same-sweep shards=1 control exactly"
             )
     return 1 if failed else 0
 

@@ -12,6 +12,11 @@ Sampling policy, deliberately:
 * **Network faults for everyone.**  Loss, duplication and partitions are
   outside *every* algorithm's model here — the oracle classifies whatever
   breaks under them as ``expected_failure``, mapping the boundary.
+* **Crash × network interaction cells for the FT algorithm.**  A crash
+  cell that missed the independent network-fault draw gets a second
+  chance at one, so the recovery machinery is regularly fuzzed while the
+  channel is also misbehaving (classification unchanged: network faults
+  still excuse).
 * **Small cells.**  The fuzzer's job is falsification coverage, not scale;
   ``n <= 16`` with a few dozen requests keeps a 1000-cell nightly budget in
   minutes while still exercising every protocol path.
@@ -84,6 +89,14 @@ class SpecSampler:
             else None
         )
         network = self._sample_network(n) if rng.random() < 0.5 else None
+        if failures is not None and network is None and rng.random() < 0.5:
+            # Crash × network-fault interaction cells: the FT algorithm's
+            # recovery machinery (failure detection, token regeneration) is
+            # most interesting while the channel is also misbehaving, so a
+            # crash cell that missed the independent network draw gets a
+            # second chance.  Classification is unchanged — network faults
+            # still excuse whatever breaks.
+            network = self._sample_network(n)
         thresholds = (
             {"min_jain_index": MIN_JAIN_INDEX}
             if workload.kind != "hotspot"

@@ -53,6 +53,15 @@ def classify(spec: ScenarioSpec, row: Mapping[str, Any]) -> Verdict:
         reasons.append("safety")
     if row.get("liveness_ok") is False:
         reasons.append("liveness")
+        heal = _last_heal_time(spec)
+        if heal is not None and not _grants_resumed_after(row, heal):
+            # Heal-recovery check: every cut healed mid-run, yet no grant
+            # was ever observed after the last heal — the run did not
+            # regain liveness once the network was whole again.  Secondary
+            # reason only: the classification (network faults excuse) is
+            # unchanged, but the finding documents *permanent* damage (a
+            # token destroyed by the cut) rather than a transient stall.
+            reasons.append("no-recovery-after-heal")
     if not reasons:
         return Verdict(kind="ok", reasons=())
     adversarial = spec.network is not None and spec.network.enabled
@@ -60,6 +69,28 @@ def classify(spec: ScenarioSpec, row: Mapping[str, Any]) -> Verdict:
         kind="expected_failure" if adversarial else "failure",
         reasons=tuple(reasons),
     )
+
+
+def _last_heal_time(spec: ScenarioSpec) -> float | None:
+    """Latest heal instant when the cell partitions *and* every cut heals."""
+    if spec.network is None or not spec.network.enabled or not spec.network.partitions:
+        return None
+    heals = [p.heal for p in spec.network.partitions]
+    if any(h is None for h in heals):
+        return None
+    return max(heals)
+
+
+def _grants_resumed_after(row: Mapping[str, Any], heal: float) -> bool:
+    """Whether the row shows liveness progress after ``heal``.
+
+    Reads the online liveness block's ``last_grant_at``; rows without it
+    (error rows, non-telemetry cells) cannot prove recovery and answer
+    ``False`` — the caller only consults this on already-failing rows.
+    """
+    checks = row.get("online_checks") or {}
+    last_grant = checks.get("last_grant_at")
+    return last_grant is not None and last_grant > heal
 
 
 def same_failure(target: Verdict, candidate: Verdict) -> bool:

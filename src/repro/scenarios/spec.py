@@ -353,6 +353,14 @@ class ScenarioSpec:
             ``liveness_thresholds`` (cell-level wins per key); a breach turns
             the row's ``liveness_ok`` into ``False`` with a detail naming the
             node and gap.
+        shards: ``0`` (default) runs the classic serial engine; ``>= 1``
+            runs the conservative parallel engine with that many worker
+            shards (see :mod:`repro.simulation.sharding`).  Sharded cells
+            need ``metrics_detail`` of ``"counters"`` or ``"telemetry"`` and
+            a delay model with a positive ``min_delay()``; ``shards=1`` is
+            the sharded engine's serial control for parity comparisons.
+        shard_by: partition strategy for sharded cells — ``"range"`` or the
+            open-cube seam-aligned ``"cube"`` (power-of-two n and shards).
         label: optional human-readable cell label carried into the row.
     """
 
@@ -375,6 +383,8 @@ class ScenarioSpec:
     feed_window: int = 64
     telemetry: dict[str, Any] = field(default_factory=dict, hash=False)
     liveness_thresholds: dict[str, float] = field(default_factory=dict, hash=False)
+    shards: int = 0
+    shard_by: str = "range"
     label: str | None = None
 
     # ------------------------------------------------------------------
@@ -408,6 +418,8 @@ class ScenarioSpec:
             "feed_window": self.feed_window,
             "telemetry": dict(self.telemetry),
             "liveness_thresholds": dict(self.liveness_thresholds),
+            "shards": self.shards,
+            "shard_by": self.shard_by,
             "label": self.label,
         }
 
@@ -435,6 +447,8 @@ class ScenarioSpec:
             feed_window=data.get("feed_window", 64),
             telemetry=_frozen_params(data.get("telemetry")),
             liveness_thresholds=_frozen_params(data.get("liveness_thresholds")),
+            shards=data.get("shards", 0),
+            shard_by=data.get("shard_by", "range"),
             label=data.get("label"),
         )
 
@@ -480,6 +494,8 @@ class ScenarioSpec:
                 feed_window=self.feed_window,
                 telemetry=self.telemetry or None,
                 liveness_thresholds=thresholds or None,
+                shards=self.shards,
+                shard_by=self.shard_by,
             )
             if best is None or result.run_s < best.run_s:
                 best = result
@@ -548,6 +564,7 @@ class ScenarioResult:
                 "starved": result.online_checks["liveness"]["starved"],
                 "excused": result.online_checks["liveness"]["excused"],
                 "max_grant_gap": result.online_checks["liveness"]["max_grant_gap"],
+                "last_grant_at": result.online_checks["liveness"].get("last_grant_at"),
             }
             breaches = result.online_checks["liveness"].get("threshold_breaches")
             if breaches:
@@ -572,6 +589,15 @@ class ScenarioResult:
         thresholds = spec.effective_liveness_thresholds()
         if thresholds:
             row["liveness_thresholds"] = thresholds
+        if spec.shards:
+            # Sharded cells carry the parallel-engine figures; clean serial
+            # rows stay byte-identical to before (same convention as the
+            # network-fault columns above).
+            row["shards"] = spec.shards
+            row["shard_by"] = spec.shard_by
+            row["sync_rounds"] = result.extra.get("sync_rounds")
+            row["merge_s"] = round(result.extra.get("merge_s", 0.0), 4)
+            row["lookahead"] = result.extra.get("lookahead")
         if result.series is not None:
             row["series"] = result.series
         if spec.serial:

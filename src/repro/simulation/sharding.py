@@ -1,0 +1,875 @@
+"""Sharded single-run simulation: a conservative parallel engine.
+
+One large run is the thing sweep-level parallelism cannot speed up: the
+serial event loop processes every delivery of an n = 65536 cluster on one
+core.  This module partitions the cluster's nodes across ``multiprocessing``
+worker shards along the open cube's recursive seams and runs the shards'
+agendas concurrently under classic *conservative* (Chandy–Misra-style)
+synchronisation:
+
+* **Lookahead.**  Every message takes at least ``DelayModel.min_delay()``
+  time units in transit (a validated true lower bound, see
+  :meth:`~repro.simulation.network.DelayModel.min_delay`).  A message a
+  shard sends at time ``t`` therefore cannot affect any other shard before
+  ``t + lookahead``.
+* **Windows.**  Each synchronisation round computes the global minimum
+  next-event time ``T`` (including messages still held by the coordinator)
+  and lets every shard run its own agenda up to the *open* horizon
+  ``T + lookahead`` — strictly less-than, because a cross-shard message can
+  arrive exactly at the horizon.  Every event processed in the window has
+  time ``>= T``, so every cross-boundary message it generates arrives at
+  ``>= T + lookahead``: outside the window, no causality violation.
+* **Exchange.**  Boundary messages are routed to a per-shard outbox at send
+  time (delay already sampled) instead of the local agenda; at the window
+  barrier the coordinator routes each outbox to the destination's shard,
+  which schedules the deliveries before its next window.
+
+Determinism contract
+--------------------
+
+Sharded runs do **not** reproduce the serial engine's global event order —
+they have no global order.  Instead:
+
+* Delay sampling is *partition-independent*: the ``k``-th message node ``i``
+  sends gets the same delay whatever shard ``i`` lives on, via a
+  counter-based per-sender :class:`SenderDelayStream` (one integer of state
+  per node — never a per-node ``random.Random``).  The protocol evolution —
+  who sends what, when, to whom — is therefore identical for every shard
+  count, and the merged aggregates of a ``shards = 8`` run equal those of
+  the ``shards = 1`` run of the same spec exactly.
+* Per-shard event order is deterministic (pinned by per-shard digests):
+  routed inboxes are injected in ``(arrival, sender)`` order with per-sender
+  send order preserved, and each worker re-seeds the process-global request
+  counter.
+* The classic serial engine (``shards = 0``, the default everywhere) is
+  untouched: it samples delays from the simulator RNG as always, and the
+  golden digests pinned in ``tests/simulation/test_determinism.py`` must
+  not move.
+
+``shards = 1`` runs the sharded engine serially (one worker, same
+per-sender delay streams) and is the *serial control* every sharded-vs-
+serial parity claim compares against — never the classic engine, whose
+delay sequence is intentionally different.
+
+Merge semantics
+---------------
+
+Counters sum; ``end_time`` and ``agenda_peak`` take the max;
+:class:`~repro.telemetry.sketches.LogHistogram` sketches merge exactly
+(state is a pure function of the observation multiset); the fairness census
+unions (each node lives in exactly one shard); online verdicts conjoin.
+Two deliberate per-shard semantics, documented rather than hidden:
+
+* the safety checker sees only its shard's CS entries, so a cross-shard
+  overlap would go undetected by the merged verdict (the merged
+  ``max_concurrency`` is a max over shards, not a global figure) — the
+  paper's algorithms never grant across a live token, and the serial
+  control row of every sharded cell double-checks the verdict;
+* ``max_grant_gap`` merges as the max over shards of each shard's *local*
+  grant gap (a shard with few requesters legitimately sees longer gaps
+  than the global serial figure), and the messages-per-request
+  distribution attributes each shard's traffic to its own issue order.
+
+Scope: plain algorithms only (anything scheduling events at cluster build
+time — the FT failure detectors' timers — is rejected, because remote
+nodes' timers must not run locally), no failure schedules, no network
+faults, no FIFO channels, ``metrics_detail`` of ``"counters"`` or
+``"telemetry"`` (never ``"full"``), and a delay model whose
+``min_delay()`` is strictly positive.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import multiprocessing
+import time
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.baselines.registry import build_nodes
+from repro.core import messages as core_messages
+from repro.core.messages import Message
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.simulation.cluster import SimulatedCluster
+from repro.simulation.network import DelayModel, UniformDelay
+from repro.simulation.trace import TraceCategory
+from repro.telemetry.fairness import FairnessTracker
+from repro.workload.arrivals import ArrivalStream
+
+__all__ = [
+    "SenderDelayStream",
+    "ShardWorkerCluster",
+    "shard_nodes",
+    "shard_digest",
+    "run_sharded",
+]
+
+_MASK64 = (1 << 64) - 1
+#: 2**64 / golden ratio — the SplitMix64 sequence constant.
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix64(z: int) -> int:
+    """SplitMix64 finalizer: a bijective avalanche over 64-bit integers."""
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class SenderDelayStream:
+    """Counter-based deterministic random stream for one sender's delays.
+
+    The ``k``-th draw is a pure function of ``(seed, sender, k)`` — no
+    shared state, so the stream is identical whatever shard the sender runs
+    on and whatever other nodes do in between.  Exposes the ``random()`` /
+    ``uniform()`` surface the delay models draw from, so
+    :meth:`DelayModel.bind` works unchanged.
+
+    Memory: two integers per sender.  A per-node :class:`random.Random`
+    would cost ~2.5 KiB of Mersenne state each — ~160 MB at n = 65536.
+    """
+
+    __slots__ = ("_base", "_count")
+
+    def __init__(self, seed: int, sender: int) -> None:
+        self._base = _mix64(((seed & _MASK64) * _GOLDEN + sender) & _MASK64)
+        self._count = 0
+
+    def random(self) -> float:
+        """Uniform float in [0, 1) with 53 random bits (like random.random)."""
+        self._count += 1
+        z = (self._base + self._count * _GOLDEN) & _MASK64
+        return (_mix64(z) >> 11) * (2.0 ** -53)
+
+    def uniform(self, a: float, b: float) -> float:
+        # Same expression as random.Random.uniform: a + (b-a)*random().
+        return a + (b - a) * self.random()
+
+
+def shard_nodes(n: int, shards: int, shard_by: str = "range") -> list[tuple[int, ...]]:
+    """Partition node ids ``1..n`` into ``shards`` contiguous blocks.
+
+    ``shard_by="range"`` splits into near-equal contiguous ranges.
+    ``shard_by="cube"`` is the seam-aligned variant: it requires ``n`` and
+    ``shards`` to be powers of two, so every block is a translated copy of
+    the open cube's recursive sub-structure ``C_{k-m}`` (the cube of size
+    ``2**k`` is ``C_{k-1} ∪ (C_{k-1} + 2**(k-1))``, recursively) and every
+    cut edge is one of :meth:`OpenCubeTopology.boundary_edges`'s
+    last-son → father seams.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if shards > n:
+        raise ConfigurationError(
+            f"cannot split {n} node(s) across {shards} shards"
+        )
+    if shard_by not in ("range", "cube"):
+        raise ConfigurationError(
+            f"unknown shard_by {shard_by!r}; choose from ['cube', 'range']"
+        )
+    if shard_by == "cube":
+        if n & (n - 1):
+            raise ConfigurationError(
+                f"shard_by='cube' needs a power-of-two n, got {n}"
+            )
+        if shards & (shards - 1):
+            raise ConfigurationError(
+                f"shard_by='cube' needs a power-of-two shard count, got {shards}"
+            )
+    base, extra = divmod(n, shards)
+    blocks: list[tuple[int, ...]] = []
+    start = 1
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        blocks.append(tuple(range(start, start + size)))
+        start += size
+    return blocks
+
+
+class ShardWorkerCluster(SimulatedCluster):
+    """One shard's view of the cluster: full node table, local agenda only.
+
+    The worker hosts *every* node object (so the algorithms' topology state
+    — father pointers, son lists — exists everywhere and ``send`` can
+    validate destinations exactly like the serial engine), but only the
+    shard's local nodes ever receive arrivals or deliveries; remote nodes
+    stay inert.  The send fast path samples delays from the per-sender
+    :class:`SenderDelayStream` and routes non-local destinations to the
+    shard's outbox instead of the local agenda.
+    """
+
+    def __init__(
+        self,
+        nodes: Mapping[int, Any],
+        *,
+        local_nodes: Iterable[int],
+        delay_seed: int,
+        **kwargs: Any,
+    ) -> None:
+        if kwargs.get("fifo"):
+            raise ConfigurationError(
+                "sharded runs do not support FIFO channels: the per-channel "
+                "delivery clamp would couple shards through channel state"
+            )
+        if kwargs.get("network_faults") is not None:
+            raise ConfigurationError(
+                "sharded runs do not support network faults; use the serial "
+                "engine (shards=0) for adversarial cells"
+            )
+        self._local_nodes = frozenset(local_nodes)
+        self._delay_seed = delay_seed
+        #: Cross-shard messages generated this window, in send order:
+        #: ``(arrival, sender, dest, message, sent_at)`` tuples.
+        self.outbox: list[tuple[float, int, int, Message, float]] = []
+        super().__init__(nodes, **kwargs)
+
+    def _make_send(self, sender: int) -> Callable[[int, Message], None]:
+        # Mirrors the reliable-channel fast path of SimulatedCluster._make_send
+        # (same accounting, same trace records) with two differences: the
+        # delay comes from the sender's own deterministic stream, and a
+        # non-local destination lands in the outbox, not the agenda.
+        nodes = self.nodes
+        local = self._local_nodes
+        outbox = self.outbox
+        failed = self.failed
+        simulator = self.simulator
+        schedule_delivery = simulator.schedule_delivery
+        record_send = self._record_send
+        trace = self._trace
+        metrics = self.metrics
+        counters_only = not metrics._keep_records
+        by_kind = metrics.messages_by_kind
+        by_sender = metrics.messages_by_sender
+        sample_delay = self.delay_model.bind(SenderDelayStream(self._delay_seed, sender))
+
+        def send(dest: int, message: Message) -> None:
+            if dest not in nodes:
+                raise SimulationError(
+                    f"node {sender} sent a message to unknown node {dest}"
+                )
+            if sender in failed:
+                return
+            now = simulator._time
+            kind = message.kind
+            if counters_only:
+                metrics._total_sent += 1
+                by_kind[kind] += 1
+                by_sender[sender] += 1
+            else:
+                record_send(now, sender, dest, kind)
+            if trace is not None:
+                trace.emit(now, TraceCategory.SEND, sender, dest=dest, kind=kind)
+            arrival = now + sample_delay(sender, dest)
+            if dest in local:
+                schedule_delivery(arrival, sender, dest, message, now)
+            else:
+                outbox.append((arrival, sender, dest, message, now))
+
+        return send
+
+    def drain_outbox(self) -> list[tuple[float, int, int, Message, float]]:
+        """Return and clear the window's cross-shard messages.
+
+        Cleared *in place*: the send closures capture the list object, so
+        rebinding ``self.outbox`` would orphan it and silently drop every
+        later cross-shard message.
+        """
+        drained = list(self.outbox)
+        self.outbox.clear()
+        return drained
+
+    def inject_inbound(
+        self, inbound: Iterable[tuple[float, int, int, Message, float]]
+    ) -> None:
+        """Schedule routed-in deliveries in deterministic order.
+
+        Sorting by ``(arrival, sender)`` — stable, so one sender's messages
+        keep their send order — makes the shard's agenda sequence numbers a
+        pure function of the run, whatever order the coordinator collected
+        the outboxes in.
+        """
+        schedule_delivery = self.simulator.schedule_delivery
+        for arrival, sender, dest, message, sent_at in sorted(
+            inbound, key=lambda item: (item[0], item[1])
+        ):
+            schedule_delivery(arrival, sender, dest, message, sent_at)
+
+    def next_event_time(self) -> float | None:
+        """Time of the earliest pending local event, ``None`` when idle."""
+        entry = self.simulator._peek()
+        return entry[0] if entry is not None else None
+
+
+def shard_digest(cluster: SimulatedCluster) -> str:
+    """sha256 over one shard's trace records + metrics summary.
+
+    Same record encoding as the serial golden digests
+    (``tests/simulation/test_determinism.trace_digest``), computed per shard
+    — the sharded determinism contract pins these instead of a global order.
+    """
+    hasher = hashlib.sha256()
+    for record in cluster.tracer:
+        line = (
+            repr(record.time),
+            record.category.value,
+            repr(record.node),
+            repr(sorted(record.details.items())),
+        )
+        hasher.update("|".join(line).encode())
+        hasher.update(b"\n")
+    hasher.update(json.dumps(cluster.metrics.summary(), sort_keys=True).encode())
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _filtered_arrivals(workload: Iterable[Any], local: frozenset[int]):
+    for arrival in workload:
+        if arrival.node in local:
+            yield arrival
+
+
+def _shard_worker_main(conn, shard_index: int, cfg: dict[str, Any]) -> None:
+    """One shard's process: build, feed, run windows, report, finish.
+
+    Inherits ``cfg`` (including live workload/delay-model objects) through
+    the fork — nothing here is pickled except the Pipe traffic.
+    """
+    try:
+        # Request ids live in a process-global counter; re-seed it so the
+        # shard's ids (and trace digests) never depend on what the parent
+        # process ran before forking.
+        core_messages._request_counter = itertools.count(1)
+        setup_start = time.perf_counter()
+        local = frozenset(cfg["local_nodes"])
+        nodes = build_nodes(cfg["algorithm"], cfg["n"], **cfg["node_options"])
+        cluster = ShardWorkerCluster(
+            dict(nodes),
+            local_nodes=local,
+            delay_seed=cfg["seed"],
+            delay_model=cfg["delay_model"],
+            seed=cfg["seed"],
+            trace=cfg["trace"],
+            metrics_detail=cfg["metrics_detail"],
+            telemetry_options=cfg["telemetry_options"],
+            **cfg["cluster_kwargs"],
+        )
+        if cluster.simulator._sequence != 0:
+            raise ConfigurationError(
+                f"algorithm {cfg['algorithm']!r} schedules events at cluster "
+                "build time (failure-detection timers); remote nodes' timers "
+                "must not run locally, so it cannot be sharded"
+            )
+        setup_s = time.perf_counter() - setup_start
+        feed_start = time.perf_counter()
+        arrivals = _filtered_arrivals(cfg["workload"], local)
+        if cfg["stream"]:
+            cluster.feed_workload(arrivals, window=cfg["feed_window"])
+        else:
+            # Eager semantics: everything scheduled up front, ids in stream
+            # order — a window at least as large as the arrival count.
+            eager = list(arrivals)
+            if eager:
+                cluster.feed_workload(iter(eager), window=len(eager))
+        feed_s = time.perf_counter() - feed_start
+        conn.send(("ready", cluster.next_event_time(), setup_s, feed_s))
+
+        run_s = 0.0
+        while True:
+            command = conn.recv()
+            if command[0] == "finish":
+                break
+            _, horizon, inbound, budget = command
+            run_start = time.perf_counter()
+            if inbound:
+                cluster.inject_inbound(inbound)
+            before = cluster.simulator.processed_events
+            cluster.simulator.run(until=horizon, max_events=budget, exclusive=True)
+            processed = cluster.simulator.processed_events - before
+            run_s += time.perf_counter() - run_start
+            conn.send(
+                ("window", cluster.next_event_time(), cluster.drain_outbox(), processed)
+            )
+
+        metrics = cluster.metrics
+        telemetry = metrics.telemetry
+        if telemetry is not None:
+            telemetry.finalize(cluster.now, metrics._total_sent)
+        payload: dict[str, Any] = {
+            "shard": shard_index,
+            "nodes": len(local),
+            "total_sent": metrics._total_sent,
+            "by_kind": dict(metrics.messages_by_kind),
+            "dropped": metrics.dropped_messages,
+            "requests_issued": metrics.requests_issued_count,
+            "requests_granted": metrics.requests_granted_count,
+            "failures": len(metrics.failures),
+            "recoveries": len(metrics.recoveries),
+            "summary": metrics.summary(),
+            "end_time": cluster.now,
+            "events": cluster.simulator.processed_events,
+            "agenda_peak": cluster.simulator.peak_pending,
+            "setup_s": setup_s,
+            "feed_s": feed_s,
+            "run_s": run_s,
+            "telemetry": telemetry,
+            "digest": shard_digest(cluster) if cfg["trace"] else None,
+        }
+        conn.send(("payload", payload))
+    except BaseException as exc:  # noqa: BLE001 - reported to the coordinator
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Merging
+# ----------------------------------------------------------------------
+class MergedShardMetrics:
+    """Aggregate-only stand-in for a cluster's ``MetricsCollector``.
+
+    Carries exactly what the result-row layer reads from
+    ``result.cluster.metrics`` — record lists are empty by construction
+    (sharded runs never keep per-message records), fault counters are zero
+    (faults are rejected in sharded mode), and :meth:`summary` answers the
+    same keys as :meth:`MetricsCollector.summary` so parity tests can
+    compare a merged run against a serial control directly.
+    """
+
+    def __init__(self, payloads: list[dict[str, Any]], merged_hub: Any | None) -> None:
+        self._payloads = payloads
+        self._hub = merged_hub
+        self.sent_messages: list[Any] = []
+        self.requests: dict[int, Any] = {}
+        self.cs_intervals: list[Any] = []
+        self.lost_messages = 0
+        self.duplicated_messages = 0
+        self.blocked_messages = 0
+        self.network_faults_active = False
+        self._total_sent = sum(p["total_sent"] for p in payloads)
+        self.messages_by_kind: dict[str, int] = {}
+        for p in payloads:
+            for kind, count in p["by_kind"].items():
+                self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + count
+        self.dropped_messages = sum(p["dropped"] for p in payloads)
+        self.requests_issued_count = sum(p["requests_issued"] for p in payloads)
+        self.requests_granted_count = sum(p["requests_granted"] for p in payloads)
+        self.failures = []
+        self.recoveries = []
+        self.telemetry = merged_hub
+
+    def total_messages(self, *, include_dropped: bool = True) -> int:
+        if include_dropped:
+            return self._total_sent
+        return self._total_sent - self.dropped_messages
+
+    def messages_of_kinds(self, kinds) -> int:
+        return sum(
+            count for kind, count in self.messages_by_kind.items() if kind in kinds
+        )
+
+    def mean_messages_per_request(self) -> float:
+        if not self.requests_granted_count:
+            return 0.0
+        return self._total_sent / self.requests_granted_count
+
+    def mean_waiting_time(self) -> float:
+        if self._hub is not None:
+            return self._hub.waiting_time.mean
+        # Counters mode: recombine the per-shard means, weighted by each
+        # shard's satisfied-request count (the records stayed in the
+        # workers; only their aggregate came back).
+        total = 0.0
+        count = 0
+        for p in self._payloads:
+            granted = p["requests_granted"]
+            total += p["summary"]["mean_waiting_time"] * granted
+            count += granted
+        return total / count if count else 0.0
+
+    def max_messages_per_request(self) -> int:
+        if self._hub is not None:
+            sketch = self._hub.request_messages
+            return int(sketch.max_value) if sketch.count else 0
+        return max(
+            (p["summary"]["max_messages_per_request"] for p in self._payloads),
+            default=0,
+        )
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "total_messages": self.total_messages(),
+            "dropped_messages": self.dropped_messages,
+            "messages_by_kind": dict(self.messages_by_kind),
+            "requests_issued": self.requests_issued_count,
+            "requests_granted": self.requests_granted_count,
+            "mean_messages_per_request": self.mean_messages_per_request(),
+            "max_messages_per_request": self.max_messages_per_request(),
+            "mean_waiting_time": self.mean_waiting_time(),
+            "failures": sum(p["failures"] for p in self._payloads),
+            "recoveries": sum(p["recoveries"] for p in self._payloads),
+        }
+
+
+class MergedShardCluster:
+    """Minimal ``RunResult.cluster`` facade over the merged shard payloads."""
+
+    def __init__(self, metrics: MergedShardMetrics, end_time: float) -> None:
+        self.metrics = metrics
+        self.now = end_time
+
+
+def _merge_telemetry(hubs: list[Any], grant_gap_threshold: float | None):
+    """Merge per-shard telemetry hubs into report blocks + merged sketches.
+
+    Returns ``(safety_report, liveness_report, fairness_report, quantiles,
+    merged_hub)`` where ``merged_hub`` is the first shard's hub with every
+    other shard's sketches/census folded in (mutated in place — the payload
+    copies are ours).
+    """
+    head = hubs[0]
+    for other in hubs[1:]:
+        head.waiting_time.merge(other.waiting_time)
+        head.cs_hold.merge(other.cs_hold)
+        head.request_messages.merge(other.request_messages)
+
+    safety_reports = [hub.safety.report() for hub in hubs]
+    violations = sum(r["violations"] for r in safety_reports)
+    safety_report: dict[str, Any] = {
+        "ok": violations == 0,
+        "violations": violations,
+        "max_concurrency": max(r["max_concurrency"] for r in safety_reports),
+    }
+    firsts = [r["first_violation"] for r in safety_reports if "first_violation" in r]
+    if firsts:
+        safety_report["first_violation"] = min(firsts, key=lambda v: v["time"])
+    crashed = sorted(set().union(*(hub.safety.crashed_in_cs for hub in hubs)))
+    if crashed:
+        safety_report["crashed_in_cs"] = crashed
+
+    watchdogs = [hub.liveness for hub in hubs]
+    worst = max(watchdogs, key=lambda w: w.max_gap)
+    liveness_report: dict[str, Any] = {
+        "ok": all(w.ok for w in watchdogs),
+        "issued": sum(w.issued for w in watchdogs),
+        "granted": sum(w.granted for w in watchdogs),
+        "starved": sum(w.starved for w in watchdogs),
+        "excused": sum(w.excused for w in watchdogs),
+        "max_grant_gap": round(worst.max_gap, 6),
+        "max_grant_gap_pending": worst.max_gap_pending,
+        "grant_gap_threshold": grant_gap_threshold,
+    }
+    last_grants = [w.last_grant_at for w in watchdogs if w.last_grant_at is not None]
+    liveness_report["last_grant_at"] = (
+        round(max(last_grants), 6) if last_grants else None
+    )
+
+    fairness_report = None
+    if head.fairness is not None:
+        merged = FairnessTracker()
+        for hub in hubs:
+            census = hub.fairness
+            for node, count in census._issued.items():
+                merged._issued[node] = merged._issued.get(node, 0) + count
+            for node, count in census._grants.items():
+                merged._grants[node] = merged._grants.get(node, 0) + count
+            for node, gap in census._max_starve.items():
+                if gap > merged._max_starve.get(node, 0.0):
+                    merged._max_starve[node] = gap
+            merged._excused |= census._excused
+        merged._finalized = True
+        head.fairness = merged
+        fairness_report = merged.report()
+
+    quantiles = {
+        "waiting_time": head.waiting_time.summary(),
+        "cs_hold": head.cs_hold.summary(),
+        "messages_per_request": head.request_messages.summary(),
+    }
+    return safety_report, liveness_report, fairness_report, quantiles, head
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+def run_sharded(
+    algorithm: str,
+    n: int,
+    workload: Any,
+    *,
+    shards: int,
+    shard_by: str = "range",
+    seed: int = 0,
+    delay_model: DelayModel | None = None,
+    trace: bool = False,
+    metrics_detail: str = "counters",
+    max_events: int | None = 5_000_000,
+    node_options: Mapping[str, Any] | None = None,
+    cluster_kwargs: Mapping[str, Any] | None = None,
+    stream: bool | None = None,
+    feed_window: int = 64,
+    telemetry: Mapping[str, Any] | None = None,
+    liveness_thresholds: Mapping[str, float] | None = None,
+):
+    """Run one workload on a sharded cluster and merge into a ``RunResult``.
+
+    The sharded twin of :func:`repro.experiments.runner.run_workload` —
+    normally reached through it (``run_workload(..., shards=W)``) or the
+    declarative layer (``ScenarioSpec(shards=W)``).  See the module
+    docstring for the synchronisation protocol, the determinism contract
+    and the scope restrictions.
+    """
+    # Imported here, not at module top: the runner imports this module
+    # lazily from inside run_workload, so a top-level back-import would
+    # only work by accident of import order.
+    from repro.experiments.runner import (
+        FT_MESSAGE_KINDS,
+        RunResult,
+        _threshold_breaches,
+        _validate_thresholds,
+    )
+
+    if metrics_detail not in ("counters", "telemetry"):
+        raise ConfigurationError(
+            "sharded runs keep no per-message records to merge: use "
+            f"metrics_detail='counters' or 'telemetry', not {metrics_detail!r}"
+        )
+    delay_model = delay_model or UniformDelay()
+    lookahead = delay_model.min_delay()
+    if lookahead <= 0:
+        raise ConfigurationError(
+            f"delay model {type(delay_model).__name__} has min_delay() == "
+            f"{lookahead}: a sharded run needs a strictly positive lookahead "
+            "(e.g. UniformDelay with low > 0)"
+        )
+    telemetry_options = dict(telemetry or {})
+    thresholds = _validate_thresholds(liveness_thresholds, metrics_detail)
+    if thresholds and metrics_detail == "telemetry":
+        gap = thresholds.get("max_grant_gap")
+        if gap is not None:
+            configured = telemetry_options.get("max_grant_gap")
+            if configured is not None and configured != gap:
+                raise ConfigurationError(
+                    f"conflicting max_grant_gap: {gap} in liveness_thresholds "
+                    f"but {configured} in the telemetry options"
+                )
+            telemetry_options["max_grant_gap"] = gap
+        if telemetry_options.get("fairness") is False and (
+            "max_node_starvation_gap" in thresholds or "min_jain_index" in thresholds
+        ):
+            raise ConfigurationError(
+                "per-node liveness thresholds need the fairness census: "
+                "remove fairness=False from the telemetry options"
+            )
+    if telemetry_options.get("series_cadence") is not None:
+        raise ConfigurationError(
+            "sharded runs do not support the series sampler: per-shard "
+            "series have no global clock to merge on"
+        )
+    kwargs = dict(cluster_kwargs or {})
+    for forbidden in ("fifo", "network_faults"):
+        if kwargs.get(forbidden):
+            raise ConfigurationError(
+                f"sharded runs do not support {forbidden!r}"
+            )
+    kwargs.pop("fifo", None)
+    kwargs.pop("network_faults", None)
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise ConfigurationError(
+            "sharded runs need the 'fork' start method (workers inherit the "
+            "workload stream); not available on this platform"
+        )
+    if stream is None:
+        stream = isinstance(workload, ArrivalStream)
+    blocks = shard_nodes(n, shards, shard_by)
+    shard_of: dict[int, int] = {}
+    for index, block in enumerate(blocks):
+        for node in block:
+            shard_of[node] = index
+
+    ctx = multiprocessing.get_context("fork")
+    setup_start = time.perf_counter()
+    conns = []
+    workers = []
+    try:
+        for index, block in enumerate(blocks):
+            parent_conn, child_conn = ctx.Pipe()
+            cfg = {
+                "algorithm": algorithm,
+                "n": n,
+                "local_nodes": block,
+                "seed": seed,
+                "delay_model": delay_model,
+                "trace": trace,
+                "metrics_detail": metrics_detail,
+                "telemetry_options": (
+                    telemetry_options if metrics_detail == "telemetry" else None
+                ),
+                "cluster_kwargs": kwargs,
+                "node_options": dict(node_options or {}),
+                "workload": workload,
+                "stream": stream,
+                "feed_window": feed_window,
+            }
+            worker = ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn, index, cfg),
+                daemon=True,
+                name=f"shard-{index}",
+            )
+            worker.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            workers.append(worker)
+
+        next_times: list[float | None] = [None] * shards
+        worker_setup = [0.0] * shards
+        worker_feed = [0.0] * shards
+        for index, conn in enumerate(conns):
+            reply = _recv(conn, index)
+            _, next_times[index], worker_setup[index], worker_feed[index] = reply
+        setup_s = time.perf_counter() - setup_start
+
+        run_start = time.perf_counter()
+        inboxes: list[list[tuple[float, int, int, Message, float]]] = [
+            [] for _ in range(shards)
+        ]
+        sync_rounds = 0
+        processed_total = 0
+        while True:
+            candidates = [t for t in next_times if t is not None]
+            candidates.extend(msg[0] for box in inboxes for msg in box)
+            if not candidates:
+                break
+            horizon = min(candidates) + lookahead
+            budget = None if max_events is None else max_events - processed_total
+            if budget is not None and budget <= 0:
+                raise SimulationError(
+                    f"exceeded the event budget of {max_events} events; "
+                    "the protocol is probably not quiescing"
+                )
+            # Only wake the shards that have anything to do this window;
+            # the skip is deterministic (a pure function of the agenda).
+            active = [
+                index
+                for index in range(shards)
+                if inboxes[index]
+                or (next_times[index] is not None and next_times[index] < horizon)
+            ]
+            for index in active:
+                conns[index].send(("window", horizon, inboxes[index], budget))
+                inboxes[index] = []
+            for index in active:
+                reply = _recv(conns[index], index)
+                _, next_times[index], outbox, processed = reply
+                processed_total += processed
+                for item in outbox:
+                    inboxes[shard_of[item[2]]].append(item)
+            sync_rounds += 1
+        run_s = time.perf_counter() - run_start
+
+        for conn in conns:
+            conn.send(("finish",))
+        payloads = [ _recv(conn, index)[1] for index, conn in enumerate(conns) ]
+        for worker in workers:
+            worker.join(timeout=30)
+    finally:
+        for conn in conns:
+            conn.close()
+        for worker in workers:
+            if worker.is_alive():  # pragma: no cover - error paths only
+                worker.terminate()
+                worker.join(timeout=5)
+
+    merge_start = time.perf_counter()
+    grant_gap_threshold = (
+        telemetry_options.get("max_grant_gap")
+        if metrics_detail == "telemetry"
+        else None
+    )
+    quantiles = None
+    online_checks = None
+    fairness_report = None
+    merged_hub = None
+    if metrics_detail == "telemetry":
+        hubs = [p["telemetry"] for p in payloads]
+        safety_report, liveness_report, fairness_report, quantiles, merged_hub = (
+            _merge_telemetry(hubs, grant_gap_threshold)
+        )
+        safety_ok = safety_report["ok"]
+        liveness_ok = liveness_report["ok"]
+        if thresholds:
+            breaches = _threshold_breaches(thresholds, liveness_report, fairness_report)
+            if breaches:
+                liveness_report["threshold_breaches"] = breaches
+                liveness_ok = False
+        analysis_ok = safety_ok and liveness_ok
+        online_checks = {"safety": safety_report, "liveness": liveness_report}
+    else:
+        safety_ok = liveness_ok = analysis_ok = None
+
+    metrics = MergedShardMetrics(payloads, merged_hub)
+    end_time = max(p["end_time"] for p in payloads)
+    digests = [p["digest"] for p in payloads]
+    merge_s = time.perf_counter() - merge_start
+
+    result = RunResult(
+        algorithm=algorithm,
+        n=n,
+        workload_name=workload.name,
+        cluster=MergedShardCluster(metrics, end_time),
+        requests_issued=metrics.requests_issued_count,
+        requests_granted=metrics.requests_granted_count,
+        total_messages=metrics.total_messages(),
+        messages_per_request=[],
+        mean_messages_per_request=metrics.mean_messages_per_request(),
+        max_messages_per_request=metrics.max_messages_per_request(),
+        mean_waiting_time=metrics.mean_waiting_time(),
+        overhead_messages=metrics.messages_of_kinds(FT_MESSAGE_KINDS),
+        failures=0,
+        safety_ok=safety_ok,
+        liveness_ok=liveness_ok,
+        analysis_ok=analysis_ok,
+        end_time=end_time,
+        setup_s=setup_s,
+        feed_s=max(worker_feed),
+        run_s=run_s,
+        events=sum(p["events"] for p in payloads),
+        agenda_peak=max(p["agenda_peak"] for p in payloads),
+        streamed=stream,
+        quantiles=quantiles,
+        series=None,
+        online_checks=online_checks,
+        fairness=fairness_report,
+        extra={
+            "shards": shards,
+            "shard_by": shard_by,
+            "sync_rounds": sync_rounds,
+            "merge_s": merge_s,
+            "lookahead": lookahead,
+            "shard_events": [p["events"] for p in payloads],
+            "shard_digests": digests if trace else None,
+        },
+    )
+    return result
+
+
+def _recv(conn, shard_index: int):
+    """Receive one worker reply, surfacing worker-side errors."""
+    try:
+        reply = conn.recv()
+    except EOFError as exc:  # pragma: no cover - worker died uncleanly
+        raise SimulationError(
+            f"shard {shard_index} worker exited without a reply"
+        ) from exc
+    if reply[0] == "error":
+        _, error_type, message = reply
+        raise SimulationError(
+            f"shard {shard_index} worker failed: {error_type}: {message}"
+        )
+    return reply

@@ -304,7 +304,13 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        *,
+        exclusive: bool = False,
+    ) -> None:
         """Run until the agenda is empty, ``until`` is reached, or a budget hit.
 
         Args:
@@ -314,6 +320,12 @@ class Simulator:
                 ``max_events`` events are processed, and attempting to process
                 one more raises :class:`SimulationError` so bugs surface as
                 failures rather than hangs.
+            exclusive: treat ``until`` as a strict (open) horizon — events
+                scheduled exactly *at* ``until`` stay on the agenda.  The
+                sharded engine runs each synchronisation window this way: a
+                cross-shard message can arrive exactly at the horizon, and a
+                same-instant local event must not be processed before it.
+                Ignored when ``until`` is ``None``.
         """
         heap = self._heap
         jump = self._jump
@@ -325,6 +337,27 @@ class Simulator:
         # them once per run() (exception-safely) instead of once per event
         # keeps the loop tight.  `_time` must stay live: handlers read `now`.
         try:
+            if until is not None and exclusive:
+                # Strict-horizon window (sharded engine); a separate loop so
+                # the historical inclusive path below stays byte-identical.
+                while heap:
+                    entry = heap[0]
+                    if entry[4]:
+                        pop(heap)
+                        continue
+                    if entry[0] >= until:
+                        break
+                    if processed == budget:
+                        raise SimulationError(
+                            f"exceeded the event budget of {max_events} events; "
+                            "the protocol is probably not quiescing"
+                        )
+                    pop(heap)
+                    entry[5] = None
+                    self._time = entry[0]
+                    processed += 1
+                    jump[entry[2]](entry[3])
+                return
             if until is None:
                 # Fast path (run_until_quiescent): pop unconditionally, no
                 # peek needed because nothing can stop us except the budget.

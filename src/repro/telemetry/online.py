@@ -133,6 +133,7 @@ class OnlineLivenessWatchdog:
         "excused",
         "max_gap",
         "max_gap_pending",
+        "last_grant_at",
         "_last_progress_at",
         "_starved_at_end",
         "_finalized",
@@ -152,6 +153,10 @@ class OnlineLivenessWatchdog:
         #: at least one request was pending, and the pending count then.
         self.max_gap = 0.0
         self.max_gap_pending = 0
+        #: Event time of the most recent grant, ``None`` before the first.
+        #: The fuzz oracle's heal-recovery check reads this: a partitioned
+        #: run whose cut healed must show a grant *after* the heal time.
+        self.last_grant_at: float | None = None
         self._last_progress_at = 0.0
         self._starved_at_end = 0
         self._finalized = False
@@ -177,6 +182,7 @@ class OnlineLivenessWatchdog:
             self.max_gap = gap
             self.max_gap_pending = len(self._pending) + 1
         self._last_progress_at = time
+        self.last_grant_at = time
         self.granted += 1
         if self.fairness is not None:
             self.fairness.on_grant(entry[0], time)
@@ -243,4 +249,7 @@ class OnlineLivenessWatchdog:
             "max_grant_gap": round(self.max_gap, 6),
             "max_grant_gap_pending": self.max_gap_pending,
             "grant_gap_threshold": self.max_grant_gap,
+            "last_grant_at": (
+                round(self.last_grant_at, 6) if self.last_grant_at is not None else None
+            ),
         }

@@ -52,8 +52,10 @@ def smoke_document(tmp_path_factory):
     rc = bench_scale.main(
         [
             "--sizes", "64",
+            "--shards", "2",
             "--output", str(output),
             "--check-agenda", "--check-safety", "--check-fairness",
+            "--check-shards",
         ]
     )
     assert rc == 0, "the smoke sweep must pass its own gates"
@@ -66,10 +68,12 @@ def smoke_document(tmp_path_factory):
 class TestSmokeArtifactSchema:
     def test_schema_version_and_config(self, smoke_document):
         document = smoke_document["document"]
-        assert document["schema"] == "bench-scale/v5"
+        assert document["schema"] == "bench-scale/v6"
         assert document["config"]["lossy_network"]["loss_rate"] == (
             bench_scale.LOSSY_LOSS_RATE
         )
+        assert document["config"]["sharding"]["shards"] == 2
+        assert document["config"]["sharding"]["cores"] >= 1
         config = document["config"]
         assert (
             config["liveness_thresholds"]["poisson"]
@@ -139,6 +143,34 @@ class TestSmokeArtifactSchema:
             lossy["n"]
         )
 
+    def test_sharded_pair_present_with_shard_columns_and_parity(self, smoke_document):
+        """The v6 pair: a shards=1 control plus the 2-way sharded cell, both
+        through the conservative parallel engine, aggregates identical."""
+        rows = smoke_document["document"]["results"]
+        [control] = [r for r in rows if r.get("label") == "shard-control"]
+        [sharded] = [r for r in rows if r.get("label") == "sharded"]
+        assert control["shards"] == 1 and sharded["shards"] == 2
+        for row in (control, sharded):
+            assert row["shard_by"] == "range"
+            assert row["sync_rounds"] > 0
+            assert row["merge_s"] >= 0.0
+            assert row["lookahead"] > 0.0
+            assert row["streamed"] is True
+            # Per-shard grant-gap semantics: the pair must not declare the
+            # poisson-class max_grant_gap bound (see build_specs).
+            assert not row.get("liveness_thresholds")
+        for column in bench_scale.SHARD_PARITY_COLUMNS:
+            assert sharded[column] == control[column], column
+        # The serial smoke sweep runs the control first, so the sharded row
+        # carries the within-sweep comparison columns.
+        assert sharded["shard_control_run_s"] == control["run_s"]
+        assert sharded["speedup_vs_shard_control"] > 0.0
+        # Serial (non-pair) rows never grow shard columns — the clean-row
+        # schema stays byte-stable across the v5 -> v6 bump.
+        for row in rows:
+            if row.get("label") not in ("shard-control", "sharded"):
+                assert "shards" not in row and "sync_rounds" not in row
+
     def test_streamed_cells_keep_zero_message_records(self, smoke_document):
         for row in smoke_document["document"]["results"]:
             if row["streamed"]:
@@ -190,6 +222,31 @@ class TestLongRunMatrixStructure:
         assert lossy.n == bench_scale.LOSSY_N
         assert lossy.network is not None
         assert lossy.network.loss_rate == bench_scale.LOSSY_LOSS_RATE
+
+    def test_shard_pair_declared_at_the_scale_point(self):
+        """The full sweep's pair sits at the pinned v6 scale (n=65536),
+        control first so the speedup decoration finds it in sweep order."""
+        specs = bench_scale.build_specs(
+            [16384], shards=bench_scale.SHARD_SWEEP_SHARDS,
+            shard_n=bench_scale.SHARD_SCALE_N,
+        )
+        pair = [s for s in specs if s.label in ("shard-control", "sharded")]
+        assert [s.label for s in pair] == ["shard-control", "sharded"]
+        for spec in pair:
+            assert spec.n == bench_scale.SHARD_SCALE_N
+            assert spec.workload.params["count"] == 2 * bench_scale.SHARD_SCALE_N
+            assert spec.metrics_detail == "telemetry"
+            assert spec.stream is True
+            assert not spec.liveness_thresholds
+            assert not spec.telemetry  # series sampling is serial-engine-only
+        assert pair[0].shards == 1
+        assert pair[1].shards == bench_scale.SHARD_SWEEP_SHARDS
+
+    def test_no_shard_pair_without_opt_in(self):
+        assert not [
+            s for s in bench_scale.build_specs([16384])
+            if s.label in ("shard-control", "sharded")
+        ]
 
 
 class TestFairnessGate:
@@ -246,3 +303,36 @@ class TestFairnessGate:
             [{"metrics_detail": "counters", "algorithm": "open-cube", "n": 4096,
               "workload": "poisson", "label": "pr3-counters-control"}]
         ) == []
+
+
+class TestShardGate:
+    """check_shard_parity() catches divergence, missing pairs, vacuity."""
+
+    def _pair(self):
+        base = {
+            "algorithm": "open-cube", "n": 256,
+            "workload": "poisson(n=256, count=512, rate=2.0)",
+            "requests": 512, "requests_granted": 512, "total_messages": 2600,
+            "safety_ok": True, "liveness_ok": True, "jain_index": 0.71,
+        }
+        control = dict(base, label="shard-control", shards=1)
+        sharded = dict(base, label="sharded", shards=2)
+        return control, sharded
+
+    def test_matching_pair_passes(self):
+        assert bench_scale.check_shard_parity(list(self._pair())) == []
+
+    def test_diverging_aggregate_fails_by_name(self):
+        control, sharded = self._pair()
+        sharded["total_messages"] = 2601
+        [problem] = bench_scale.check_shard_parity([control, sharded])
+        assert "total_messages=2601" in problem and "2600" in problem
+
+    def test_missing_control_fails(self):
+        _, sharded = self._pair()
+        [problem] = bench_scale.check_shard_parity([sharded])
+        assert "no shards=1 control" in problem
+
+    def test_sweep_without_a_pair_fails_not_passes_vacuously(self):
+        [problem] = bench_scale.check_shard_parity([])
+        assert "--shards" in problem

@@ -111,6 +111,108 @@ class TestOracle:
         assert not same_failure(target, Verdict("failure", ("safety",)))
 
 
+class TestHealRecoveryCheck:
+    """The oracle's heal-recovery rule: a partitioned run whose every cut
+    heals must show liveness progress *after* the last heal — otherwise the
+    liveness breakage is flagged as permanent (``no-recovery-after-heal``)
+    rather than a transient stall.  Classification is unchanged: network
+    faults still excuse, the reason is secondary."""
+
+    def _spec(self, heal):
+        return ScenarioSpec(
+            algorithm="open-cube",
+            n=4,
+            workload=WorkloadSpec("poisson", {"count": 4}),
+            network=NetworkFaultSpec(
+                partitions=(PartitionSpec(start=2.0, heal=heal, nodes=(1,)),)
+            ),
+        )
+
+    def _row(self, last_grant_at):
+        return {
+            "safety_ok": True,
+            "liveness_ok": False,
+            "online_checks": {"last_grant_at": last_grant_at},
+        }
+
+    def test_no_grant_after_heal_is_flagged(self):
+        verdict = classify(self._spec(heal=6.0), self._row(last_grant_at=3.0))
+        assert verdict.kind == "expected_failure"
+        assert verdict.reasons == ("liveness", "no-recovery-after-heal")
+
+    def test_never_granted_at_all_is_flagged(self):
+        verdict = classify(self._spec(heal=6.0), self._row(last_grant_at=None))
+        assert verdict.reasons == ("liveness", "no-recovery-after-heal")
+
+    def test_grant_after_heal_is_a_plain_liveness_failure(self):
+        verdict = classify(self._spec(heal=6.0), self._row(last_grant_at=9.5))
+        assert verdict.reasons == ("liveness",)
+
+    def test_unhealed_partitions_are_not_checked(self):
+        verdict = classify(self._spec(heal=None), self._row(last_grant_at=3.0))
+        assert verdict.reasons == ("liveness",)
+
+    def test_satisfied_liveness_is_never_flagged(self):
+        verdict = classify(
+            self._spec(heal=6.0),
+            {"safety_ok": True, "liveness_ok": True,
+             "online_checks": {"last_grant_at": 3.0}},
+        )
+        assert verdict.kind == "ok"
+
+    def test_ft_algorithm_regains_liveness_after_heal(self):
+        """The positive liveness proof: the fault-tolerant protocol's token
+        regeneration survives a healed cut — every request is granted and
+        grants demonstrably resume after the heal instant."""
+        heal = 8.0
+        spec = ScenarioSpec(
+            algorithm="open-cube-ft",
+            n=8,
+            workload=WorkloadSpec(
+                "poisson", {"count": 16, "rate": 0.5, "seed": 7, "hold": 0.3}
+            ),
+            delay=DelaySpec("constant", {"delay": 0.5}),
+            seed=0,
+            metrics_detail="telemetry",
+            max_events=300_000,
+            network=NetworkFaultSpec(
+                partitions=(PartitionSpec(start=2.0, heal=heal, nodes=(1,)),), seed=3
+            ),
+            label="heal-recovery-ft",
+        )
+        row = _run_scenario_tolerant(spec)
+        assert row["blocked_messages"] > 0  # the cut really severed traffic
+        assert row["requests_granted"] == row["requests"] == 16
+        assert row["online_checks"]["last_grant_at"] > heal  # grants resumed
+        assert classify(spec, row).kind == "ok"
+
+
+class TestInteractionSampling:
+    def test_crash_cells_regularly_carry_network_faults(self):
+        """The FT algorithm's crash cells must include crash × network-fault
+        interaction cells — the recovery machinery fuzzed while the channel
+        misbehaves — at a clearly-not-accidental rate."""
+        specs = SpecSampler(17).sample(400)
+        crash_cells = [s for s in specs if s.failures is not None]
+        assert all(s.algorithm == "open-cube-ft" for s in crash_cells)
+        interactions = [s for s in crash_cells if s.network is not None]
+        assert len(crash_cells) >= 10
+        # Independent draws would give ~50%; the second-chance draw lifts
+        # the interaction rate to ~75%.  Assert the deliberate bias, with
+        # slack for the seeded draw.
+        assert len(interactions) / len(crash_cells) > 0.6
+
+    def test_interaction_cells_classify_like_any_adversarial_cell(self):
+        specs = [
+            s
+            for s in SpecSampler(17).sample(200)
+            if s.failures is not None and s.network is not None and s.network.enabled
+        ]
+        assert specs, "sampler produced no interaction cells in 200 draws"
+        verdict = classify(specs[0], {"safety_ok": False, "liveness_ok": True})
+        assert verdict.kind == "expected_failure"
+
+
 def partition_selftest_spec() -> ScenarioSpec:
     """The injected known-unsafe config: node 1 (initial token holder)
     partitioned off for the whole run."""

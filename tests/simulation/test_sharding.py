@@ -1,0 +1,479 @@
+"""Sharded-engine tests: partitioning, delay streams, parity, digests, merge.
+
+The determinism contract pinned here (see ``src/repro/simulation/sharding.py``):
+
+* the merged aggregates of a sharded run equal the ``shards=1`` serial
+  control exactly — whatever the shard count or partition strategy — on
+  counts, verdicts and the fairness census (bit-for-bit), with only the
+  float *means* compared at round-9 (summation order differs per shard);
+* per-shard trace digests are pinned hex constants, replacing the global
+  event order the classic engine pins in ``test_determinism.py`` (whose
+  golden digests this PR must not move — asserted there, not here).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import run_workload
+from repro.simulation.network import ConstantDelay, UniformDelay
+from repro.simulation.sharding import SenderDelayStream, shard_nodes
+from repro.telemetry.collector import RunTelemetry, TelemetryOptions
+from repro.workload.arrivals import poisson_arrivals, poisson_stream
+
+DELAY = dict(low=0.05, high=0.15)
+
+#: Pinned per-shard digests of the small traced scenario below — the
+#: sharded counterpart of test_determinism's GOLDEN_DIGEST.  A change means
+#: a shard's local event order (or its metrics summary) drifted.
+SHARD_DIGESTS = (
+    "cc85759fcb830e86805b2c451c18311f24df47da98a2ad6abd55356e84cccf76",
+    "931fecb2b6989f79aa2acc31c8381cbdaeebc5d52faae8baa2d12e1413bd8a31",
+)
+
+
+def run_cell(shards, *, n=64, detail="telemetry", shard_by="range", **overrides):
+    """The seeded telemetry cell the parity acceptance criterion names."""
+    kwargs = dict(
+        seed=42,
+        delay_model=UniformDelay(**DELAY),
+        metrics_detail=detail,
+        shards=shards,
+        shard_by=shard_by,
+    )
+    kwargs.update(overrides)
+    workload = poisson_arrivals(n, 4 * n, rate=0.8, seed=23, hold=0.3)
+    return run_workload("open-cube", n, workload, **kwargs)
+
+
+class TestShardNodes:
+    def test_range_partition_covers_all_nodes_contiguously(self):
+        blocks = shard_nodes(10, 3)
+        assert blocks == [(1, 2, 3, 4), (5, 6, 7), (8, 9, 10)]
+        flat = [node for block in blocks for node in block]
+        assert flat == list(range(1, 11))
+
+    def test_single_shard_is_everything(self):
+        assert shard_nodes(5, 1) == [(1, 2, 3, 4, 5)]
+
+    def test_cube_partition_requires_powers_of_two(self):
+        blocks = shard_nodes(16, 4, "cube")
+        assert [len(b) for b in blocks] == [4, 4, 4, 4]
+        with pytest.raises(ConfigurationError, match="power-of-two n"):
+            shard_nodes(12, 4, "cube")
+        with pytest.raises(ConfigurationError, match="power-of-two shard count"):
+            shard_nodes(16, 3, "cube")
+
+    def test_invalid_counts_and_strategies(self):
+        with pytest.raises(ConfigurationError, match="shards must be >= 1"):
+            shard_nodes(4, 0)
+        with pytest.raises(ConfigurationError, match="cannot split"):
+            shard_nodes(2, 3)
+        with pytest.raises(ConfigurationError, match="unknown shard_by"):
+            shard_nodes(4, 2, "random")
+
+
+class TestSenderDelayStream:
+    def test_deterministic_per_sender(self):
+        a = [SenderDelayStream(42, 7).random() for _ in range(50)]
+        b = [SenderDelayStream(42, 7).random() for _ in range(50)]
+        assert a == b
+
+    def test_streams_differ_across_senders_and_seeds(self):
+        base = [SenderDelayStream(42, 7).random() for _ in range(10)]
+        assert [SenderDelayStream(42, 8).random() for _ in range(10)] != base
+        assert [SenderDelayStream(43, 7).random() for _ in range(10)] != base
+
+    def test_values_in_unit_interval(self):
+        stream = SenderDelayStream(0, 1)
+        values = [stream.random() for _ in range(2000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        # A counter stream that actually mixes: no value repeats in 2k draws.
+        assert len(set(values)) == len(values)
+
+    def test_uniform_matches_random_random_formula(self):
+        reference = SenderDelayStream(5, 3)
+        stream = SenderDelayStream(5, 3)
+        for _ in range(20):
+            expected = 0.2 + (0.9 - 0.2) * reference.random()
+            assert stream.uniform(0.2, 0.9) == expected
+
+    def test_partition_independence_of_the_kth_draw(self):
+        """The k-th draw is a pure function of (seed, sender, k) — no shared
+        state, which is exactly why resharding cannot change any delay."""
+        solo = SenderDelayStream(11, 4)
+        interleaved = SenderDelayStream(11, 4)
+        other = SenderDelayStream(11, 9)
+        for _ in range(30):
+            other.random()  # unrelated traffic between the draws
+            assert interleaved.random() == solo.random()
+
+
+class TestMinDelayLookahead:
+    """Satellite: ``min_delay()`` is a true positive lower bound of sample().
+
+    One property test per delay model: thousands of seeded samples across
+    many (sender, dest) pairs, every one ``>= min_delay()``, and the bound
+    is *attained* within the sketch of a bucket (it is a floor, not a
+    conservative guess) for the models whose minimum is reachable.
+    """
+
+    def sample_floor(self, model, draws=3000):
+        stream = SenderDelayStream(1, 1)
+        samples = [
+            model.sample(1 + (i % 16), 1 + ((i * 7) % 16), stream)
+            for i in range(draws)
+        ]
+        return min(samples), samples
+
+    def test_constant(self):
+        model = ConstantDelay(0.7)
+        floor, samples = self.sample_floor(model, draws=50)
+        assert model.min_delay() == 0.7
+        assert floor == 0.7 and all(s == 0.7 for s in samples)
+
+    def test_uniform(self):
+        model = UniformDelay(0.3, 1.1)
+        floor, samples = self.sample_floor(model)
+        assert model.min_delay() == 0.3
+        assert all(s >= 0.3 for s in samples)
+        assert floor == pytest.approx(0.3, abs=0.01)  # the bound is tight
+
+    def test_uniform_low_zero_reports_no_lookahead(self):
+        assert UniformDelay(0.0, 1.0).min_delay() == 0.0
+
+    def test_per_hop(self):
+        from repro.simulation.network import PerHopDelay
+
+        model = PerHopDelay(base=0.2, jitter=0.3, dimensions=4)
+        floor, samples = self.sample_floor(model)
+        # Minimum one hop even for sender == dest pairs, so base is a true
+        # lower bound and attained on adjacent pairs with tiny jitter draws.
+        assert model.min_delay() == 0.2
+        assert all(s >= 0.2 for s in samples)
+        assert floor == pytest.approx(0.2, abs=0.02)
+
+    def test_pareto(self):
+        from repro.simulation.network import ParetoDelay
+
+        model = ParetoDelay(alpha=1.5, scale=0.25, cap=8.0)
+        floor, samples = self.sample_floor(model)
+        # 1 - u in (0, 1] so sample >= scale exactly, attained at u == 0.
+        assert model.min_delay() == 0.25
+        assert all(s >= 0.25 for s in samples)
+        assert floor == pytest.approx(0.25, abs=0.02)
+
+    def test_min_delay_never_exceeds_max_delay(self):
+        from repro.simulation.network import ParetoDelay, PerHopDelay
+
+        for model in (
+            ConstantDelay(1.0),
+            UniformDelay(0.1, 0.9),
+            PerHopDelay(base=0.1, jitter=0.2, dimensions=6),
+            ParetoDelay(alpha=2.0, scale=0.2, cap=5.0),
+        ):
+            assert 0.0 <= model.min_delay() <= model.max_delay
+
+
+def parity_keys(result):
+    """The exactly-comparable slice of a telemetry RunResult."""
+    return {
+        "requests_issued": result.requests_issued,
+        "requests_granted": result.requests_granted,
+        "total_messages": result.total_messages,
+        "overhead_messages": result.overhead_messages,
+        "safety_ok": result.safety_ok,
+        "liveness_ok": result.liveness_ok,
+        "analysis_ok": result.analysis_ok,
+        "safety": result.online_checks["safety"],
+        "fairness": result.fairness,
+        "starved": result.online_checks["liveness"]["starved"],
+        "excused": result.online_checks["liveness"]["excused"],
+        "waiting_time": result.quantiles["waiting_time"],
+        "cs_hold": result.quantiles["cs_hold"],
+        "messages_count": result.quantiles["messages_per_request"]["count"],
+        "mean_waiting_round9": round(result.mean_waiting_time, 9),
+    }
+
+
+class TestShardedVsSerialParity:
+    """The acceptance criterion: merged sharded == shards=1 serial control."""
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_telemetry_parity_n64(self, shards):
+        control = run_cell(1)
+        sharded = run_cell(shards)
+        assert parity_keys(sharded) == parity_keys(control)
+        assert sharded.extra["shards"] == shards
+        assert sharded.extra["sync_rounds"] > 0
+        assert sharded.extra["lookahead"] == DELAY["low"]
+
+    def test_cube_partitioning_same_figures(self):
+        control = run_cell(1)
+        sharded = run_cell(4, shard_by="cube")
+        assert parity_keys(sharded) == parity_keys(control)
+
+    def test_counters_mode_parity(self):
+        control = run_cell(1, detail="counters")
+        sharded = run_cell(3, detail="counters")
+        for attribute in ("requests_issued", "requests_granted", "total_messages"):
+            assert getattr(sharded, attribute) == getattr(control, attribute)
+        # Counters mode skips analysis in both engines.
+        assert sharded.safety_ok is None and control.safety_ok is None
+        assert round(sharded.mean_waiting_time, 9) == round(
+            control.mean_waiting_time, 9
+        )
+
+    def test_streamed_feed_parity(self):
+        workload = poisson_stream(32, 96, rate=0.8, seed=23, hold=0.3)
+        runs = [
+            run_workload(
+                "open-cube",
+                32,
+                workload,
+                seed=42,
+                delay_model=UniformDelay(**DELAY),
+                metrics_detail="telemetry",
+                shards=shards,
+                feed_window=8,
+            )
+            for shards in (1, 2)
+        ]
+        assert parity_keys(runs[0]) == parity_keys(runs[1])
+        assert all(run.streamed for run in runs)
+
+    def test_fairness_census_union_is_bitwise(self):
+        """Satellite: sharded fairness figures == serial bit-for-bit — the
+        jain index is integer arithmetic and the per-node starvation gaps
+        come from an identical protocol evolution, so no rounding slack."""
+        control = run_cell(1)
+        sharded = run_cell(4)
+        assert sharded.fairness == control.fairness
+        assert isinstance(sharded.fairness["jain_index"], float)
+
+    def test_merged_summary_matches_control_summary(self):
+        """The bench gate's comparison surface: cluster.metrics.summary()."""
+        control = run_cell(1)
+        sharded = run_cell(2)
+        ours = sharded.cluster.metrics.summary()
+        theirs = control.cluster.metrics.summary()
+        for key in ("total_messages", "dropped_messages", "messages_by_kind",
+                    "requests_issued", "requests_granted", "failures", "recoveries"):
+            assert ours[key] == theirs[key]
+        assert ours["mean_waiting_time"] == pytest.approx(
+            theirs["mean_waiting_time"], rel=1e-9
+        )
+
+
+class TestPerShardDigests:
+    def scenario(self):
+        workload = poisson_arrivals(8, 16, rate=0.5, seed=5, hold=0.4)
+        return run_workload(
+            "open-cube",
+            8,
+            workload,
+            seed=7,
+            delay_model=UniformDelay(**DELAY),
+            metrics_detail="counters",
+            shards=2,
+            trace=True,
+        )
+
+    def test_pinned_shard_digests(self):
+        result = self.scenario()
+        assert tuple(result.extra["shard_digests"]) == SHARD_DIGESTS
+
+    def test_digests_reproduce_across_runs(self):
+        assert (
+            self.scenario().extra["shard_digests"]
+            == self.scenario().extra["shard_digests"]
+        )
+
+    def test_untraced_runs_carry_no_digests(self):
+        result = run_cell(2, n=16)
+        assert result.extra["shard_digests"] is None
+
+
+class TestShardedValidation:
+    def test_full_detail_rejected(self):
+        with pytest.raises(ConfigurationError, match="metrics_detail"):
+            run_cell(2, detail="full")
+
+    def test_zero_lookahead_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive lookahead"):
+            run_cell(2, delay_model=UniformDelay(0.0, 1.0))
+
+    def test_serial_accounting_rejected(self):
+        with pytest.raises(ConfigurationError, match="serial"):
+            run_cell(2, serial=True)
+
+    def test_fifo_rejected(self):
+        with pytest.raises(ConfigurationError, match="FIFO"):
+            run_cell(2, fifo=True)
+
+    def test_failure_schedules_rejected(self):
+        from repro.simulation.failures import FailureEvent, FailureSchedule
+
+        schedule = FailureSchedule(events=[FailureEvent(node=3, fail_at=5.0)])
+        with pytest.raises(ConfigurationError, match="failure schedules"):
+            run_cell(2, failure_schedule=schedule)
+
+    def test_network_faults_rejected(self):
+        from repro.simulation.network import NetworkFaults
+
+        with pytest.raises(ConfigurationError, match="network faults"):
+            run_cell(2, network_faults=NetworkFaults(loss_rate=0.1))
+
+    def test_more_shards_than_nodes_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot split"):
+            run_cell(65, n=64)
+
+    def test_series_sampler_rejected(self):
+        with pytest.raises(ConfigurationError, match="series"):
+            run_cell(2, telemetry={"series_cadence": 5.0})
+
+    def test_ft_algorithm_shards_cleanly_without_crashes(self):
+        """The FT algorithm schedules nothing at build time (its detectors
+        are reactive), so it shards — crash schedules stay rejected above,
+        and a crash-free FT run matches its serial control exactly."""
+        workload = poisson_arrivals(8, 24, rate=0.3, seed=5, hold=0.4)
+        runs = [
+            run_workload(
+                "open-cube-ft",
+                8,
+                workload,
+                seed=7,
+                delay_model=UniformDelay(**DELAY),
+                metrics_detail="telemetry",
+                shards=shards,
+            )
+            for shards in (1, 2)
+        ]
+        assert parity_keys(runs[0]) == parity_keys(runs[1])
+        assert runs[1].overhead_messages == 0  # no crashes -> no FT traffic
+
+
+class TestVerdictConjunction:
+    """Satellite: merging is a conjunction — one bad shard poisons the run."""
+
+    def hub(self):
+        hub = RunTelemetry(TelemetryOptions())
+        hub.on_issue(1, 1, 1.0, 0)
+        hub.on_grant(1, 2.0)
+        hub.on_cs_enter(1, 2.0)
+        hub.on_cs_exit(1, 2.5)
+        hub.finalize(10.0, 4)
+        return hub
+
+    def violating_hub(self):
+        hub = RunTelemetry(TelemetryOptions())
+        hub.on_issue(2, 2, 1.0, 0)
+        hub.on_issue(3, 3, 1.1, 1)
+        hub.on_grant(2, 2.0)
+        hub.on_grant(3, 2.1)
+        hub.on_cs_enter(2, 2.0)
+        hub.on_cs_enter(3, 2.1)  # overlap: shard-local safety violation
+        hub.on_cs_exit(2, 2.4)
+        hub.on_cs_exit(3, 2.5)
+        hub.finalize(10.0, 9)
+        return hub
+
+    def test_shard_local_violation_fails_the_merged_verdict(self):
+        from repro.simulation.sharding import _merge_telemetry
+
+        safety, liveness, fairness, quantiles, merged = _merge_telemetry(
+            [self.hub(), self.violating_hub(), self.hub()], None
+        )
+        assert safety["ok"] is False
+        assert safety["violations"] == 1
+        assert safety["max_concurrency"] == 2
+        assert safety["first_violation"]["time"] == 2.1
+        assert liveness["ok"] is True  # liveness was fine on every shard
+        assert liveness["issued"] == 4 and liveness["granted"] == 4
+
+    def test_all_clean_shards_merge_clean(self):
+        from repro.simulation.sharding import _merge_telemetry
+
+        safety, liveness, fairness, quantiles, merged = _merge_telemetry(
+            [self.hub(), self.hub(), self.hub()], None
+        )
+        assert safety["ok"] is True and liveness["ok"] is True
+        # Three identical shards: sketches merged across all of them.
+        assert quantiles["waiting_time"]["count"] == 3
+        assert fairness["total_grants"] == 3
+
+    def test_histogram_merge_is_shard_order_independent(self):
+        """Satellite: ≥3 shards, any merge order, identical sketch state."""
+        from repro.simulation.sharding import _merge_telemetry
+
+        hubs = lambda: [self.hub(), self.violating_hub(), self.hub()]
+        orders = []
+        for rotation in range(3):
+            batch = hubs()
+            batch = batch[rotation:] + batch[:rotation]
+            _, _, _, quantiles, _ = _merge_telemetry(batch, None)
+            orders.append(quantiles)
+        assert orders[0] == orders[1] == orders[2]
+
+
+class TestScenarioSpecSharding:
+    def spec(self, **overrides):
+        from repro.scenarios.spec import DelaySpec, ScenarioSpec, WorkloadSpec
+
+        fields = dict(
+            algorithm="open-cube",
+            n=16,
+            workload=WorkloadSpec(
+                "poisson", {"count": 48, "rate": 0.8, "seed": 23, "hold": 0.3}
+            ),
+            delay=DelaySpec("uniform", {"low": 0.05, "high": 0.15}),
+            seed=42,
+            metrics_detail="telemetry",
+            shards=2,
+            shard_by="cube",
+        )
+        fields.update(overrides)
+        return ScenarioSpec(**fields)
+
+    def test_round_trips_through_json(self):
+        import json
+
+        from repro.scenarios.spec import ScenarioSpec
+
+        spec = self.spec()
+        assert ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_dicts_without_shard_fields_default_to_serial(self):
+        from repro.scenarios.spec import ScenarioSpec
+
+        data = self.spec().to_dict()
+        del data["shards"], data["shard_by"]
+        spec = ScenarioSpec.from_dict(data)
+        assert spec.shards == 0 and spec.shard_by == "range"
+
+    def test_row_carries_shard_columns_and_matches_serial_control(self):
+        sharded_row = self.spec().run().row()
+        control_row = self.spec(shards=1, shard_by="range").run().row()
+        assert sharded_row["shards"] == 2
+        assert sharded_row["shard_by"] == "cube"
+        assert sharded_row["sync_rounds"] > 0
+        assert sharded_row["merge_s"] >= 0.0
+        assert sharded_row["lookahead"] == 0.05
+        for key in (
+            "requests",
+            "requests_granted",
+            "total_messages",
+            "safety_ok",
+            "liveness_ok",
+            "jain_index",
+            "waiting_p50",
+            "waiting_p90",
+            "waiting_p99",
+            "max_node_starvation_gap",
+        ):
+            assert sharded_row[key] == control_row[key], key
+
+    def test_serial_rows_carry_no_shard_columns(self):
+        row = self.spec(shards=0).run().row()
+        assert "shards" not in row and "sync_rounds" not in row
