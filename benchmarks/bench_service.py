@@ -1,0 +1,237 @@
+"""BENCH-SERVICE: end-to-end lock service throughput over real sockets.
+
+Unlike ``bench_scale.py`` (simulated event time at production-ish n), this
+harness measures the deployable runtime (:mod:`repro.runtime.service`) on
+the wall clock: real asyncio TCP transport, the retrying client library,
+the live SLO monitor, and — for the chaos cell — the runtime fault
+injector.  It emits ``BENCH_service.json`` (schema ``bench-service/v1``)
+so client-visible latency can be compared across PRs, clean vs chaos.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full run
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_service.py --check    # gate
+
+Cells (one JSON row each):
+
+* ``clean`` — n servers on loopback TCP, one client per server, ``rounds``
+  acquire/hold/release cycles each, no faults.
+* ``chaos`` — the same workload under seeded loss + duplication on every
+  protocol link, a partition window that isolates one node and heals, and
+  a crash/restart of another node.  Client and monitor links stay clean:
+  the numbers isolate what the *protocol* pays for the faults, with the
+  reliability layer (retransmit + dedup) and the silence-gated
+  regeneration timers doing the repair.
+
+Per cell: ``grants_per_s`` (granted CS entries / wall time) and the
+acquire-latency quantiles ``acquire_p50_s``/``acquire_p99_s`` (request
+send to grant, timeouts excluded and counted separately), plus the live
+monitor's safety/liveness verdict and the servers' reliability counters.
+
+``--check`` is the CI gate: every cell must report zero safety violations
+from the live :class:`~repro.telemetry.online.OnlineSafetyChecker`, every
+acquire must have resolved (grant or typed ``AcquireTimeout``), and the
+clean cell must not time out at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.builders import build_fault_tolerant_nodes  # noqa: E402
+from repro.runtime import (  # noqa: E402
+    AcquireTimeout,
+    CrashPlan,
+    LockClient,
+    RuntimeChaos,
+    SLOMonitor,
+    start_servers,
+)
+from repro.scenarios.spec import NetworkFaultSpec, PartitionSpec  # noqa: E402
+
+
+def quantile(samples: list[float], q: float) -> float | None:
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+async def run_cell(
+    *,
+    label: str,
+    n: int,
+    rounds: int,
+    hold_s: float,
+    deadline_s: float,
+    chaos_seed: int | None,
+) -> dict:
+    """One benchmark cell: real servers, real clients, optional chaos."""
+    epoch = time.time()
+    monitor = SLOMonitor()
+    await monitor.start()
+    nodes = build_fault_tolerant_nodes(n, cs_duration_estimate=hold_s)
+
+    chaos = None
+    if chaos_seed is not None:
+        def chaos(node_id: int) -> RuntimeChaos:
+            return RuntimeChaos(
+                network=NetworkFaultSpec(
+                    loss_rate=0.03,
+                    dup_rate=0.03,
+                    seed=chaos_seed,
+                    partitions=(PartitionSpec(start=0.6, heal=1.0, nodes=(n - 1,)),),
+                ),
+                crashes=(CrashPlan(node=n, at=0.4, recover_at=0.9),),
+                seed=node_id,
+            )
+
+    servers = await start_servers(
+        nodes, monitor=monitor.address, epoch=epoch, chaos=chaos
+    )
+    latencies: list[float] = []
+    timeouts = 0
+
+    async def worker(node_id: int) -> None:
+        nonlocal timeouts
+        async with LockClient(servers[node_id].address, client_id=node_id) as client:
+            for _ in range(rounds):
+                started = time.monotonic()
+                try:
+                    rid = await client.acquire(timeout=deadline_s)
+                except AcquireTimeout:
+                    timeouts += 1
+                    continue
+                latencies.append(time.monotonic() - started)
+                await asyncio.sleep(hold_s)
+                await client.release(rid)
+
+    wall_started = time.monotonic()
+    await asyncio.gather(*(worker(node_id) for node_id in sorted(nodes)))
+    wall = time.monotonic() - wall_started
+    await asyncio.sleep(0.3)  # let trailing events reach the monitor
+    monitor.finalize()
+    report = monitor.report()
+
+    counters = {
+        key: sum(server.status()[key] for server in servers.values())
+        for key in (
+            "retransmits",
+            "duplicates_dropped",
+            "timer_deferrals",
+            "stale_frames_purged",
+        )
+    }
+    regenerated = sum(
+        getattr(node, "tokens_regenerated", 0) for node in nodes.values()
+    )
+    for server in servers.values():
+        await server.stop()
+    await monitor.close()
+
+    return {
+        "cell": label,
+        "n": n,
+        "rounds_per_client": rounds,
+        "acquires": n * rounds,
+        "grants": len(latencies),
+        "timeouts": timeouts,
+        "unresolved": n * rounds - len(latencies) - timeouts,
+        "wall_s": round(wall, 6),
+        "grants_per_s": round(len(latencies) / wall, 3) if wall else None,
+        "acquire_p50_s": quantile(latencies, 0.50),
+        "acquire_p99_s": quantile(latencies, 0.99),
+        "acquire_mean_s": (
+            round(statistics.fmean(latencies), 6) if latencies else None
+        ),
+        "safety_violations": report["safety"]["violations"],
+        "safety_ok": report["safety"]["ok"],
+        "tokens_regenerated": regenerated,
+        "reliability": counters,
+    }
+
+
+def check(rows: list[dict]) -> list[str]:
+    """The CI gate: safety and full resolution are non-negotiable."""
+    problems = []
+    for row in rows:
+        cell = row["cell"]
+        if row["safety_violations"] != 0:
+            problems.append(
+                f"{cell}: {row['safety_violations']} safety violation(s) "
+                "reported by the live monitor"
+            )
+        if row["unresolved"] != 0:
+            problems.append(
+                f"{cell}: {row['unresolved']} acquire(s) neither granted "
+                "nor timed out"
+            )
+        if cell == "clean" and row["timeouts"] != 0:
+            problems.append(f"clean: {row['timeouts']} unexpected timeout(s)")
+        if row["grants"] == 0:
+            problems.append(f"{cell}: no grants at all")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--check", action="store_true", help="gate on safety + resolution"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_service.json"
+    )
+    parser.add_argument("--seed", type=int, default=41, help="chaos seed")
+    args = parser.parse_args(argv)
+
+    n = 4 if args.smoke else 8  # the open cube wants a power of two
+    rounds = 4 if args.smoke else 8
+    cells = [
+        dict(label="clean", n=n, rounds=rounds, hold_s=0.005, deadline_s=30.0,
+             chaos_seed=None),
+        dict(label="chaos", n=n, rounds=rounds, hold_s=0.01, deadline_s=8.0,
+             chaos_seed=args.seed),
+    ]
+    rows = []
+    for cell in cells:
+        row = asyncio.run(run_cell(**cell))
+        rows.append(row)
+        sys.stderr.write(
+            f"{row['cell']}: grants={row['grants']}/{row['acquires']} "
+            f"grants/s={row['grants_per_s']} p99={row['acquire_p99_s']} "
+            f"violations={row['safety_violations']}\n"
+        )
+
+    document = {
+        "schema": "bench-service/v1",
+        "smoke": args.smoke,
+        "chaos_seed": args.seed,
+        "rows": rows,
+    }
+    args.output.write_text(json.dumps(document, indent=2) + "\n")
+    sys.stderr.write(f"wrote {args.output}\n")
+
+    if args.check:
+        problems = check(rows)
+        if problems:
+            for problem in problems:
+                sys.stderr.write(f"BENCH-SERVICE GATE: {problem}\n")
+            return 1
+        sys.stderr.write("BENCH-SERVICE GATE: ok\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,31 +1,52 @@
 #!/usr/bin/env python3
 """Run the open-cube algorithm as a distributed lock on a real asyncio loop.
 
-Eight workers (one per node) each grab the distributed lock a few times to
-update a shared counter; mutual exclusion is provided purely by the
-open-cube token algorithm — no asyncio.Lock involved.
+Two modes:
 
-Run with:  python examples/asyncio_lock_service.py
+* default — eight workers (one per node) in ONE process share an
+  :class:`~repro.runtime.AsyncioCluster`; each grabs the distributed lock a
+  few times to update a shared counter.  Mutual exclusion is provided
+  purely by the open-cube token algorithm — no ``asyncio.Lock`` involved.
+
+* ``--tcp`` — the deployable shape: one ``python -m repro.runtime.service``
+  subprocess PER NODE, talking length-prefixed JSON over loopback TCP,
+  with a live SLO monitor aggregating their event streams.  The parent
+  process only runs :class:`~repro.runtime.LockClient` instances (retries,
+  deadlines, typed errors) and the monitor; the lock itself lives in the
+  server processes.
+
+Run with::
+
+    PYTHONPATH=src python examples/asyncio_lock_service.py          # in-process
+    PYTHONPATH=src python examples/asyncio_lock_service.py --tcp    # multi-process
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
+import os
+import socket
+import sys
 import time
+from pathlib import Path
 
+import repro
 from repro.core import build_opencube_cluster  # noqa: F401  (simulator counterpart)
 from repro.core.builders import build_opencube_nodes
-from repro.runtime import AsyncioCluster
+from repro.runtime import AsyncioCluster, LockClient, SLOMonitor
+
+N = 8
+ACQUISITIONS_PER_NODE = 5
 
 
-async def main() -> None:
-    nodes = build_opencube_nodes(8)
+async def run_in_process() -> None:
+    nodes = build_opencube_nodes(N)
     shared = {"counter": 0, "max_concurrent": 0, "inside": 0}
-    acquisitions_per_node = 5
 
     async with AsyncioCluster(nodes, message_delay=0.001, jitter=0.002) as cluster:
         async def worker(node_id: int) -> None:
-            for _ in range(acquisitions_per_node):
+            for _ in range(ACQUISITIONS_PER_NODE):
                 async with cluster.locked(node_id, timeout=30.0):
                     shared["inside"] += 1
                     shared["max_concurrent"] = max(shared["max_concurrent"], shared["inside"])
@@ -39,7 +60,7 @@ async def main() -> None:
         await asyncio.gather(*(worker(node) for node in nodes))
         elapsed = time.monotonic() - started
 
-    expected = len(nodes) * acquisitions_per_node
+    expected = len(nodes) * ACQUISITIONS_PER_NODE
     print(f"counter = {shared['counter']} (expected {expected})")
     print(f"maximum concurrency observed inside the critical section = {shared['max_concurrent']}")
     print(f"messages exchanged = {cluster.messages_sent}")
@@ -48,5 +69,99 @@ async def main() -> None:
     assert shared["max_concurrent"] == 1
 
 
+def free_ports(count: int) -> list[int]:
+    """Reserve ``count`` distinct loopback ports (racy, fine for a demo)."""
+    sockets = []
+    for _ in range(count):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        sockets.append(probe)
+    ports = [probe.getsockname()[1] for probe in sockets]
+    for probe in sockets:
+        probe.close()
+    return ports
+
+
+async def run_multi_process() -> None:
+    epoch = time.time()
+    monitor = SLOMonitor()
+    await monitor.start()
+
+    ports = free_ports(N)
+    addresses = {node_id: f"tcp://127.0.0.1:{ports[node_id - 1]}" for node_id in range(1, N + 1)}
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+
+    servers: list[asyncio.subprocess.Process] = []
+    try:
+        for node_id, listen in addresses.items():
+            # -W: runpy warns that repro.runtime.service is already imported
+            # (the package re-exports it); benign here, so keep stderr clean.
+            command = [
+                sys.executable, "-W", "ignore::RuntimeWarning",
+                "-m", "repro.runtime.service",
+                "--node-id", str(node_id), "--n", str(N),
+                "--listen", listen,
+                "--monitor", monitor.address,
+                "--epoch", str(epoch),
+            ]
+            for peer_id, peer_address in addresses.items():
+                if peer_id != node_id:
+                    command += ["--peer", f"{peer_id}={peer_address}"]
+            servers.append(
+                await asyncio.create_subprocess_exec(
+                    *command, env=env, stdout=asyncio.subprocess.DEVNULL
+                )
+            )
+
+        grants = 0
+
+        async def worker(node_id: int) -> None:
+            nonlocal grants
+            # No eager connect: the first acquire's retry loop absorbs
+            # connection refusals while the server process is still booting.
+            client = LockClient(addresses[node_id], client_id=node_id)
+            try:
+                for _ in range(ACQUISITIONS_PER_NODE):
+                    async with client.locked(timeout=30.0):
+                        grants += 1
+                        await asyncio.sleep(0.002)
+            finally:
+                await client.close()
+
+        started = time.monotonic()
+        await asyncio.gather(*(worker(node_id) for node_id in addresses))
+        elapsed = time.monotonic() - started
+        await asyncio.sleep(0.3)  # let the last events reach the monitor
+        monitor.finalize()
+        report = monitor.report()
+    finally:
+        for server in servers:
+            if server.returncode is None:
+                server.terminate()
+        await asyncio.gather(*(server.wait() for server in servers))
+        await monitor.close()
+
+    expected = N * ACQUISITIONS_PER_NODE
+    print(f"{N} server processes, {N} clients over TCP")
+    print(f"grants = {grants} (expected {expected})")
+    print(f"monitor safety: ok={report['safety']['ok']} "
+          f"violations={report['safety']['violations']}")
+    print(f"wall-clock time = {elapsed:.2f}s")
+    assert grants == expected
+    assert report["safety"]["violations"] == 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tcp",
+        action="store_true",
+        help="one server subprocess per node over loopback TCP",
+    )
+    args = parser.parse_args()
+    asyncio.run(run_multi_process() if args.tcp else run_in_process())
+
+
 if __name__ == "__main__":
-    asyncio.run(main())
+    main()

@@ -112,6 +112,11 @@ class FaultTolerantOpenCubeNode(OpenCubeMutexNode):
         self._current_loan_id: tuple[int, int] | None = None
         self._last_returned_to: int | None = None
         self._returned_loan_ids: deque[tuple[int, int]] = deque(maxlen=64)
+        # Loans this node told an enquiring root it never received.  The
+        # answer makes the root regenerate the token, so these identifiers
+        # are burned: a late copy of a disclaimed loan is destroyed on
+        # arrival instead of becoming a second token.
+        self._disclaimed_loan_ids: deque[tuple[int, int]] = deque(maxlen=64)
         self._returned_reply_streak = 0
         # Lender-side bookkeeping.
         self._lend_loan_id: tuple[int, int] | None = None
@@ -276,6 +281,16 @@ class FaultTolerantOpenCubeNode(OpenCubeMutexNode):
         super()._receive_request(sender, message)
 
     def _receive_token(self, sender: int, message: TokenMessage) -> None:
+        if (
+            message.loan_id is not None
+            and message.loan_id in self._disclaimed_loan_ids
+        ):
+            # This node answered TOKEN_NOT_RECEIVED about exactly this loan,
+            # which licensed the root to regenerate.  The late copy is a
+            # duplicate by construction now; bouncing it to the lender could
+            # hand an *asking* lender a second token, so it is destroyed.
+            self.stale_tokens_discarded += 1
+            return
         if not self.asking:
             # A token received while not asking is unexpected: it can be a
             # duplicate produced by an ill-founded regeneration, or a token
@@ -490,6 +505,13 @@ class FaultTolerantOpenCubeNode(OpenCubeMutexNode):
                 status = EnquiryStatus.TOKEN_RETURNED
             elif self.asking and self.mandator == self.node_id and not self.token_here:
                 # Never saw that loan and still waiting: the loan is lost.
+                # Answering "not received" is a *promise* — the root will
+                # regenerate the token on the strength of this answer, so a
+                # copy of the disclaimed loan that surfaces later (a frame
+                # repaired by a retransmitting transport after the bounded
+                # delay, or a duplicate) must never be accepted; see
+                # _receive_token.
+                self._disclaimed_loan_ids.append(loan_id)
                 status = EnquiryStatus.TOKEN_NOT_RECEIVED
             else:
                 # Never saw that loan but no longer waiting either (the
@@ -899,6 +921,7 @@ class FaultTolerantOpenCubeNode(OpenCubeMutexNode):
         self._current_loan_from = None
         self._current_loan_id = None
         self._returned_loan_ids.clear()
+        self._disclaimed_loan_ids.clear()
         self._last_returned_to = None
         self._returned_reply_streak = 0
         self._recovery_retries = 0

@@ -4,6 +4,11 @@ Streams one JSONL row per finished cell, writes shrunk repro JSONs, prints
 a summary document, and exits non-zero only when a *real* failure (inside
 the paper's model) was found — ``expected_failure`` boundary findings are
 part of normal operation.
+
+``python -m repro.fuzz --promote fuzz-out/stream.jsonl`` switches to
+promotion mode (no fuzzing): nightly findings are diffed against the
+checked-in regression corpus and genuinely-new shrunk repros are copied
+into ``tests/scenarios/regressions/`` — see :mod:`repro.fuzz.promote`.
 """
 
 from __future__ import annotations
@@ -39,7 +44,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--max-shrink-runs", type=int, default=200, help="per-finding shrink budget"
     )
+    parser.add_argument(
+        "--promote",
+        type=Path,
+        metavar="ARTIFACT",
+        help=(
+            "promotion mode: diff a campaign artifact (stream.jsonl, its "
+            "directory, or a repro JSON) against the checked-in regression "
+            "corpus and copy genuinely-new shrunk repros in; no fuzzing runs"
+        ),
+    )
+    parser.add_argument(
+        "--regressions-dir",
+        type=Path,
+        default=None,
+        help="promotion corpus (default: tests/scenarios/regressions)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="promotion mode: report what would be copied without writing",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="promotion mode: skip replaying candidates before copying",
+    )
     args = parser.parse_args(argv)
+    if args.promote is not None:
+        return _promote(args)
     if args.budget < 1:
         parser.error("--budget must be >= 1")
     if args.parallel < 1:
@@ -63,6 +96,22 @@ def main(argv: list[str] | None = None) -> int:
             f"under {args.out / 'regressions'}\n"
         )
         return 1
+    return 0
+
+
+def _promote(args: argparse.Namespace) -> int:
+    from repro.fuzz.promote import DEFAULT_CORPUS, promote
+
+    corpus = args.regressions_dir if args.regressions_dir is not None else DEFAULT_CORPUS
+    try:
+        report = promote(
+            args.promote, corpus, dry_run=args.dry_run, verify=not args.no_verify
+        )
+    except FileNotFoundError as exc:
+        sys.stderr.write(f"PROMOTE: {exc}\n")
+        return 1
+    json.dump(report.summary(), sys.stdout, indent=2)
+    sys.stdout.write("\n")
     return 0
 
 

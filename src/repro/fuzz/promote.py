@@ -1,0 +1,155 @@
+"""Promote nightly fuzz findings into the checked-in regression corpus.
+
+The nightly campaign (``fuzz-nightly.yml``) uploads an artifact directory:
+``stream.jsonl`` (one row per finished cell) next to ``regressions/`` with
+one shrunk ``fuzz-regression/v1`` JSON per finding.  This module diffs
+those findings against the corpus under ``tests/scenarios/regressions/``
+and copies the genuinely new ones in, so a boundary behaviour the fuzzer
+discovers once is pinned forever after.
+
+"New" is decided by **signature** — ``(algorithm, kind, sorted reasons)``
+— not by file identity: two campaigns shrinking the same behaviour produce
+different specs (seeds, sizes), and re-promoting a known signature would
+only bloat the corpus without widening coverage.  Candidates are replayed
+before promotion (``--no-verify`` skips it): a repro that no longer
+reproduces its pinned verdict documents nothing and is rejected.
+
+CLI: ``python -m repro.fuzz --promote fuzz-out/stream.jsonl`` (accepts the
+stream path, the artifact directory, its ``regressions/`` subdirectory, or
+one repro JSON; see ``--regressions-dir``, ``--dry-run``, ``--no-verify``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.fuzz.harness import replay_regression
+
+__all__ = ["PromotionReport", "promote", "signature_of"]
+
+#: Default destination: the corpus replayed by tests/scenarios/test_regressions.py.
+DEFAULT_CORPUS = Path("tests/scenarios/regressions")
+
+
+def signature_of(document: Mapping[str, Any]) -> tuple[str, str, tuple[str, ...]]:
+    """The identity under which a finding is considered already covered."""
+    spec = document.get("spec") or {}
+    return (
+        str(spec.get("algorithm", "?")),
+        str(document.get("kind", "?")),
+        tuple(sorted(str(r) for r in document.get("reasons", ()))),
+    )
+
+
+def _slug(document: Mapping[str, Any]) -> str:
+    algorithm, kind, reasons = signature_of(document)
+    head = reasons[0] if reasons else "no-reason"
+    raw = f"{kind}-{algorithm}-{head}"
+    return re.sub(r"-+", "-", re.sub(r"[^a-z0-9]+", "-", raw.lower())).strip("-")
+
+
+def _iter_candidates(artifact: Path) -> Iterator[tuple[str, dict[str, Any]]]:
+    """Yield ``(origin, document)`` pairs found at/under ``artifact``.
+
+    Accepted shapes: a single repro ``.json``, a directory of them, the
+    campaign output directory (repros under ``regressions/``), or the
+    campaign's ``stream.jsonl`` (repros are looked up next to it — the rows
+    themselves carry verdicts but not the shrunk specs).
+    """
+    if artifact.is_file() and artifact.suffix == ".json":
+        yield str(artifact), json.loads(artifact.read_text())
+        return
+    if artifact.is_file():  # the JSONL stream: repros live next to it
+        artifact = artifact.parent
+    for directory in (artifact / "regressions", artifact):
+        if directory.is_dir():
+            found = sorted(directory.glob("*.json"))
+            if found:
+                for path in found:
+                    yield str(path), json.loads(path.read_text())
+                return
+
+
+@dataclass
+class PromotionReport:
+    """What a promotion run did (or, with ``dry_run``, would do)."""
+
+    corpus: str
+    dry_run: bool
+    promoted: list[str] = field(default_factory=list)
+    duplicates: list[str] = field(default_factory=list)
+    rejected: dict[str, str] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "schema": "fuzz-promotion/v1",
+            "corpus": self.corpus,
+            "dry_run": self.dry_run,
+            "promoted": self.promoted,
+            "duplicates": self.duplicates,
+            "rejected": self.rejected,
+        }
+
+
+def promote(
+    artifact: Path | str,
+    corpus: Path | str = DEFAULT_CORPUS,
+    *,
+    dry_run: bool = False,
+    verify: bool = True,
+) -> PromotionReport:
+    """Copy genuinely-new shrunk repros from ``artifact`` into ``corpus``."""
+    artifact = Path(artifact)
+    corpus = Path(corpus)
+    if not artifact.exists():
+        raise FileNotFoundError(f"fuzz artifact not found: {artifact}")
+    report = PromotionReport(corpus=str(corpus), dry_run=dry_run)
+    known = set()
+    if corpus.is_dir():
+        for path in sorted(corpus.glob("*.json")):
+            known.add(signature_of(json.loads(path.read_text())))
+    for origin, document in _iter_candidates(artifact):
+        if document.get("schema") != "fuzz-regression/v1":
+            report.rejected[origin] = f"schema {document.get('schema')!r}"
+            continue
+        signature = signature_of(document)
+        if signature in known:
+            report.duplicates.append(origin)
+            continue
+        if verify:
+            try:
+                verdict, pinned = replay_regression(document)
+            except Exception as exc:  # broken spec: reject, keep promoting
+                report.rejected[origin] = f"replay error: {exc}"
+                continue
+            if (
+                verdict.kind != document.get("kind")
+                or list(verdict.reasons) != list(document.get("reasons", []))
+                or pinned != document.get("verdict")
+            ):
+                report.rejected[origin] = (
+                    f"does not reproduce: got {verdict.kind}/{list(verdict.reasons)}"
+                )
+                continue
+        known.add(signature)
+        destination = _destination(corpus, _slug(document))
+        report.promoted.append(str(destination))
+        if not dry_run:
+            corpus.mkdir(parents=True, exist_ok=True)
+            destination.write_text(
+                json.dumps(document, indent=2, sort_keys=True) + "\n"
+            )
+    return report
+
+
+def _destination(corpus: Path, slug: str) -> Path:
+    candidate = corpus / f"{slug}.json"
+    counter = 2
+    while candidate.exists():
+        candidate = corpus / f"{slug}-{counter}.json"
+        counter += 1
+    return candidate

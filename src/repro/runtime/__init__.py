@@ -1,5 +1,52 @@
-"""asyncio runtime for running nodes outside the discrete-event simulator."""
+"""Runtime layer: the nodes on real event loops and real transports.
+
+Two deployment shapes share the sans-I/O node classes:
+
+* :class:`~repro.runtime.asyncio_cluster.AsyncioCluster` — every node in one
+  process on one asyncio loop (examples, quick experiments), with optional
+  seeded network faults and live crash/recover injection.
+* :class:`~repro.runtime.service.LockServer` — one node per process behind a
+  framed TCP/UDS transport, driven by
+  :class:`~repro.runtime.client.LockClient` and observed live by an
+  :class:`~repro.runtime.monitor.SLOMonitor`.
+"""
 
 from repro.runtime.asyncio_cluster import AsyncioCluster, AsyncioEnvironment
+from repro.runtime.client import LockClient, RetryPolicy
+from repro.runtime.errors import (
+    AcquireInProgress,
+    AcquireTimeout,
+    LockServiceError,
+    NodeCrashed,
+    RequestRejected,
+    RetryExhausted,
+    ServiceUnavailable,
+)
+from repro.runtime.faults import CrashPlan, RuntimeChaos
+from repro.runtime.monitor import SLOMonitor
+from repro.runtime.service import LockServer, LockServerConfig, start_servers
+from repro.runtime.transport import FrameConnection, FrameServer, PeerLink, parse_address
 
-__all__ = ["AsyncioCluster", "AsyncioEnvironment"]
+__all__ = [
+    "AsyncioCluster",
+    "AsyncioEnvironment",
+    "LockClient",
+    "RetryPolicy",
+    "LockServiceError",
+    "AcquireTimeout",
+    "AcquireInProgress",
+    "NodeCrashed",
+    "RetryExhausted",
+    "ServiceUnavailable",
+    "RequestRejected",
+    "CrashPlan",
+    "RuntimeChaos",
+    "SLOMonitor",
+    "LockServer",
+    "LockServerConfig",
+    "start_servers",
+    "FrameConnection",
+    "FrameServer",
+    "PeerLink",
+    "parse_address",
+]

@@ -1,0 +1,101 @@
+"""Typed errors of the runtime layer (lock service, client, asyncio cluster).
+
+Every error a caller is expected to *handle* — a timed-out acquire, a
+rejected overlapping acquire, a crashed node — gets its own class here, so
+application code can catch exactly the condition it can deal with instead of
+string-matching a generic exception.  All derive from
+:class:`LockServiceError` (itself a :class:`~repro.exceptions.ReproError`),
+so ``except LockServiceError`` still catches the whole family.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "LockServiceError",
+    "AcquireTimeout",
+    "AcquireInProgress",
+    "NodeCrashed",
+    "RetryExhausted",
+    "ServiceUnavailable",
+    "RequestRejected",
+]
+
+
+class LockServiceError(ReproError):
+    """Base class of every runtime/lock-service error."""
+
+
+class AcquireTimeout(LockServiceError):
+    """An acquire did not complete before its deadline.
+
+    The runtime guarantees the timed-out request is *not* leaked: the
+    asyncio cluster tracks it and auto-releases the eventual grant; the
+    service client sends a cancel so the server drops it from the queue.
+    """
+
+    def __init__(self, node_id: int, timeout: float, detail: str = "") -> None:
+        self.node_id = node_id
+        self.timeout = timeout
+        message = f"acquire on node {node_id} timed out after {timeout:.3f}s"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+class AcquireInProgress(LockServiceError):
+    """An acquire was rejected because one is already outstanding.
+
+    A :class:`~repro.simulation.process.MutexNode` serialises local requests
+    internally, but two concurrent ``await cluster.acquire(node)`` calls
+    would race on the grant notification — so the runtime rejects the
+    overlap with this named error instead.  This is also raised while a
+    previously timed-out request is still in flight (its grant has not yet
+    arrived to be auto-released).
+    """
+
+    def __init__(self, node_id: int, detail: str = "") -> None:
+        self.node_id = node_id
+        message = f"node {node_id} already has an outstanding acquire"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class NodeCrashed(LockServiceError):
+    """The node serving the request fail-stopped."""
+
+    def __init__(self, node_id: int, detail: str = "") -> None:
+        self.node_id = node_id
+        message = f"node {node_id} crashed"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+class RetryExhausted(LockServiceError):
+    """The client's retry budget ran out before the operation succeeded."""
+
+    def __init__(self, operation: str, attempts: int, last_error: str = "") -> None:
+        self.operation = operation
+        self.attempts = attempts
+        message = f"{operation} failed after {attempts} attempt(s)"
+        if last_error:
+            message = f"{message}; last error: {last_error}"
+        super().__init__(message)
+
+
+class ServiceUnavailable(LockServiceError):
+    """The server could not be reached (connect or mid-request disconnect)."""
+
+
+class RequestRejected(LockServiceError):
+    """The server answered with a non-retryable error frame."""
+
+    def __init__(self, code: str, detail: str = "") -> None:
+        self.code = code
+        message = f"request rejected: {code}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)

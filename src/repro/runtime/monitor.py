@@ -1,0 +1,210 @@
+"""Live SLO monitoring for the lock service.
+
+The online checkers built for the simulator
+(:class:`~repro.telemetry.online.OnlineSafetyChecker`,
+:class:`~repro.telemetry.online.OnlineLivenessWatchdog`,
+:class:`~repro.telemetry.fairness.FairnessTracker`) are sans-I/O event
+consumers, so they run unchanged on *runtime* events: every
+:class:`~repro.runtime.service.LockServer` streams issue/grant/enter/exit/
+cancel/crash/recover frames to an :class:`SLOMonitor`, which feeds them to
+the checkers and turns verdict changes into **alerts** — a mutual-exclusion
+violation or a grant-gap breach shows up in the ``/metrics`` document the
+moment it happens, instead of in post-hoc trace analysis.
+
+Ordering: events arrive over per-server TCP/UDS links, so cross-server
+arrival order is not event order.  The monitor holds events in a small
+timestamp-ordered buffer and only applies those older than
+``reorder_window`` seconds behind the newest timestamp seen — enough to
+absorb link jitter without making the alerts meaningfully late.  The
+buffered tail is force-drained by :meth:`finalize` (and nothing else), so a
+mid-run ``/metrics`` scrape never applies events out of order.
+
+The monitor serves its status over the same listener that receives events:
+frame connections carry events, and an HTTP ``GET`` on the same port
+(sniffed by :class:`~repro.runtime.transport.FrameServer`) returns the JSON
+status document — ``/metrics``, ``/healthz`` and ``/alerts`` paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any
+
+from repro.runtime.transport import FrameConnection, FrameServer
+from repro.telemetry.fairness import FairnessTracker
+from repro.telemetry.online import OnlineLivenessWatchdog, OnlineSafetyChecker
+
+__all__ = ["SLOMonitor"]
+
+
+class SLOMonitor:
+    """Aggregates runtime events into live safety/liveness/fairness verdicts.
+
+    Args:
+        address: listen address (``tcp://host:port`` / ``unix://path``);
+            port 0 is resolved after :meth:`start`.
+        max_grant_gap: optional SLO threshold on the global grant gap —
+            breaching it flips the liveness verdict and raises an alert.
+        reorder_window: hold-back (service-time seconds) for cross-link
+            event reordering.
+        max_alerts: bound on the retained alert list (oldest dropped).
+    """
+
+    def __init__(
+        self,
+        address: str = "tcp://127.0.0.1:0",
+        *,
+        max_grant_gap: float | None = None,
+        reorder_window: float = 0.05,
+        max_alerts: int = 256,
+    ) -> None:
+        self.fairness = FairnessTracker()
+        self.safety = OnlineSafetyChecker()
+        self.liveness = OnlineLivenessWatchdog(
+            max_grant_gap=max_grant_gap, fairness=self.fairness
+        )
+        self.reorder_window = reorder_window
+        self.alerts: deque[dict[str, Any]] = deque(maxlen=max_alerts)
+        self.events_applied = 0
+        self.events_received = 0
+        self.malformed_events = 0
+        self.crashes_seen = 0
+        self.recoveries_seen = 0
+        self._heap: list[tuple[float, int, dict[str, Any]]] = []
+        self._tiebreak = itertools.count()
+        self._watermark = 0.0
+        self._finalized = False
+        self._gap_alerted = False
+        self._server = FrameServer(address, self._on_frame, http_handler=self._on_http)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        await self._server.start()
+
+    @property
+    def address(self) -> str:
+        """The resolved listen address (ephemeral port filled in)."""
+        return self._server.address
+
+    async def close(self) -> None:
+        await self._server.close()
+
+    def finalize(self, end_of_time: float | None = None) -> None:
+        """Drain the reorder buffer fully and close liveness bookkeeping."""
+        self._drain(force=True)
+        self._finalized = True
+        self.liveness.finalize(self._watermark if end_of_time is None else end_of_time)
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    async def _on_frame(self, frame: dict[str, Any], conn: FrameConnection) -> None:
+        if frame.get("type") != "event":
+            self.malformed_events += 1
+            return
+        self.ingest(frame)
+
+    def ingest(self, event: dict[str, Any]) -> None:
+        """Buffer one event dict (``e``/``t``/``node``/``rid`` keys)."""
+        t = event.get("t")
+        if not isinstance(t, (int, float)):
+            self.malformed_events += 1
+            return
+        self.events_received += 1
+        heapq.heappush(self._heap, (float(t), next(self._tiebreak), event))
+        if t > self._watermark:
+            self._watermark = float(t)
+        self._drain()
+
+    def _drain(self, force: bool = False) -> None:
+        horizon = float("inf") if force else self._watermark - self.reorder_window
+        heap = self._heap
+        while heap and heap[0][0] <= horizon:
+            _t, _seq, event = heapq.heappop(heap)
+            self._apply(event)
+
+    def _apply(self, event: dict[str, Any]) -> None:
+        kind = event.get("e")
+        t = float(event["t"])
+        node = event.get("node", 0)
+        rid = event.get("rid", 0)
+        violations_before = self.safety.violations
+        if kind == "issue":
+            self.liveness.on_issue(rid, node, t)
+        elif kind == "grant":
+            self.liveness.on_grant(rid, t)
+        elif kind == "enter":
+            self.safety.on_enter(node, t)
+        elif kind == "exit":
+            self.safety.on_exit(node, t)
+        elif kind == "cancel":
+            self.liveness.on_cancel(rid, t)
+        elif kind == "crash":
+            self.crashes_seen += 1
+            self.safety.on_failure(node, t)
+            self.liveness.on_failure(node, t)
+        elif kind == "recover":
+            self.recoveries_seen += 1
+        else:
+            self.malformed_events += 1
+            return
+        self.events_applied += 1
+        if self.safety.violations > violations_before:
+            self._alert(
+                "safety-violation",
+                t,
+                detail=self.safety.report().get("first_violation", {}),
+            )
+        threshold = self.liveness.max_grant_gap
+        if (
+            threshold is not None
+            and not self._gap_alerted
+            and self.liveness.max_gap > threshold
+        ):
+            self._gap_alerted = True
+            self._alert(
+                "grant-gap-breach",
+                t,
+                detail={
+                    "max_grant_gap": round(self.liveness.max_gap, 6),
+                    "threshold": threshold,
+                },
+            )
+
+    def _alert(self, kind: str, t: float, detail: dict[str, Any]) -> None:
+        self.alerts.append({"kind": kind, "t": round(t, 6), "detail": detail})
+
+    # ------------------------------------------------------------------
+    # Status surface
+    # ------------------------------------------------------------------
+    def report(self) -> dict[str, Any]:
+        """JSON-ready status document (the ``/metrics`` body)."""
+        return {
+            "safety": self.safety.report(),
+            "liveness": self.liveness.report(),
+            "fairness": self.fairness.report(),
+            "alerts": list(self.alerts),
+            "events": {
+                "received": self.events_received,
+                "applied": self.events_applied,
+                "buffered": len(self._heap),
+                "malformed": self.malformed_events,
+                "crashes": self.crashes_seen,
+                "recoveries": self.recoveries_seen,
+            },
+            "finalized": self._finalized,
+        }
+
+    def _on_http(self, path: str) -> tuple[int, dict[str, Any]]:
+        if path in ("/", "/metrics"):
+            return 200, self.report()
+        if path == "/healthz":
+            ok = self.safety.ok and not self.alerts
+            return 200, {"ok": ok, "alerts": len(self.alerts)}
+        if path == "/alerts":
+            return 200, {"alerts": list(self.alerts)}
+        return 404, {"error": f"unknown path {path!r}"}

@@ -1,0 +1,285 @@
+"""Transport layer of the lock service: framed links over TCP and UDS.
+
+Addresses are URLs: ``tcp://host:port`` or ``unix:///path/to.sock``.  Two
+building blocks sit on top of :mod:`repro.runtime.wire`'s framing:
+
+* :class:`PeerLink` — a persistent *outbound* link with automatic reconnect
+  (exponential backoff with jitter) and explicit backpressure: frames queue
+  in a bounded buffer and the writer ``drain()``s after every frame, so a
+  slow peer throttles the sender instead of growing an unbounded queue.
+  When the buffer is full the *newest* frame is dropped and counted — the
+  protocol layer above (fault-tolerant algorithm, fire-and-forget telemetry
+  events) is built to tolerate loss, and a visible counter beats a hidden
+  out-of-memory.
+* :class:`FrameServer` — an inbound listener dispatching each connection's
+  frames to an async handler.  When an ``http_handler`` is provided the
+  listener sniffs the first bytes of a connection: ``GET `` switches to a
+  minimal HTTP/1.0 responder (the ``/metrics``-style status surface), any
+  other prefix is treated as a frame length.  One port serves both.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from typing import Any, Awaitable, Callable
+
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.runtime.wire import _LENGTH, MAX_FRAME, encode_frame, read_frame
+
+__all__ = ["parse_address", "PeerLink", "FrameConnection", "FrameServer"]
+
+
+def parse_address(address: str) -> tuple[str, Any]:
+    """Parse ``tcp://host:port`` or ``unix://path``; returns ``(scheme, target)``."""
+    if address.startswith("tcp://"):
+        rest = address[len("tcp://"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ConfigurationError(f"tcp address needs host:port, got {address!r}")
+        return "tcp", (host or "127.0.0.1", int(port))
+    if address.startswith("unix://"):
+        path = address[len("unix://"):]
+        if not path:
+            raise ConfigurationError(f"unix address needs a path, got {address!r}")
+        return "unix", path
+    raise ConfigurationError(
+        f"unsupported address {address!r} (use tcp://host:port or unix://path)"
+    )
+
+
+async def _open_connection(address: str):
+    scheme, target = parse_address(address)
+    if scheme == "tcp":
+        return await asyncio.open_connection(target[0], target[1])
+    return await asyncio.open_unix_connection(target)
+
+
+class PeerLink:
+    """Reconnecting outbound frame link (see module docstring).
+
+    Args:
+        address: peer address URL.
+        max_queue: bounded outbound buffer (frames).
+        reconnect_min / reconnect_max: backoff window between connection
+            attempts; actual delays are jittered within it.
+        seed: jitter RNG seed (determinism in tests).
+    """
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        max_queue: int = 1024,
+        reconnect_min: float = 0.05,
+        reconnect_max: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        parse_address(address)  # fail fast on malformed addresses
+        self.address = address
+        self.max_queue = max_queue
+        self.reconnect_min = reconnect_min
+        self.reconnect_max = reconnect_max
+        self.sent = 0
+        self.dropped = 0
+        self.reconnects = 0
+        self._rng = random.Random(seed)
+        self._queue: asyncio.Queue[dict[str, Any] | None] = asyncio.Queue(maxsize=max_queue)
+        self._task: asyncio.Task | None = None
+        self._closed = False
+
+    def start(self) -> None:
+        """Start the writer task (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    def send(self, payload: dict[str, Any]) -> bool:
+        """Enqueue one frame; returns False (and counts) when the buffer is full."""
+        if self._closed:
+            self.dropped += 1
+            return False
+        self.start()
+        try:
+            self._queue.put_nowait(payload)
+        except asyncio.QueueFull:
+            self.dropped += 1
+            return False
+        return True
+
+    @property
+    def backlog(self) -> int:
+        """Frames waiting in the outbound buffer."""
+        return self._queue.qsize()
+
+    async def _run(self) -> None:
+        pending: dict[str, Any] | None = None
+        while not self._closed:
+            writer = None
+            try:
+                _reader, writer = await _open_connection(self.address)
+                while True:
+                    payload = pending if pending is not None else await self._queue.get()
+                    if payload is None:  # close sentinel
+                        self._closed = True
+                        break
+                    # Kept as `pending` until the drain succeeds, so a frame
+                    # that hits a connection error is retried on the next
+                    # connection (at-least-once; the layers above tolerate
+                    # duplicates and loss alike).
+                    pending = payload
+                    writer.write(encode_frame(payload))
+                    await writer.drain()  # real backpressure: slow peer blocks us
+                    pending = None
+                    self.sent += 1
+            except asyncio.CancelledError:
+                if writer is not None:
+                    writer.close()
+                raise
+            except Exception:
+                if writer is not None:
+                    writer.close()
+                self.reconnects += 1
+                await asyncio.sleep(self._rng.uniform(self.reconnect_min, self.reconnect_max))
+                continue
+            if writer is not None:
+                try:
+                    await writer.drain()
+                except Exception:
+                    pass
+                writer.close()
+            return
+
+    async def close(self) -> None:
+        """Flush best-effort and stop the writer task."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._task is not None:
+            try:
+                self._queue.put_nowait(None)
+            except asyncio.QueueFull:
+                self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._task = None
+
+
+class FrameConnection:
+    """One accepted inbound connection; handlers reply through :meth:`send`."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self.closed = False
+
+    def send(self, payload: dict[str, Any]) -> None:
+        """Queue one reply frame on this connection (fire-and-forget)."""
+        if self.closed:
+            return
+        try:
+            self._writer.write(encode_frame(payload))
+        except Exception:
+            self.closed = True
+
+
+FrameHandler = Callable[[dict[str, Any], FrameConnection], Awaitable[None]]
+HttpHandler = Callable[[str], "tuple[int, dict[str, Any]]"]
+
+
+class FrameServer:
+    """Inbound frame listener over TCP or UDS, with optional HTTP sniffing."""
+
+    def __init__(
+        self,
+        address: str,
+        handler: FrameHandler,
+        *,
+        http_handler: HttpHandler | None = None,
+        on_disconnect: Callable[[FrameConnection], None] | None = None,
+    ) -> None:
+        self.address = address
+        self.handler = handler
+        self.http_handler = http_handler
+        self.on_disconnect = on_disconnect
+        self.frames_received = 0
+        self.http_requests = 0
+        self.protocol_errors = 0
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        scheme, target = parse_address(self.address)
+        if scheme == "tcp":
+            self._server = await asyncio.start_server(self._client, target[0], target[1])
+            host, port = self._server.sockets[0].getsockname()[:2]
+            self.address = f"tcp://{host}:{port}"  # resolve ephemeral port 0
+        else:
+            self._server = await asyncio.start_unix_server(self._client, target)
+
+    async def _client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        conn = FrameConnection(writer)
+        try:
+            if self.http_handler is not None:
+                head = await reader.readexactly(_LENGTH.size)
+                if head == b"GET ":
+                    await self._http(head, reader, writer)
+                    return
+                (length,) = _LENGTH.unpack(head)
+                if length > MAX_FRAME:
+                    raise ProtocolError("oversized first frame")
+                body = await reader.readexactly(length)
+                payload = json.loads(body)
+                if not isinstance(payload, dict):
+                    raise ProtocolError("frame payload must be an object")
+                self.frames_received += 1
+                await self.handler(payload, conn)
+            while True:
+                payload = await read_frame(reader)
+                if payload is None:
+                    break
+                self.frames_received += 1
+                await self.handler(payload, conn)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # peer went away mid-frame: normal under chaos
+        except asyncio.CancelledError:
+            pass  # listener closing while the connection was idle
+        except ProtocolError:
+            self.protocol_errors += 1
+        finally:
+            conn.closed = True
+            if self.on_disconnect is not None:
+                self.on_disconnect(conn)
+            writer.close()
+
+    async def _http(self, head: bytes, reader, writer) -> None:
+        """Minimal HTTP/1.0 responder for the status surface."""
+        self.http_requests += 1
+        line = head + await reader.readline()
+        parts = line.decode("latin-1").split()
+        path = parts[1] if len(parts) >= 2 else "/"
+        # Drain the (ignored) header block so well-behaved clients are happy.
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+        assert self.http_handler is not None
+        status, document = self.http_handler(path)
+        body = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
+        reason = {200: "OK", 404: "Not Found"}.get(status, "OK")
+        writer.write(
+            (
+                f"HTTP/1.0 {status} {reason}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+        await writer.drain()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None

@@ -105,6 +105,26 @@ class FairnessTracker:
             self._pending.pop(node, None)
             self._wait_start.pop(node, None)
 
+    def on_cancel(self, node: int, time: float) -> None:
+        """One pending request of ``node`` was withdrawn (client deadline).
+
+        Unlike a crash this is *not* an excuse: the wait the request
+        accumulated was real starvation from the node's point of view, so the
+        stretch-so-far is folded into the per-node gap before the request
+        leaves the pending census.  The node stays a participant.
+        """
+        start = self._wait_start.get(node)
+        if start is not None:
+            gap = time - start
+            if gap > self._max_starve.get(node, 0.0):
+                self._max_starve[node] = gap
+        pending = self._pending.get(node, 0) - 1
+        if pending > 0:
+            self._pending[node] = pending
+        else:
+            self._pending.pop(node, None)
+            self._wait_start.pop(node, None)
+
     def on_failure(self, node: int, time: float) -> None:
         """Fail-stop crash: the node's open wait is excused, like the watchdog's."""
         self._pending.pop(node, None)

@@ -131,6 +131,7 @@ class OnlineLivenessWatchdog:
         "issued",
         "granted",
         "excused",
+        "cancelled",
         "max_gap",
         "max_gap_pending",
         "last_grant_at",
@@ -149,6 +150,7 @@ class OnlineLivenessWatchdog:
         self.issued = 0
         self.granted = 0
         self.excused = 0
+        self.cancelled = 0
         #: Largest observed event-time gap between consecutive grants while
         #: at least one request was pending, and the pending count then.
         self.max_gap = 0.0
@@ -186,6 +188,23 @@ class OnlineLivenessWatchdog:
         self.granted += 1
         if self.fairness is not None:
             self.fairness.on_grant(entry[0], time)
+        return entry[1]
+
+    def on_cancel(self, request_id: int, time: float) -> float | None:
+        """A pending request was withdrawn by its issuer (client deadline).
+
+        The lock-service runtime cancels a timed-out acquire instead of
+        letting it starve silently; a cancelled request is *resolved*, not
+        starved, so it leaves the pending map without failing the verdict —
+        but it never counts as progress either (the stall clock does not
+        reset).  Returns the issue time, ``None`` for an unknown id.
+        """
+        entry = self._pending.pop(request_id, None)
+        if entry is None:
+            return None
+        self.cancelled += 1
+        if self.fairness is not None:
+            self.fairness.on_cancel(entry[0], time)
         return entry[1]
 
     def on_failure(self, node: int, time: float) -> None:
@@ -246,6 +265,7 @@ class OnlineLivenessWatchdog:
             "granted": self.granted,
             "starved": self.starved,
             "excused": self.excused,
+            "cancelled": self.cancelled,
             "max_grant_gap": round(self.max_gap, 6),
             "max_grant_gap_pending": self.max_gap_pending,
             "grant_gap_threshold": self.max_grant_gap,

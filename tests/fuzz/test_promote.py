@@ -1,0 +1,167 @@
+"""Tests of the fuzz-corpus promotion helper (``--promote`` mode)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.__main__ import main
+from repro.fuzz.promote import PromotionReport, promote, signature_of
+
+CORPUS = Path(__file__).resolve().parents[1] / "scenarios" / "regressions"
+
+
+def load_checked_in(name: str) -> dict:
+    return json.loads((CORPUS / name).read_text())
+
+
+def write(path: Path, document: dict) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document))
+    return path
+
+
+class TestSignature:
+    def test_signature_ignores_spec_details(self):
+        document = load_checked_in("dup-crashes-central-coordinator.json")
+        original = signature_of(document)
+        mutated = json.loads(json.dumps(document))
+        mutated["spec"]["seed"] = 1
+        mutated["spec"]["n"] = 9
+        mutated["fuzz"]["index"] = 0
+        assert signature_of(mutated) == original
+
+    def test_signature_sorts_reasons(self):
+        a = {"kind": "k", "reasons": ["b", "a"], "spec": {"algorithm": "x"}}
+        b = {"kind": "k", "reasons": ["a", "b"], "spec": {"algorithm": "x"}}
+        assert signature_of(a) == signature_of(b)
+
+
+class TestPromote:
+    def test_known_signature_is_a_duplicate(self, tmp_path):
+        # A re-shrunk copy of a checked-in finding (different spec, same
+        # signature) must not be copied again.
+        document = load_checked_in("dup-crashes-central-coordinator.json")
+        document["spec"]["label"] = "refuzzed"
+        artifact = write(tmp_path / "repro.json", document)
+        report = promote(artifact, CORPUS, dry_run=True)
+        assert report.duplicates == [str(artifact)]
+        assert report.promoted == []
+        assert report.rejected == {}
+
+    def test_new_signature_is_promoted_and_verified(self, tmp_path):
+        document = load_checked_in("dup-crashes-central-coordinator.json")
+        document["reasons"] = ["error:ProtocolError", "invented-reason"]
+        corpus = tmp_path / "corpus"
+        artifact = write(tmp_path / "repro.json", document)
+        # With verification on, the doctored reasons fail to reproduce.
+        report = promote(artifact, corpus)
+        assert report.promoted == []
+        assert "does not reproduce" in report.rejected[str(artifact)]
+        # Without verification the new signature lands in the corpus...
+        report = promote(artifact, corpus, verify=False)
+        assert len(report.promoted) == 1
+        promoted = Path(report.promoted[0])
+        assert promoted.parent == corpus and promoted.exists()
+        assert signature_of(json.loads(promoted.read_text())) == signature_of(document)
+        # ...and a second run sees it as a duplicate.
+        report = promote(artifact, corpus, verify=False)
+        assert report.duplicates == [str(artifact)]
+
+    def test_genuine_finding_survives_replay(self, tmp_path):
+        # An untouched checked-in repro replayed against an empty corpus
+        # passes verification end to end.
+        document = load_checked_in("dup-crashes-central-coordinator.json")
+        artifact = write(tmp_path / "repro.json", document)
+        report = promote(artifact, tmp_path / "corpus", dry_run=True)
+        assert len(report.promoted) == 1
+        assert report.rejected == {}
+
+    def test_dry_run_writes_nothing(self, tmp_path):
+        document = load_checked_in("dup-crashes-central-coordinator.json")
+        artifact = write(tmp_path / "repro.json", document)
+        corpus = tmp_path / "corpus"
+        report = promote(artifact, corpus, dry_run=True, verify=False)
+        assert len(report.promoted) == 1
+        assert not corpus.exists()
+
+    def test_bad_schema_rejected(self, tmp_path):
+        artifact = write(tmp_path / "junk.json", {"schema": "other/v9"})
+        report = promote(artifact, tmp_path / "corpus")
+        assert report.promoted == []
+        assert "other/v9" in report.rejected[str(artifact)]
+
+    def test_broken_spec_rejected_not_fatal(self, tmp_path):
+        document = load_checked_in("dup-crashes-central-coordinator.json")
+        document["reasons"] = ["x"]  # new signature so replay is attempted
+        document["spec"] = {"algorithm": "central"}  # structurally incomplete
+        artifact = write(tmp_path / "repro.json", document)
+        report = promote(artifact, tmp_path / "corpus")
+        assert report.promoted == []
+        assert "replay error" in report.rejected[str(artifact)]
+
+    def test_campaign_directory_and_stream_shapes(self, tmp_path):
+        document = load_checked_in("dup-crashes-central-coordinator.json")
+        out = tmp_path / "fuzz-out"
+        write(out / "regressions" / "r1.json", document)
+        (out / "stream.jsonl").write_text('{"row": 1}\n')
+        # All three handles find the same single candidate.
+        for artifact in (out, out / "regressions", out / "stream.jsonl"):
+            report = promote(artifact, tmp_path / "corpus", dry_run=True)
+            assert len(report.promoted) == 1, artifact
+
+    def test_slug_collisions_get_suffixes(self, tmp_path):
+        document = load_checked_in("dup-crashes-central-coordinator.json")
+        corpus = tmp_path / "corpus"
+        out = tmp_path / "artifacts"
+        names = []
+        for index, reasons in enumerate((["r:a"], ["r:a", "z"], ["r:a", "y"])):
+            clone = json.loads(json.dumps(document))
+            clone["reasons"] = reasons  # same slug head, distinct signatures
+            write(out / f"c{index}.json", clone)
+        report = promote(out, corpus, verify=False)
+        names = sorted(Path(p).name for p in report.promoted)
+        assert len(set(names)) == 3
+        assert all(name.startswith("expected-failure-central-r-a") for name in names)
+
+    def test_missing_artifact_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            promote(tmp_path / "absent.json", tmp_path / "corpus")
+
+    def test_report_summary_schema(self):
+        summary = PromotionReport(corpus="c", dry_run=True).summary()
+        assert summary["schema"] == "fuzz-promotion/v1"
+        assert set(summary) == {
+            "schema",
+            "corpus",
+            "dry_run",
+            "promoted",
+            "duplicates",
+            "rejected",
+        }
+
+
+class TestCli:
+    def test_promote_mode_runs_without_fuzzing(self, tmp_path, capsys):
+        document = load_checked_in("dup-crashes-central-coordinator.json")
+        artifact = write(tmp_path / "repro.json", document)
+        code = main(
+            [
+                "--promote",
+                str(artifact),
+                "--regressions-dir",
+                str(tmp_path / "corpus"),
+                "--dry-run",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["schema"] == "fuzz-promotion/v1"
+        assert len(summary["promoted"]) == 1
+
+    def test_promote_missing_artifact_exits_nonzero(self, tmp_path, capsys):
+        code = main(["--promote", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "PROMOTE" in capsys.readouterr().err

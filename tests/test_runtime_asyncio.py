@@ -7,7 +7,8 @@ import asyncio
 import pytest
 
 from repro.core.builders import build_fault_tolerant_nodes, build_opencube_nodes
-from repro.runtime import AsyncioCluster
+from repro.runtime import AcquireInProgress, AcquireTimeout, AsyncioCluster, NodeCrashed
+from repro.simulation.network import NetworkFaults
 
 
 def run(coroutine):
@@ -88,3 +89,104 @@ class TestAsyncioCluster:
     def test_empty_cluster_rejected(self):
         with pytest.raises(Exception):
             AsyncioCluster({})
+
+
+class TestAcquireSemantics:
+    def test_acquire_timeout_is_typed_and_does_not_leak(self):
+        async def scenario():
+            async with AsyncioCluster(build_opencube_nodes(4)) as cluster:
+                await cluster.acquire(1, timeout=5.0)
+                with pytest.raises(AcquireTimeout) as excinfo:
+                    await cluster.acquire(2, timeout=0.2)
+                assert excinfo.value.node_id == 2
+                cluster.release(1)
+                # The timed-out request must not leave a grant stranded:
+                # when the algorithm serves it late, the runtime releases it
+                # and the token keeps circulating.
+                await cluster.acquire(3, timeout=5.0)
+                cluster.release(3)
+                return True
+
+        assert run(scenario())
+
+    def test_overlapping_acquire_rejected(self):
+        async def scenario():
+            async with AsyncioCluster(build_opencube_nodes(4)) as cluster:
+                await cluster.acquire(1, timeout=5.0)
+                first = asyncio.ensure_future(cluster.acquire(2, timeout=5.0))
+                await asyncio.sleep(0.02)
+                with pytest.raises(AcquireInProgress):
+                    await cluster.acquire(2, timeout=5.0)
+                cluster.release(1)
+                await first
+                cluster.release(2)
+                return True
+
+        assert run(scenario())
+
+    def test_stop_fails_waiting_acquires(self):
+        async def scenario():
+            cluster = AsyncioCluster(build_opencube_nodes(4))
+            await cluster.start()
+            await cluster.acquire(1, timeout=5.0)
+            waiter = asyncio.ensure_future(cluster.acquire(2, timeout=30.0))
+            await asyncio.sleep(0.02)
+            await cluster.stop()
+            with pytest.raises(AcquireTimeout):
+                await waiter
+            return True
+
+        assert run(scenario())
+
+    def test_crash_during_cs_regenerates_token(self):
+        async def scenario():
+            nodes = build_fault_tolerant_nodes(4, cs_duration_estimate=0.01)
+            async with AsyncioCluster(nodes, message_delay=0.001, jitter=0.001) as cluster:
+                await cluster.acquire(1, timeout=5.0)
+                cluster.crash_node(1)
+                with pytest.raises(NodeCrashed):
+                    await cluster.acquire(1, timeout=5.0)
+                # The token died with node 1; suspicion + search + root claim
+                # must regenerate it on the live loop.
+                await cluster.acquire(3, timeout=20.0)
+                cluster.release(3)
+                cluster.recover_node(1)
+                await cluster.acquire(1, timeout=20.0)
+                cluster.release(1)
+                return cluster.nodes[3].tokens_regenerated + cluster.nodes[
+                    2
+                ].tokens_regenerated + cluster.nodes[4].tokens_regenerated
+
+        assert run(scenario()) >= 1
+
+    def test_loss_and_duplication_keep_mutual_exclusion(self):
+        async def scenario():
+            nodes = build_fault_tolerant_nodes(4, cs_duration_estimate=0.01)
+            faults = NetworkFaults(loss_rate=0.05, dup_rate=0.1, seed=7)
+            async with AsyncioCluster(
+                nodes, message_delay=0.001, jitter=0.001, faults=faults
+            ) as cluster:
+                inside = 0
+                max_inside = 0
+                grants = 0
+
+                async def worker(node_id):
+                    nonlocal inside, max_inside, grants
+                    for _ in range(3):
+                        try:
+                            await cluster.acquire(node_id, timeout=15.0)
+                        except (AcquireTimeout, NodeCrashed):
+                            continue
+                        inside += 1
+                        max_inside = max(max_inside, inside)
+                        grants += 1
+                        await asyncio.sleep(0.002)
+                        inside -= 1
+                        cluster.release(node_id)
+
+                await asyncio.gather(*(worker(n) for n in sorted(nodes)))
+                return max_inside, grants, cluster.messages_lost
+
+        max_inside, grants, lost = run(scenario())
+        assert max_inside == 1  # safety holds under loss + duplication
+        assert grants >= 1
