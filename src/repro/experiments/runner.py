@@ -175,6 +175,9 @@ class RunResult:
     #: Telemetry-mode time series block (only when the scenario enabled the
     #: series sampler); ``None`` otherwise.
     series: dict[str, Any] | None = None
+    #: Sampled causal traces block (only when the scenario enabled
+    #: ``trace_sample``); ``None`` otherwise.
+    traces: dict[str, Any] | None = None
     #: The online safety/liveness verdict detail blocks backing
     #: ``safety_ok``/``liveness_ok`` in telemetry mode (and in full mode when
     #: ``liveness_thresholds`` forced a record replay); ``None`` otherwise.
@@ -407,6 +410,7 @@ def run_workload(
     metrics = cluster.metrics
     quantiles: dict[str, Any] | None = None
     series: dict[str, Any] | None = None
+    traces: dict[str, Any] | None = None
     online_checks: dict[str, Any] | None = None
     fairness: dict[str, Any] | None = None
     if metrics_detail == "telemetry":
@@ -418,6 +422,7 @@ def run_workload(
         liveness_ok = report["liveness"]["ok"]
         quantiles = report["quantiles"]
         series = report.get("series")
+        traces = report.get("traces")
         fairness = report.get("fairness")
         if thresholds:
             breaches = _threshold_breaches(thresholds, report["liveness"], fairness)
@@ -505,6 +510,7 @@ def run_workload(
         streamed=stream,
         quantiles=quantiles,
         series=series,
+        traces=traces,
         online_checks=online_checks,
         fairness=fairness,
     )

@@ -40,6 +40,7 @@ from repro.runtime.errors import (
 )
 from repro.runtime.transport import _open_connection, parse_address
 from repro.runtime.wire import encode_frame, read_frame
+from repro.telemetry.tracing import sample_request, trace_id_for
 
 __all__ = ["RetryPolicy", "LockClient"]
 
@@ -77,6 +78,13 @@ class LockClient:
             without coordination.
         retry: backoff schedule for transient failures.
         seed: jitter RNG seed (determinism in tests).
+        trace_sample: head-sampling rate for causal tracing.  A sampled
+            acquire mints a deterministic trace id (pure function of
+            ``(client_id, rid)`` — see :func:`repro.telemetry.tracing`) and
+            attaches it as ``"tr"`` on the acquire/release/cancel frames;
+            the server propagates it across peer hops and the monitor's
+            ``/traces`` endpoint reconstructs the journey.  ``1.0`` traces
+            everything (cheap: one hash per acquire), ``0.0`` disables.
     """
 
     def __init__(
@@ -86,11 +94,15 @@ class LockClient:
         *,
         retry: RetryPolicy | None = None,
         seed: int | None = None,
+        trace_sample: float = 1.0,
     ) -> None:
         parse_address(address)  # fail fast
         self.address = address
         self.client_id = client_id
         self.retry = retry if retry is not None else RetryPolicy()
+        self.trace_sample = trace_sample
+        self.traces_sampled = 0
+        self._trace_ids: dict[int, str] = {}
         self.retries = 0
         self.reconnects = 0
         self._rng = random.Random(client_id if seed is None else seed)
@@ -195,7 +207,17 @@ class LockClient:
     # ------------------------------------------------------------------
     def _next_rid(self) -> int:
         self._counter += 1
-        return self.client_id * 1_000_000 + self._counter
+        rid = self.client_id * 1_000_000 + self._counter
+        if self.trace_sample > 0.0 and sample_request(self.client_id, rid, self.trace_sample):
+            self._trace_ids[rid] = trace_id_for(self.client_id, rid)
+            self.traces_sampled += 1
+        return rid
+
+    def _with_trace(self, payload: dict[str, Any], rid: int) -> dict[str, Any]:
+        trace_id = self._trace_ids.get(rid)
+        if trace_id is not None:
+            payload["tr"] = trace_id
+        return payload
 
     async def _backoff(self, attempt: int, deadline: float | None) -> None:
         delay = self.retry.delay(attempt, self._rng)
@@ -230,7 +252,11 @@ class LockClient:
                 self._futures[rid] = future
                 # Same rid every attempt: the server's request state machine
                 # makes the retry idempotent.
-                self._send({"type": "acquire", "rid": rid, "client": self.client_id})
+                self._send(
+                    self._with_trace(
+                        {"type": "acquire", "rid": rid, "client": self.client_id}, rid
+                    )
+                )
                 remaining = None if deadline is None else max(0.0, deadline - loop.time())
                 frame = await asyncio.wait_for(future, remaining)
             except (ConnectionError, OSError, ServiceUnavailable) as exc:
@@ -252,6 +278,7 @@ class LockClient:
                 last_error = error
                 await self._backoff(attempt, deadline)
                 continue
+            self._trace_ids.pop(rid, None)
             raise RequestRejected(error, detail=str(frame.get("detail", "")))
 
     async def _abandon(self, rid: int) -> None:
@@ -260,10 +287,12 @@ class LockClient:
             await self._ensure_connected()
             future: asyncio.Future = asyncio.get_running_loop().create_future()
             self._futures[rid] = future
-            self._send({"type": "cancel", "rid": rid})
+            self._send(self._with_trace({"type": "cancel", "rid": rid}, rid))
             await asyncio.wait_for(future, 0.5)
         except (ConnectionError, OSError, ServiceUnavailable, asyncio.TimeoutError):
             self._futures.pop(rid, None)
+        finally:
+            self._trace_ids.pop(rid, None)
 
     async def release(self, rid: int) -> str:
         """Release the lock held under ``rid``.
@@ -284,7 +313,7 @@ class LockClient:
                 await self._ensure_connected()
                 future: asyncio.Future = loop.create_future()
                 self._futures[rid] = future
-                self._send({"type": "release", "rid": rid})
+                self._send(self._with_trace({"type": "release", "rid": rid}, rid))
                 frame = await asyncio.wait_for(future, self.retry.max_delay * 2)
             except (ConnectionError, OSError, ServiceUnavailable, asyncio.TimeoutError) as exc:
                 self.reconnects += 1
@@ -293,11 +322,13 @@ class LockClient:
                 continue
             kind = frame.get("type")
             if kind == "released":
+                self._trace_ids.pop(rid, None)
                 return "lost" if frame.get("lost") else "released"
             error = frame.get("error", "unknown")
             if error in _RETRYABLE:
                 # The home server is down right now; the crash already
                 # surrendered the CS, so the lock is simply gone.
+                self._trace_ids.pop(rid, None)
                 return "lost"
             raise RequestRejected(error, detail=str(frame.get("detail", "")))
 

@@ -1,0 +1,73 @@
+"""Structured JSON logging for the lock-service runtime.
+
+One stdlib-``logging`` line per lifecycle edge (issue, grant, exit, cancel,
+crash, recover), each a single JSON object so log processors need no
+parsing rules.  Trace ids propagate into the ``trace_id`` field, joining a
+request's log lines to its ``/traces`` span timeline.
+
+Loggers are created under the ``repro.runtime`` namespace with a
+:class:`logging.NullHandler` default — silent unless the embedding
+application configures handlers, or :func:`configure_json_logging` is
+called (the module CLI does).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any
+
+__all__ = ["JsonFormatter", "service_logger", "log_event", "configure_json_logging"]
+
+_ROOT = "repro.runtime"
+
+
+class JsonFormatter(logging.Formatter):
+    """Format each record as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            document.update(fields)
+        return json.dumps(document, sort_keys=True, default=str)
+
+
+def service_logger(name: str = _ROOT) -> logging.Logger:
+    """A namespaced runtime logger (NullHandler attached at the root once)."""
+    root = logging.getLogger(_ROOT)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+    return logging.getLogger(name)
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    *,
+    trace_id: str | None = None,
+    **fields: Any,
+) -> None:
+    """Emit one structured lifecycle line (no-op unless INFO is enabled)."""
+    if not logger.isEnabledFor(logging.INFO):
+        return
+    payload = {k: v for k, v in fields.items() if v is not None}
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    logger.info(event, extra={"fields": payload})
+
+
+def configure_json_logging(level: int = logging.INFO) -> None:
+    """Attach a JSON stream handler to the runtime logger namespace."""
+    root = logging.getLogger(_ROOT)
+    if any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(JsonFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)

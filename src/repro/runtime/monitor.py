@@ -22,7 +22,20 @@ mid-run ``/metrics`` scrape never applies events out of order.
 The monitor serves its status over the same listener that receives events:
 frame connections carry events, and an HTTP ``GET`` on the same port
 (sniffed by :class:`~repro.runtime.transport.FrameServer`) returns the JSON
-status document — ``/metrics``, ``/healthz`` and ``/alerts`` paths.
+status document — ``/metrics``, ``/healthz``, ``/alerts`` and ``/traces``
+paths.  ``/metrics`` additionally content-negotiates: an
+``Accept: text/plain`` request gets the Prometheus text exposition format
+instead of JSON.
+
+Health vs history: ``/healthz`` reports *active* conditions only — the
+safety verdict plus the currently open grant gap
+(:meth:`~repro.telemetry.online.OnlineLivenessWatchdog.current_gap`), which
+recovers as soon as a grant lands.  The alert deque is a bounded historical
+log; it never makes the service permanently unhealthy.
+
+Tracing: servers propagate client-minted trace ids on their events (``tr``
+key); the monitor assembles per-request span timelines from sampled events
+and serves the most recent completed ones at ``/traces``.
 """
 
 from __future__ import annotations
@@ -50,6 +63,9 @@ class SLOMonitor:
         reorder_window: hold-back (service-time seconds) for cross-link
             event reordering.
         max_alerts: bound on the retained alert list (oldest dropped).
+        max_traces: bound on retained completed traces (oldest dropped);
+            at most ``4 * max_traces`` still-active trace timelines are
+            kept (oldest evicted).
     """
 
     def __init__(
@@ -59,6 +75,7 @@ class SLOMonitor:
         max_grant_gap: float | None = None,
         reorder_window: float = 0.05,
         max_alerts: int = 256,
+        max_traces: int = 32,
     ) -> None:
         self.fairness = FairnessTracker()
         self.safety = OnlineSafetyChecker()
@@ -76,7 +93,16 @@ class SLOMonitor:
         self._tiebreak = itertools.count()
         self._watermark = 0.0
         self._finalized = False
-        self._gap_alerted = False
+        #: High-water mark of already-alerted grant gaps: a new alert fires
+        #: only when ``max_gap`` breaches the threshold AND sets a new
+        #: record, so a single long stall alerts once but a later, worse
+        #: stall still does.  (A plain bool latch would silence forever.)
+        self._gap_alerted_at = 0.0
+        self.max_traces = max_traces
+        #: Trace timelines being assembled: trace_id -> span dict.
+        self._trace_active: dict[str, dict[str, Any]] = {}
+        #: Most recent completed traces (the ``/traces`` body).
+        self._traces_done: deque[dict[str, Any]] = deque(maxlen=max_traces)
         self._server = FrameServer(address, self._on_frame, http_handler=self._on_http)
 
     # ------------------------------------------------------------------
@@ -149,10 +175,15 @@ class SLOMonitor:
             self.liveness.on_failure(node, t)
         elif kind == "recover":
             self.recoveries_seen += 1
+        elif kind == "send":
+            pass  # protocol-hop event: trace assembly only, no checker
         else:
             self.malformed_events += 1
             return
         self.events_applied += 1
+        trace_id = event.get("tr")
+        if trace_id is not None:
+            self._trace_event(trace_id, kind, t, event)
         if self.safety.violations > violations_before:
             self._alert(
                 "safety-violation",
@@ -162,10 +193,10 @@ class SLOMonitor:
         threshold = self.liveness.max_grant_gap
         if (
             threshold is not None
-            and not self._gap_alerted
             and self.liveness.max_gap > threshold
+            and self.liveness.max_gap > self._gap_alerted_at
         ):
-            self._gap_alerted = True
+            self._gap_alerted_at = self.liveness.max_gap
             self._alert(
                 "grant-gap-breach",
                 t,
@@ -174,6 +205,46 @@ class SLOMonitor:
                     "threshold": threshold,
                 },
             )
+
+    def _trace_event(self, trace_id: str, kind: str, t: float, event: dict[str, Any]) -> None:
+        """Fold one trace-carrying event into its span timeline."""
+        trace = self._trace_active.get(trace_id)
+        if trace is None:
+            if kind in ("exit", "cancel", "crash"):
+                return  # tail of a trace whose head we never saw
+            while len(self._trace_active) >= 4 * self.max_traces:
+                self._trace_active.pop(next(iter(self._trace_active)))
+            trace = {
+                "trace_id": trace_id,
+                "rid": event.get("rid", 0),
+                "node": event.get("node", 0),
+                "issued_at": None,
+                "granted_at": None,
+                "exited_at": None,
+                "hops": [],
+                "status": "active",
+            }
+            self._trace_active[trace_id] = trace
+        if kind == "issue":
+            trace["issued_at"] = t
+        elif kind == "grant":
+            trace["granted_at"] = t
+        elif kind == "send":
+            if len(trace["hops"]) < 64:
+                trace["hops"].append(
+                    {
+                        "t": t,
+                        "from": event.get("node", 0),
+                        "to": event.get("dest"),
+                        "kind": event.get("kind"),
+                    }
+                )
+        elif kind in ("exit", "cancel", "crash"):
+            if kind == "exit":
+                trace["exited_at"] = t
+            trace["status"] = {"exit": "done", "cancel": "cancelled", "crash": "failed"}[kind]
+            del self._trace_active[trace_id]
+            self._traces_done.append(trace)
 
     def _alert(self, kind: str, t: float, detail: dict[str, Any]) -> None:
         self.alerts.append({"kind": kind, "t": round(t, 6), "detail": detail})
@@ -199,12 +270,76 @@ class SLOMonitor:
             "finalized": self._finalized,
         }
 
-    def _on_http(self, path: str) -> tuple[int, dict[str, Any]]:
+    def healthz(self) -> dict[str, Any]:
+        """Active health conditions (the ``/healthz`` body).
+
+        Health is a *current* property: the safety verdict plus the
+        currently open grant gap, which resets as soon as a grant lands.
+        The alert log is history — a transient, already-recovered stall
+        must not keep the service unhealthy forever.
+        """
+        threshold = self.liveness.max_grant_gap
+        current_gap = self.liveness.current_gap(self._watermark)
+        stalled = threshold is not None and current_gap > threshold
+        return {
+            "ok": self.safety.ok and not stalled,
+            "safety_ok": self.safety.ok,
+            "stalled": stalled,
+            "current_grant_gap": round(current_gap, 6),
+            "grant_gap_threshold": threshold,
+            "pending": self.liveness.pending,
+            "alerts": len(self.alerts),  # historical count, informational
+        }
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition (``/metrics`` with ``Accept: text/plain``)."""
+        health = self.healthz()
+        fairness = self.fairness.report()
+        lines = []
+
+        def metric(name: str, kind: str, help_text: str, value: Any) -> None:
+            if value is None:
+                return
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {float(value):g}")
+
+        metric("mutex_safety_ok", "gauge", "1 when mutual exclusion has held so far.", int(self.safety.ok))
+        metric("mutex_safety_violations_total", "counter", "Mutual exclusion violations observed.", self.safety.violations)
+        metric("mutex_requests_issued_total", "counter", "Requests issued.", self.liveness.issued)
+        metric("mutex_requests_granted_total", "counter", "Requests granted.", self.liveness.granted)
+        metric("mutex_requests_cancelled_total", "counter", "Requests cancelled (client deadline).", self.liveness.cancelled)
+        metric("mutex_requests_excused_total", "counter", "Pending requests excused by crashes.", self.liveness.excused)
+        metric("mutex_requests_pending", "gauge", "Currently outstanding requests.", self.liveness.pending)
+        metric("mutex_grant_gap_current_seconds", "gauge", "Currently open no-progress gap.", health["current_grant_gap"])
+        metric("mutex_grant_gap_max_seconds", "gauge", "Largest no-progress gap observed.", round(self.liveness.max_gap, 6))
+        metric("mutex_fairness_jain_index", "gauge", "Jain fairness index over grant counts.", fairness.get("jain_index"))
+        metric("mutex_healthz_ok", "gauge", "1 when the active health conditions hold.", int(health["ok"]))
+        metric("mutex_alerts_total", "counter", "Alerts raised (bounded log).", len(self.alerts))
+        metric("mutex_events_received_total", "counter", "Event frames received.", self.events_received)
+        metric("mutex_events_applied_total", "counter", "Events applied to the checkers.", self.events_applied)
+        metric("mutex_events_malformed_total", "counter", "Malformed event frames.", self.malformed_events)
+        metric("mutex_crashes_total", "counter", "Crash events observed.", self.crashes_seen)
+        metric("mutex_recoveries_total", "counter", "Recovery events observed.", self.recoveries_seen)
+        metric("mutex_traces_completed", "gauge", "Completed sampled traces retained.", len(self._traces_done))
+        return "\n".join(lines) + "\n"
+
+    def traces(self) -> dict[str, Any]:
+        """Recent sampled traces (the ``/traces`` body)."""
+        return {
+            "completed": list(self._traces_done),
+            "active": len(self._trace_active),
+        }
+
+    def _on_http(self, path: str, headers: dict[str, str]) -> tuple[int, Any]:
         if path in ("/", "/metrics"):
+            if "text/plain" in headers.get("accept", ""):
+                return 200, self.prometheus()
             return 200, self.report()
         if path == "/healthz":
-            ok = self.safety.ok and not self.alerts
-            return 200, {"ok": ok, "alerts": len(self.alerts)}
+            return 200, self.healthz()
         if path == "/alerts":
             return 200, {"alerts": list(self.alerts)}
+        if path == "/traces":
+            return 200, self.traces()
         return 404, {"error": f"unknown path {path!r}"}

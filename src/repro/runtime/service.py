@@ -44,6 +44,14 @@ client requests with a retryable ``crashed`` error.  Every lifecycle edge
 (issue/grant/enter/exit/cancel/crash/recover) is streamed to an optional
 :class:`~repro.runtime.monitor.SLOMonitor` over a reliable link.
 
+Tracing: a client that head-sampled an acquire attaches a ``tr`` trace id
+to the frame; the server stores it on the waiter, stamps it on monitor
+events and structured log lines, and propagates it onto every protocol
+frame sent while the node works on that request's behalf (both from the
+acquire/release call itself and, transitively, while handling an inbound
+protocol frame that carried a trace id) — so the monitor's ``/traces``
+endpoint can reconstruct the request's full causal journey across peers.
+
 ``python -m repro.runtime.service`` runs one server as its own OS process —
 see the module's ``main`` and ``examples/asyncio_lock_service.py --tcp``.
 """
@@ -61,8 +69,9 @@ from typing import Any, Callable
 from repro.core.messages import Message
 from repro.exceptions import ConfigurationError, ReproError
 from repro.runtime.faults import DROP, DUPLICATE, RuntimeChaos
+from repro.runtime.logs import log_event, service_logger
 from repro.runtime.transport import FrameConnection, FrameServer, PeerLink
-from repro.runtime.wire import message_to_wire, wire_to_message
+from repro.runtime.wire import message_to_wire, wire_to_message, wire_trace_id
 from repro.simulation.process import Environment, MutexNode
 
 __all__ = ["LockServerConfig", "LockServer", "start_servers", "main"]
@@ -150,13 +159,23 @@ class LockServerConfig:
 class _Waiter:
     """One queued client acquire."""
 
-    __slots__ = ("rid", "client", "conn", "cancelled")
+    __slots__ = ("rid", "client", "conn", "cancelled", "trace")
 
-    def __init__(self, rid: int, client: int, conn: FrameConnection) -> None:
+    def __init__(
+        self,
+        rid: int,
+        client: int,
+        conn: FrameConnection,
+        trace: str | None = None,
+    ) -> None:
         self.rid = rid
         self.client = client
         self.conn = conn
         self.cancelled = False
+        #: Propagated trace id (client head-sampling decides; ``None`` when
+        #: the request is unsampled).  Rides on every protocol frame the
+        #: node sends while working on this request's behalf.
+        self.trace = trace
 
 
 class _ServiceEnvironment(Environment):
@@ -271,6 +290,13 @@ class LockServer:
         self._waiters: deque[_Waiter] = deque()
         self._pending: dict[int, _Waiter] = {}
         self._holder: int | None = None
+        # Causal trace context: set while the node runs on behalf of a traced
+        # request (client acquire) or a traced inbound protocol frame, so
+        # every protocol frame sent synchronously from that work carries the
+        # same trace id — REQUEST forwarding and token hops chain naturally.
+        self._current_trace: str | None = None
+        self._holder_trace: str | None = None
+        self._log = service_logger(f"repro.runtime.node.{config.node_id}")
         self._recent: OrderedDict[int, str] = OrderedDict()
         self._chaos_handles: list[asyncio.TimerHandle] = []
         self._listening = False
@@ -373,8 +399,15 @@ class LockServer:
             "from": self.config.node_id,
             "s": seq,
             "i": self._incarnation,
-            "m": message_to_wire(message),
+            "m": message_to_wire(message, trace_id=self._current_trace),
         }
+        if self._current_trace is not None:
+            self._emit(
+                "send",
+                trace=self._current_trace,
+                dest=dest,
+                kind=type(message).__name__,
+            )
         # Buffered before the first (chaos-filtered) transmission: a frame
         # the fault layer eats on the wire is still retransmitted until the
         # receiver acks it.  The cap only bounds memory against a peer that
@@ -485,18 +518,31 @@ class LockServer:
         except ReproError as exc:
             self.node_errors.append(f"timer {name}: {exc}")
 
-    def _emit(self, event: str, rid: int = 0) -> None:
+    def _emit(
+        self,
+        event: str,
+        rid: int = 0,
+        *,
+        trace: str | None = None,
+        dest: int | None = None,
+        kind: str | None = None,
+    ) -> None:
         if self._monitor_link is None:
             return
-        self._monitor_link.send(
-            {
-                "type": "event",
-                "e": event,
-                "node": self.config.node_id,
-                "rid": rid,
-                "t": round(self.now, 6),
-            }
-        )
+        payload: dict[str, Any] = {
+            "type": "event",
+            "e": event,
+            "node": self.config.node_id,
+            "rid": rid,
+            "t": round(self.now, 6),
+        }
+        if trace is not None:
+            payload["tr"] = trace
+        if dest is not None:
+            payload["dest"] = dest
+        if kind is not None:
+            payload["kind"] = kind
+        self._monitor_link.send(payload)
 
     # ------------------------------------------------------------------
     # Frame handling
@@ -550,8 +596,16 @@ class LockServer:
             self.dropped_while_crashed += 1
             return
         try:
-            message = wire_to_message(frame.get("m", {}))
-            self._dispatch_to_node(self.node.on_message, sender, message)
+            wire = frame.get("m", {})
+            message = wire_to_message(wire)
+            # Inbound trace context: protocol frames sent synchronously while
+            # handling this message (forwarded REQUESTs, token hops, grants)
+            # inherit the incoming frame's trace id.
+            self._current_trace = wire_trace_id(wire)
+            try:
+                self._dispatch_to_node(self.node.on_message, sender, message)
+            finally:
+                self._current_trace = None
         except ReproError as exc:
             # A protocol anomaly (e.g. a duplicated token the algorithm
             # rejects loudly) must not kill the server; it is recorded and
@@ -598,10 +652,18 @@ class LockServer:
             conn.send({"type": "error", "rid": rid, "error": "stale-request"})
             return
         # New request (including re-issues after a cancel or a crash).
-        waiter = _Waiter(rid, client, conn)
+        trace = frame.get("tr")
+        if not isinstance(trace, str):
+            trace = None
+        waiter = _Waiter(rid, client, conn, trace=trace)
         self._waiters.append(waiter)
         self._pending[rid] = waiter
-        self._emit("issue", rid)
+        self._emit("issue", rid, trace=trace)
+        log_event(
+            self._log, "issue", trace_id=trace,
+            node=self.config.node_id, rid=rid, client=client, t=round(self.now, 6),
+        )
+        self._current_trace = trace
         try:
             self.node.acquire()
         except ReproError as exc:
@@ -609,6 +671,8 @@ class LockServer:
             self._pending.pop(rid, None)
             self.node_errors.append(f"acquire: {exc}")
             conn.send({"type": "error", "rid": rid, "error": "protocol", "detail": str(exc)})
+        finally:
+            self._current_trace = None
 
     def _on_granted(self, _node_id: int) -> None:
         """Granted callback from the node — route the grant to a client."""
@@ -625,8 +689,13 @@ class LockServer:
                 loop.call_soon(self._auto_release)
                 return
             self._holder = waiter.rid
-            self._emit("grant", waiter.rid)
-            self._emit("enter", waiter.rid)
+            self._holder_trace = waiter.trace
+            self._emit("grant", waiter.rid, trace=waiter.trace)
+            self._emit("enter", waiter.rid, trace=waiter.trace)
+            log_event(
+                self._log, "grant", trace_id=waiter.trace,
+                node=self.config.node_id, rid=waiter.rid, t=round(self.now, 6),
+            )
             waiter.conn.send({"type": "granted", "rid": waiter.rid})
             return
         # A grant with no queued client at all (e.g. all were cancelled and
@@ -649,13 +718,22 @@ class LockServer:
             conn.send({"type": "error", "rid": rid, "error": "crashed"})
             return
         if rid == self._holder:
+            trace = self._holder_trace
             self._holder = None
+            self._holder_trace = None
             self._remember(rid, "released")
-            self._emit("exit", rid)
+            self._emit("exit", rid, trace=trace)
+            log_event(
+                self._log, "exit", trace_id=trace,
+                node=self.config.node_id, rid=rid, t=round(self.now, 6),
+            )
+            self._current_trace = trace
             try:
                 self.node.release()
             except ReproError as exc:
                 self.node_errors.append(f"release: {exc}")
+            finally:
+                self._current_trace = None
             conn.send({"type": "released", "rid": rid})
             return
         state = self._recent.get(rid)
@@ -673,14 +751,19 @@ class LockServer:
         if rid == self._holder:
             # The grant and the client's deadline crossed in flight: the
             # client no longer wants the CS, so release on its behalf.
+            trace = self._holder_trace
             self._holder = None
+            self._holder_trace = None
             self._remember(rid, "released")
-            self._emit("exit", rid)
+            self._emit("exit", rid, trace=trace)
             if not self.crashed:
+                self._current_trace = trace
                 try:
                     self.node.release()
                 except ReproError as exc:
                     self.node_errors.append(f"cancel-release: {exc}")
+                finally:
+                    self._current_trace = None
             conn.send({"type": "cancelled", "rid": rid})
             return
         waiter = self._pending.pop(rid, None) if isinstance(rid, int) else None
@@ -691,7 +774,11 @@ class LockServer:
             # placeholder until its grant arrives and is auto-released.
             waiter.cancelled = True
             self._remember(rid, "cancelled")
-            self._emit("cancel", rid)
+            self._emit("cancel", rid, trace=waiter.trace)
+            log_event(
+                self._log, "cancel", trace_id=waiter.trace,
+                node=self.config.node_id, rid=rid, t=round(self.now, 6),
+            )
         conn.send({"type": "cancelled", "rid": rid})
 
     # ------------------------------------------------------------------
@@ -714,6 +801,7 @@ class LockServer:
         if self._holder is not None:
             self._remember(self._holder, "crashed")
             self._holder = None
+            self._holder_trace = None
         # Volatile state is lost: unacked pre-crash frames die with it (the
         # fail-stop model allows in-flight messages to vanish at a crash).
         self._unacked.clear()
@@ -722,6 +810,7 @@ class LockServer:
         except ReproError as exc:
             self.node_errors.append(f"on_crash: {exc}")
         self._emit("crash")
+        log_event(self._log, "crash", node=self.config.node_id, t=round(self.now, 6))
 
     def inject_recover(self) -> None:
         """Restart the node (only stable storage survives, as in the paper)."""
@@ -733,6 +822,7 @@ class LockServer:
         except ReproError as exc:
             self.node_errors.append(f"on_recover: {exc}")
         self._emit("recover")
+        log_event(self._log, "recover", node=self.config.node_id, t=round(self.now, 6))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -766,7 +856,7 @@ class LockServer:
             "snapshot": _jsonable(self.node.snapshot()),
         }
 
-    def _on_http(self, path: str) -> tuple[int, dict[str, Any]]:
+    def _on_http(self, path: str, headers: dict[str, str]) -> tuple[int, dict[str, Any]]:
         if path in ("/", "/status"):
             return 200, self.status()
         return 404, {"error": f"unknown path {path!r}"}

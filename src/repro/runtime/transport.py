@@ -185,7 +185,10 @@ class FrameConnection:
 
 
 FrameHandler = Callable[[dict[str, Any], FrameConnection], Awaitable[None]]
-HttpHandler = Callable[[str], "tuple[int, dict[str, Any]]"]
+#: ``(path, headers)`` -> ``(status, document)``.  Headers arrive with
+#: lower-cased names.  A dict document is served as JSON, a str as
+#: ``text/plain`` (Prometheus exposition format).
+HttpHandler = Callable[[str, "dict[str, str]"], "tuple[int, Any]"]
 
 
 class FrameServer:
@@ -258,19 +261,29 @@ class FrameServer:
         line = head + await reader.readline()
         parts = line.decode("latin-1").split()
         path = parts[1] if len(parts) >= 2 else "/"
-        # Drain the (ignored) header block so well-behaved clients are happy.
+        # Collect the header block (lower-cased names) — content negotiation
+        # (e.g. ``Accept: text/plain`` for Prometheus exposition) needs it.
+        headers: dict[str, str] = {}
         while True:
             header = await reader.readline()
             if header in (b"\r\n", b"\n", b""):
                 break
+            name, sep, value = header.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
         assert self.http_handler is not None
-        status, document = self.http_handler(path)
-        body = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
-        reason = {200: "OK", 404: "Not Found"}.get(status, "OK")
+        status, document = self.http_handler(path, headers)
+        if isinstance(document, str):
+            body = document.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(document, indent=2, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
+        reason = {200: "OK", 404: "Not Found", 406: "Not Acceptable"}.get(status, "OK")
         writer.write(
             (
                 f"HTTP/1.0 {status} {reason}\r\n"
-                "Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 "Connection: close\r\n\r\n"
             ).encode("latin-1")

@@ -40,6 +40,7 @@ __all__ = [
     "read_frame",
     "message_to_wire",
     "wire_to_message",
+    "wire_trace_id",
 ]
 
 #: Hard cap on one frame's JSON payload (1 MiB — protocol frames are tiny;
@@ -89,8 +90,14 @@ def _decode_value(value: Any) -> Any:
     return value
 
 
-def message_to_wire(message: Message) -> dict[str, Any]:
-    """Encode a protocol :class:`Message` as a JSON-ready dict."""
+def message_to_wire(message: Message, trace_id: str | None = None) -> dict[str, Any]:
+    """Encode a protocol :class:`Message` as a JSON-ready dict.
+
+    ``trace_id`` (when set) rides along as a ``"tr"`` key — causal trace
+    propagation across peer hops.  It is transport metadata, not a message
+    field: :func:`wire_to_message` ignores it, so traced and untraced frames
+    decode to identical messages.
+    """
     cls = type(message)
     if dataclasses.is_dataclass(message):
         fields = {f.name: getattr(message, f.name) for f in dataclasses.fields(message)}
@@ -99,7 +106,16 @@ def message_to_wire(message: Message) -> dict[str, Any]:
         if names is None:
             raise ProtocolError(f"cannot serialise message type {cls.__name__}")
         fields = {name: getattr(message, name) for name in names}
-    return {"m": cls.__name__, "f": {k: _encode_value(v) for k, v in fields.items()}}
+    wire = {"m": cls.__name__, "f": {k: _encode_value(v) for k, v in fields.items()}}
+    if trace_id is not None:
+        wire["tr"] = trace_id
+    return wire
+
+
+def wire_trace_id(data: dict[str, Any]) -> str | None:
+    """Extract the propagated trace id from a wire dict (``None`` if absent)."""
+    trace_id = data.get("tr")
+    return trace_id if isinstance(trace_id, str) else None
 
 
 def wire_to_message(data: dict[str, Any]) -> Message:

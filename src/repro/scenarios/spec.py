@@ -600,6 +600,8 @@ class ScenarioResult:
             row["lookahead"] = result.extra.get("lookahead")
         if result.series is not None:
             row["series"] = result.series
+        if result.traces is not None:
+            row["traces"] = result.traces
         if spec.serial:
             row["max_messages_per_request"] = result.max_messages_per_request
         if spec.label is not None:

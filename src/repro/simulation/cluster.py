@@ -191,6 +191,13 @@ class SimulatedCluster:
                     - self._delivered_total
                 ),
             )
+        # Causal trace recorder (None unless telemetry tracing is on); bound
+        # here so the sampling seed is pinned before the first issue and the
+        # send fast paths can specialise on `recorder is None` at bind time.
+        recorder = telemetry.tracing if telemetry is not None else None
+        if recorder is not None:
+            recorder.bind_seed(seed)
+        self._trace_recorder = recorder
 
         self.simulator.set_delivery_handler(self._deliver)
         self.simulator.set_timer_handler(self._fire_timer)
@@ -263,6 +270,7 @@ class SimulatedCluster:
         counters_only = not metrics._keep_records
         by_kind = metrics.messages_by_kind
         by_sender = metrics.messages_by_sender
+        recorder = self._trace_recorder
         faults = self.network_faults
 
         if faults is None:
@@ -287,6 +295,8 @@ class SimulatedCluster:
                     record_send(now, sender, dest, kind)
                 if trace is not None:
                     trace.emit(now, TraceCategory.SEND, sender, dest=dest, kind=kind)
+                if recorder is not None:
+                    recorder.on_send(now, sender, dest, message)
                 delay = sample_delay(sender, dest)
                 if fifo:
                     arrival = delivery_time(sender, dest, now, delay)
@@ -326,6 +336,8 @@ class SimulatedCluster:
                 record_send(now, sender, dest, kind)
             if trace is not None:
                 trace.emit(now, TraceCategory.SEND, sender, dest=dest, kind=kind)
+            if recorder is not None:
+                recorder.on_send(now, sender, dest, message)
             for window in partitions:
                 if window.severs(sender, dest, now):
                     # No RNG draw for blocked messages: partition membership
@@ -337,6 +349,8 @@ class SimulatedCluster:
                             now, TraceCategory.DROP, dest,
                             sender=sender, kind=kind, fault="partition",
                         )
+                    if recorder is not None:
+                        recorder.on_drop(now, sender, dest, message, "partition")
                     return
             if loss_rate and fault_rand() < loss_rate:
                 metrics.lost_messages += 1
@@ -345,6 +359,8 @@ class SimulatedCluster:
                         now, TraceCategory.DROP, dest,
                         sender=sender, kind=kind, fault="loss",
                     )
+                if recorder is not None:
+                    recorder.on_drop(now, sender, dest, message, "loss")
                 return
             delay = sample_delay(sender, dest)
             if fifo:
@@ -376,6 +392,7 @@ class SimulatedCluster:
         # Simulator.schedule_delivery).
         self._delivered_total += 1
         sender, dest, message, _sent_at = delivery
+        recorder = self._trace_recorder
         if dest in self.failed:
             # Fail-stop: messages in transit towards a crashed node are lost.
             self.metrics.dropped_messages += 1
@@ -388,6 +405,10 @@ class SimulatedCluster:
                     sender=sender,
                     kind=message.kind,
                 )
+            if recorder is not None:
+                recorder.on_drop(
+                    self.simulator._time, sender, dest, message, "crashed-dest"
+                )
             return
         trace = self._trace
         if trace is not None:
@@ -398,6 +419,8 @@ class SimulatedCluster:
                 sender=sender,
                 kind=message.kind,
             )
+        if recorder is not None:
+            recorder.on_deliver(self.simulator._time, sender, dest, message)
         self.nodes[dest].on_message(sender, message)
 
     def _fire_timer(self, expiry: TimerExpiry) -> None:

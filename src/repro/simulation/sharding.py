@@ -241,6 +241,7 @@ class ShardWorkerCluster(SimulatedCluster):
         counters_only = not metrics._keep_records
         by_kind = metrics.messages_by_kind
         by_sender = metrics.messages_by_sender
+        recorder = self._trace_recorder
         sample_delay = self.delay_model.bind(SenderDelayStream(self._delay_seed, sender))
 
         def send(dest: int, message: Message) -> None:
@@ -260,6 +261,8 @@ class ShardWorkerCluster(SimulatedCluster):
                 record_send(now, sender, dest, kind)
             if trace is not None:
                 trace.emit(now, TraceCategory.SEND, sender, dest=dest, kind=kind)
+            if recorder is not None:
+                recorder.on_send(now, sender, dest, message)
             arrival = now + sample_delay(sender, dest)
             if dest in local:
                 schedule_delivery(arrival, sender, dest, message, now)
@@ -537,6 +540,11 @@ def _merge_telemetry(hubs: list[Any], grant_gap_threshold: float | None):
         head.waiting_time.merge(other.waiting_time)
         head.cs_hold.merge(other.cs_hold)
         head.request_messages.merge(other.request_messages)
+        if head.tracing is not None and other.tracing is not None:
+            # Cross-shard hops are partial by construction (a shard never
+            # sees a remote requester's issue); merging keeps what each
+            # shard's recorder did see, in deterministic order.
+            head.tracing.merge(other.tracing)
 
     safety_reports = [hub.safety.report() for hub in hubs]
     violations = sum(r["violations"] for r in safety_reports)
@@ -844,6 +852,11 @@ def run_sharded(
         streamed=stream,
         quantiles=quantiles,
         series=None,
+        traces=(
+            merged_hub.tracing.block()
+            if merged_hub is not None and merged_hub.tracing is not None
+            else None
+        ),
         online_checks=online_checks,
         fairness=fairness_report,
         extra={

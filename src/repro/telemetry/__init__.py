@@ -13,7 +13,10 @@ zero per-message/per-request records yet still report
   max per-node starvation gap — from a bounded O(n) census riding the
   liveness watchdog's event stream (:mod:`repro.telemetry.fairness`), and
 * an optional compact time series of engine progress, agenda size,
-  in-flight messages and token location (:mod:`repro.telemetry.series`).
+  in-flight messages and token location (:mod:`repro.telemetry.series`), and
+* optional causal traces of deterministically head-sampled requests —
+  issue → REQUEST hops → token hops → grant → exit — exportable as Chrome
+  trace-event JSON (:mod:`repro.telemetry.tracing`).
 
 :class:`RunTelemetry` (:mod:`repro.telemetry.collector`) is the per-run hub
 that fans the metric hooks out to all of the above; :class:`TelemetryOptions`
@@ -26,6 +29,12 @@ from repro.telemetry.fairness import FairnessTracker
 from repro.telemetry.online import OnlineLivenessWatchdog, OnlineSafetyChecker
 from repro.telemetry.series import SERIES_COLUMNS, SeriesSampler
 from repro.telemetry.sketches import LogHistogram
+from repro.telemetry.tracing import (
+    RequestTraceRecorder,
+    chrome_trace_events,
+    sample_request,
+    trace_id_for,
+)
 
 __all__ = [
     "RunTelemetry",
@@ -36,4 +45,8 @@ __all__ = [
     "SeriesSampler",
     "SERIES_COLUMNS",
     "LogHistogram",
+    "RequestTraceRecorder",
+    "chrome_trace_events",
+    "sample_request",
+    "trace_id_for",
 ]

@@ -23,6 +23,7 @@ from repro.telemetry.fairness import FairnessTracker
 from repro.telemetry.online import OnlineLivenessWatchdog, OnlineSafetyChecker
 from repro.telemetry.series import SeriesSampler
 from repro.telemetry.sketches import LogHistogram
+from repro.telemetry.tracing import RequestTraceRecorder
 
 __all__ = ["TelemetryOptions", "RunTelemetry"]
 
@@ -46,6 +47,13 @@ class TelemetryOptions:
             :class:`~repro.telemetry.fairness.FairnessTracker` on the
             watchdog's event stream (O(n) memory; on by default — the scale
             rows' Jain index / starvation-gap columns come from it).
+        trace_sample: head-sampling rate in ``(0, 1]`` of the causal
+            request/token tracer (:mod:`repro.telemetry.tracing`); ``None``
+            (default) disables tracing.  Sampling is a pure function of
+            ``(seed, request_id)`` — never an RNG draw — so enabling it
+            cannot move a golden digest.
+        trace_limit: retained finished traces (overflow counted as
+            ``truncated``, not stored).
     """
 
     sketch_growth: float = 1.05
@@ -53,6 +61,8 @@ class TelemetryOptions:
     series_max_samples: int = 512
     max_grant_gap: float | None = None
     fairness: bool = True
+    trace_sample: float | None = None
+    trace_limit: int = 16
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -86,6 +96,7 @@ class RunTelemetry:
         "cs_hold",
         "request_messages",
         "series",
+        "tracing",
         "token_holder",
         "_last_issue_messages",
         "_finalized",
@@ -110,6 +121,12 @@ class RunTelemetry:
         self.series: SeriesSampler | None = (
             SeriesSampler(options.series_cadence, max_samples=options.series_max_samples)
             if options.series_cadence is not None
+            else None
+        )
+        #: Causal request/token tracer (``None`` unless ``trace_sample`` set).
+        self.tracing: RequestTraceRecorder | None = (
+            RequestTraceRecorder(options.trace_sample, limit=options.trace_limit)
+            if options.trace_sample is not None
             else None
         )
         #: Node of the most recent CS entry — the last known token location.
@@ -151,6 +168,8 @@ class RunTelemetry:
             self.request_messages.add(float(total_sent - self._last_issue_messages))
         self._last_issue_messages = total_sent
         self.liveness.on_issue(request_id, node, time)
+        if self.tracing is not None:
+            self.tracing.on_issue(request_id, node, time)
         series = self.series
         if series is not None and time >= series.due:
             series.sample(time, self.token_holder)
@@ -161,6 +180,8 @@ class RunTelemetry:
         if issued_at is None:
             return False
         self.waiting_time.add(time - issued_at)
+        if self.tracing is not None:
+            self.tracing.on_grant(request_id, time)
         series = self.series
         if series is not None and time >= series.due:
             series.sample(time, self.token_holder)
@@ -177,10 +198,14 @@ class RunTelemetry:
         entered_at = self.safety.on_exit(node, time)
         if entered_at is not None:
             self.cs_hold.add(time - entered_at)
+        if self.tracing is not None:
+            self.tracing.on_cs_exit(node, time)
 
     def on_failure(self, node: int, time: float) -> None:
         self.safety.on_failure(node, time)
         self.liveness.on_failure(node, time)
+        if self.tracing is not None:
+            self.tracing.on_failure(node, time)
 
     # ------------------------------------------------------------------
     # Results
@@ -203,6 +228,8 @@ class RunTelemetry:
             self.request_messages.add(float(total_sent - self._last_issue_messages))
             self._last_issue_messages = total_sent
         self.liveness.finalize(end_time)
+        if self.tracing is not None:
+            self.tracing.finalize(end_time)
         series = self.series
         if series is not None:
             series.sample(end_time, self.token_holder)
@@ -226,4 +253,6 @@ class RunTelemetry:
             report["fairness"] = self.fairness.report()
         if self.series is not None:
             report["series"] = self.series.block()
+        if self.tracing is not None:
+            report["traces"] = self.tracing.block()
         return report

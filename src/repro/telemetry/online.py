@@ -241,6 +241,18 @@ class OnlineLivenessWatchdog:
         """Number of currently outstanding (issued, ungranted) requests."""
         return len(self._pending)
 
+    def current_gap(self, now: float) -> float:
+        """The *currently open* no-progress gap at event time ``now``.
+
+        Zero when nothing is pending (idle is not a stall).  Unlike
+        :attr:`max_gap` — a historical high-water mark that never recedes —
+        this recovers as soon as a grant lands, so health endpoints can
+        distinguish "is stalled" from "has ever stalled".
+        """
+        if not self._pending:
+            return 0.0
+        return max(0.0, now - self._last_progress_at)
+
     @property
     def starved(self) -> int:
         """Requests left ungranted (and unexcused) at finalize time."""

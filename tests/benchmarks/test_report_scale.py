@@ -1,0 +1,111 @@
+"""Scale-report generator tests: self-containment, waterfalls, jsonl input.
+
+The report is a CI artifact meant to archive and render offline forever, so
+the load-bearing property is **self-containment**: no scripts, no external
+fetches of any kind.  The checked-in bench artifacts are the primary input;
+a synthetic document with embedded traces and series exercises the
+waterfall and time-series sections that the checked-in artifact predates.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import messages
+from repro.scenarios import ScenarioSpec, WorkloadSpec, run_scenario
+from repro.workload.arrivals import poisson_arrivals
+
+REPO = Path(__file__).resolve().parent.parent.parent
+REPORT_PATH = REPO / "benchmarks" / "report_scale.py"
+
+_spec = importlib.util.spec_from_file_location("report_scale", REPORT_PATH)
+report_scale = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("report_scale", report_scale)
+_spec.loader.exec_module(report_scale)
+
+#: Substrings that would make the report depend on the outside world.
+FORBIDDEN = ("http://", "https://", "<script", "@import", "url(", "<link", "srcset")
+
+
+def render_to(tmp_path, *argv):
+    out = tmp_path / "report.html"
+    assert report_scale.main([*argv, "--out", str(out)]) == 0
+    return out.read_text(encoding="utf-8")
+
+
+class TestCheckedInArtifacts:
+    def test_renders_and_is_self_contained(self, tmp_path):
+        text = render_to(
+            tmp_path,
+            "--scale", str(REPO / "BENCH_scale.json"),
+            "--service", str(REPO / "BENCH_service.json"),
+        )
+        for needle in FORBIDDEN:
+            assert needle not in text, f"report is not self-contained: {needle!r}"
+        for section in (
+            "Waiting-time quantiles vs n",
+            "Engine throughput trajectory",
+            "Fairness heatmap",
+            "Per-run time series",
+            "Trace waterfalls",
+            "Service benchmark",
+        ):
+            assert section in text
+        assert "<svg" in text and "polyline" in text
+        # The ±40% machine-noise band around the seed baseline.
+        assert "polygon" in text
+
+    def test_jsonl_input(self, tmp_path):
+        text = render_to(tmp_path, "--scale", str(REPO / "BENCH_scale.jsonl"))
+        for needle in FORBIDDEN:
+            assert needle not in text
+        assert "Waiting-time quantiles vs n" in text
+
+    def test_missing_service_artifact_is_skipped(self, tmp_path):
+        text = render_to(
+            tmp_path,
+            "--scale", str(REPO / "BENCH_scale.json"),
+            "--service", str(tmp_path / "nope.json"),
+        )
+        assert "Service benchmark" not in text
+
+
+class TestTraceWaterfall:
+    @pytest.fixture()
+    def traced_document(self, tmp_path):
+        """A tiny real run with sampled traces embedded in the row."""
+        messages._request_counter = __import__("itertools").count(1)
+        spec = ScenarioSpec(
+            algorithm="open-cube",
+            n=8,
+            seed=5,
+            metrics_detail="telemetry",
+            telemetry={"trace_sample": 1.0},
+            workload=WorkloadSpec(
+                "poisson", {"count": 12, "rate": 1.0, "seed": 3, "hold": 0.2}
+            ),
+        )
+        row = run_scenario(spec)
+        assert row["traces"]["retained"] >= 1
+        path = tmp_path / "traced.json"
+        path.write_text(json.dumps({"schema": "bench-scale/v6", "results": [row]}))
+        return path
+
+    def test_waterfall_renders_spans_and_hops(self, tmp_path, traced_document):
+        text = render_to(tmp_path, "--scale", str(traced_document))
+        for needle in FORBIDDEN:
+            assert needle not in text
+        assert 'class="waterfall"' in text
+        assert "critical section" in text
+        assert "RequestMessage" in text or "TokenMessage" in text
+
+    def test_waterfall_placeholder_without_traces(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps({"results": [{"algorithm": "open-cube", "n": 4}]}))
+        text = render_to(tmp_path, "--scale", str(path))
+        assert "No embedded traces" in text

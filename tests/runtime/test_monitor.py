@@ -1,0 +1,165 @@
+"""SLO monitor surface tests: health recovery, Prometheus exposition, traces.
+
+The regression pinned here: ``/healthz`` must report *active* conditions.
+An earlier implementation computed ``ok = safety.ok and not alerts``, so a
+single transient grant-gap breach left the service permanently unhealthy —
+the alert log is history, health is now.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.runtime import LockClient, SLOMonitor, parse_address, start_servers
+from repro.core.builders import build_opencube_nodes
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def event(e, node=1, rid=0, t=0.0, **extra):
+    doc = {"type": "event", "e": e, "node": node, "rid": rid, "t": t}
+    doc.update(extra)
+    return doc
+
+
+async def http_get(address, path, accept=None):
+    scheme, (host, port) = parse_address(address)
+    reader, writer = await asyncio.open_connection(host, port)
+    request = f"GET {path} HTTP/1.0\r\n"
+    if accept is not None:
+        request += f"Accept: {accept}\r\n"
+    writer.write(request.encode() + b"\r\n")
+    raw = await reader.read()
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return head.decode("latin-1"), body
+
+
+class TestHealthzRecovery:
+    def test_transient_gap_breach_recovers(self):
+        """A stall trips /healthz while open, and clears at the next grant."""
+        monitor = SLOMonitor(max_grant_gap=1.0, reorder_window=0.0)
+        monitor.ingest(event("issue", rid=1, t=0.0))
+        # Nothing granted for 5s while rid=1 waits: actively stalled.
+        monitor.ingest(event("issue", rid=2, node=2, t=5.0))
+        stalled = monitor.healthz()
+        assert stalled["stalled"] is True
+        assert stalled["ok"] is False
+        assert stalled["current_grant_gap"] >= 5.0
+        # The grant lands: the stall is over, but the breach was alerted.
+        monitor.ingest(event("grant", rid=1, t=5.5))
+        monitor.ingest(event("grant", rid=2, node=2, t=5.6))
+        recovered = monitor.healthz()
+        assert recovered["stalled"] is False
+        assert recovered["ok"] is True, "historical alerts must not poison health"
+        assert recovered["alerts"] >= 1  # the breach is still on record
+        assert any(a["kind"] == "grant-gap-breach" for a in monitor.alerts)
+
+    def test_gap_alert_fires_once_per_high_water(self):
+        monitor = SLOMonitor(max_grant_gap=1.0, reorder_window=0.0)
+        monitor.ingest(event("issue", rid=1, t=0.0))
+        monitor.ingest(event("grant", rid=1, t=3.0))  # 3s gap: alert
+        monitor.ingest(event("issue", rid=2, t=3.0))
+        monitor.ingest(event("grant", rid=2, t=5.0))  # 2s gap: old news
+        monitor.ingest(event("issue", rid=3, t=5.0))
+        monitor.ingest(event("grant", rid=3, t=10.0))  # 5s gap: new record
+        breaches = [a for a in monitor.alerts if a["kind"] == "grant-gap-breach"]
+        assert len(breaches) == 2
+
+    def test_healthz_over_http(self):
+        async def scenario():
+            monitor = SLOMonitor(max_grant_gap=30.0)
+            await monitor.start()
+            servers = await start_servers(build_opencube_nodes(2), monitor=monitor.address)
+            async with LockClient(servers[1].address, client_id=1) as client:
+                rid = await client.acquire(timeout=5.0)
+                await client.release(rid)
+            await asyncio.sleep(0.1)
+            head, body = await http_get(monitor.address, "/healthz")
+            for server in servers.values():
+                await server.stop()
+            await monitor.close()
+            return head, json.loads(body)
+
+        head, document = run(scenario())
+        assert "200 OK" in head
+        assert document["ok"] is True
+        assert document["stalled"] is False
+
+
+class TestPrometheusExposition:
+    def test_content_negotiation_sans_io(self):
+        monitor = SLOMonitor(reorder_window=0.0)
+        monitor.ingest(event("issue", rid=1, t=0.0))
+        monitor.ingest(event("grant", rid=1, t=0.1))
+        status, document = monitor._on_http("/metrics", {"accept": "text/plain"})
+        assert status == 200
+        assert isinstance(document, str)
+        assert "# TYPE mutex_safety_ok gauge" in document
+        assert "mutex_requests_granted_total 1" in document
+        # JSON stays the default when no Accept header narrows it.
+        status, document = monitor._on_http("/metrics", {})
+        assert status == 200
+        assert isinstance(document, dict)
+        assert document["safety"]["ok"] is True
+
+    def test_prometheus_over_http(self):
+        async def scenario():
+            monitor = SLOMonitor(reorder_window=0.0)
+            await monitor.start()
+            monitor.ingest(event("issue", rid=7, t=0.0))
+            head, body = await http_get(
+                monitor.address, "/metrics", accept="text/plain"
+            )
+            await monitor.close()
+            return head, body.decode()
+
+        head, body = run(scenario())
+        assert "200 OK" in head
+        assert "text/plain; version=0.0.4" in head
+        assert "mutex_requests_issued_total 1" in body
+        for line in body.strip().splitlines():
+            assert line.startswith("#") or len(line.split()) == 2
+
+
+class TestTraceAssembly:
+    def test_full_journey_from_ingested_events(self):
+        monitor = SLOMonitor(reorder_window=0.0)
+        tr = "00deadbeef00cafe"
+        monitor.ingest(event("issue", rid=9, t=1.0, tr=tr))
+        monitor.ingest(event("send", t=1.01, tr=tr, dest=3, kind="RequestMessage"))
+        monitor.ingest(event("send", node=3, t=1.02, tr=tr, dest=1, kind="TokenMessage"))
+        monitor.ingest(event("grant", rid=9, t=1.05, tr=tr))
+        monitor.ingest(event("enter", rid=9, t=1.05, tr=tr))
+        monitor.ingest(event("exit", rid=9, t=1.2, tr=tr))
+        traces = monitor.traces()
+        assert traces["active"] == 0
+        (trace,) = traces["completed"]
+        assert trace["trace_id"] == tr
+        assert trace["status"] == "done"
+        assert trace["issued_at"] == 1.0
+        assert trace["granted_at"] == 1.05
+        assert trace["exited_at"] == 1.2
+        kinds = [hop["kind"] for hop in trace["hops"]]
+        assert kinds == ["RequestMessage", "TokenMessage"]
+        assert json.dumps(traces)  # the /traces body is JSON-ready
+
+    def test_unknown_tail_and_untraced_events_are_ignored(self):
+        monitor = SLOMonitor(reorder_window=0.0)
+        monitor.ingest(event("exit", rid=1, t=0.5, tr="feed0000feed0000"))
+        monitor.ingest(event("issue", rid=2, t=0.6))  # no tr: not assembled
+        assert monitor.traces() == {"completed": [], "active": 0}
+        assert monitor.events_applied == 2  # still counted by the checkers
+
+    def test_completed_traces_are_bounded(self):
+        monitor = SLOMonitor(reorder_window=0.0, max_traces=2)
+        for i in range(5):
+            tr = f"{i:016x}"
+            monitor.ingest(event("issue", rid=i, t=float(i), tr=tr))
+            monitor.ingest(event("exit", rid=i, t=float(i) + 0.1, tr=tr))
+        completed = monitor.traces()["completed"]
+        assert len(completed) == 2
+        assert [t["rid"] for t in completed] == [3, 4]  # newest retained

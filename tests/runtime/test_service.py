@@ -309,10 +309,20 @@ class TestChaosAcceptance:
                 key: sum(s.status()[key] for s in servers.values())
                 for key in ("retransmits", "timer_deferrals", "duplicates_dropped")
             }
+            # Sampled traces survive chaos: clients trace every request by
+            # default, so the monitor's /traces endpoint must have assembled
+            # at least one completed journey.
+            scheme, (host, port) = parse_address(monitor.address)
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GET /traces HTTP/1.0\r\n\r\n")
+            raw = await reader.read()
+            writer.close()
+            _head, _, body = raw.partition(b"\r\n\r\n")
+            traces = json.loads(body)
             await stop_all(servers, monitor)
-            return report, grant_times, timeouts, counters
+            return report, grant_times, timeouts, counters, traces
 
-        report, grant_times, timeouts, counters = run(scenario())
+        report, grant_times, timeouts, counters, traces = run(scenario())
         # 1. Zero safety violations, live from the online checker.
         assert report["safety"]["violations"] == 0, report["alerts"]
         # 2. Every acquire resolved: a grant or a typed AcquireTimeout.
@@ -325,3 +335,12 @@ class TestChaosAcceptance:
         assert counters["retransmits"] > 0
         assert counters["duplicates_dropped"] > 0
         assert counters["timer_deferrals"] > 0
+        # 5. The trace surface works under chaos: at least one completed
+        #    sampled trace with its issue and grant timestamps assembled.
+        completed = traces["completed"]
+        assert len(completed) >= 1
+        assert all(trace["trace_id"] for trace in completed)
+        assert any(
+            trace["issued_at"] is not None and trace["granted_at"] is not None
+            for trace in completed
+        )

@@ -79,10 +79,47 @@ def trace_digest(clusters) -> str:
     return hasher.hexdigest()
 
 
-def run_streamed_scenario():
+def run_golden_scenario_with_tracing():
+    """The same pinned scenario, telemetry mode with causal tracing on.
+
+    Trace sampling is a pure function of ``(seed, request_id)`` — never an
+    RNG draw — and the recorder only observes hooks that already fire, so
+    the event order (and therefore the golden digest) must be byte-identical
+    with tracing enabled.
+    """
+    messages._request_counter = itertools.count(1)
+    results = []
+    tracing = {"trace_sample": 0.25}
+
+    cluster = build_cluster(
+        "open-cube", 16, seed=42, trace=True,
+        metrics_detail="telemetry", telemetry_options=tracing,
+    )
+    workload = poisson_arrivals(16, 40, rate=0.5, seed=3, hold=0.4)
+    workload.apply(cluster)
+    cluster.run_until_quiescent()
+    cluster.metrics.finalize_telemetry(cluster.now)
+    results.append(cluster)
+
+    cluster = build_cluster(
+        "open-cube-ft", 8, seed=7, trace=True,
+        metrics_detail="telemetry", telemetry_options=tracing,
+    )
+    workload = poisson_arrivals(8, 24, rate=0.3, seed=5, hold=0.4)
+    workload.apply(cluster)
+    cluster.fail_node(3, at=20.0)
+    cluster.recover_node(3, at=45.0)
+    cluster.run_until_quiescent()
+    cluster.metrics.finalize_telemetry(cluster.now)
+    results.append(cluster)
+
+    return results
+
+
+def run_streamed_scenario(**cluster_kwargs):
     """The pinned feeder scenario: a streamed n=64 Poisson run, seeded."""
     messages._request_counter = itertools.count(1)
-    cluster = build_cluster("open-cube", 64, seed=17, trace=True)
+    cluster = build_cluster("open-cube", 64, seed=17, trace=True, **cluster_kwargs)
     stream = poisson_stream(64, 120, rate=0.8, seed=23, hold=0.3)
     cluster.feed_workload(stream, window=8)
     cluster.run_until_quiescent()
@@ -111,6 +148,83 @@ class TestStreamedGoldenTrace:
         assert streamed.metrics.summary() == eager.metrics.summary()
         # And the agenda stayed O(active + window) instead of O(requests).
         assert streamed.simulator.peak_pending < eager.simulator.peak_pending
+
+
+class TestTracingKeepsGoldenDigests:
+    """Enabling ``trace_sample`` must not move either golden digest."""
+
+    def test_golden_digest_unchanged_with_tracing_enabled(self):
+        clusters = run_golden_scenario_with_tracing()
+        assert trace_digest(clusters) == GOLDEN_DIGEST
+        # The tracing actually ran: both clusters sampled requests.
+        for cluster in clusters:
+            assert cluster.metrics.telemetry.tracing.block()["sampled"] > 0
+
+    def test_streamed_digest_unchanged_with_tracing_enabled(self):
+        clusters = run_streamed_scenario(
+            metrics_detail="telemetry", telemetry_options={"trace_sample": 0.25}
+        )
+        clusters[0].metrics.finalize_telemetry(clusters[0].now)
+        assert trace_digest(clusters) == STREAMED_DIGEST
+        assert clusters[0].metrics.telemetry.tracing.block()["sampled"] > 0
+
+
+class TestTraceExportDeterminism:
+    """Same seed ⇒ byte-identical sampled trace export, per engine path."""
+
+    TELEMETRY = {"trace_sample": 0.2}
+
+    @staticmethod
+    def _export(**kwargs):
+        from repro.experiments.runner import run_workload
+
+        messages._request_counter = itertools.count(1)
+        result = run_workload(
+            "open-cube",
+            16,
+            poisson_arrivals(16, 60, rate=1.0, seed=9, hold=0.2),
+            seed=13,
+            metrics_detail="telemetry",
+            **kwargs,
+        )
+        assert result.traces is not None
+        assert result.traces["sampled"] > 0
+        return json.dumps(result.traces, sort_keys=True)
+
+    def test_serial_path_is_byte_identical(self):
+        first = self._export(telemetry=self.TELEMETRY)
+        second = self._export(telemetry=self.TELEMETRY)
+        assert first == second
+
+    def test_streamed_path_is_byte_identical(self):
+        first = self._export(telemetry=self.TELEMETRY, stream=True)
+        second = self._export(telemetry=self.TELEMETRY, stream=True)
+        assert first == second
+
+    def test_sharded_path_is_byte_identical(self):
+        first = self._export(telemetry=self.TELEMETRY, shards=1)
+        second = self._export(telemetry=self.TELEMETRY, shards=1)
+        assert first == second
+
+    def test_export_reconstructs_full_journey(self):
+        """At least one sampled trace shows issue→hops→token→grant→exit."""
+        block = json.loads(self._export(telemetry={"trace_sample": 1.0}))
+        complete = [
+            t
+            for t in block["traces"]
+            if t["granted_at"] is not None
+            and t["exited_at"] is not None
+            and any(h["category"] == "request" for h in t["hops"])
+            and any(h["category"] == "token" for h in t["hops"])
+        ]
+        assert complete, "no trace reconstructed a full request journey"
+        trace = complete[0]
+        assert trace["issued_at"] <= trace["granted_at"] <= trace["exited_at"]
+        token_hops = [h for h in trace["hops"] if h["category"] == "token"]
+        # The final token hop lands on the requester before the grant.
+        assert token_hops[-1]["to"] == trace["node"]
+        assert token_hops[-1]["delivered_at"] is not None
+        assert token_hops[-1]["delivered_at"] <= trace["granted_at"]
 
 
 class TestCountersModeEquivalence:
