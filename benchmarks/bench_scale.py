@@ -17,7 +17,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_scale.py            # full sweep
     PYTHONPATH=src python benchmarks/bench_scale.py --smoke    # n=256 only (CI)
 
-What it measures, per (algorithm, n) cell (schema ``bench-scale/v5``):
+What it measures, per (algorithm, n) cell (schema ``bench-scale/v7``):
 
 * wall time of ``run_until_quiescent`` (setup excluded, split into
   ``setup_s`` — cluster construction, O(n) total since the shared
@@ -29,7 +29,11 @@ What it measures, per (algorithm, n) cell (schema ``bench-scale/v5``):
 * messages per granted request (concurrent workload, so this is the mean),
 * the peak RSS high-water mark of the process after the run (monotone across
   the whole process — interpret it as "the sweep up to this point fits in
-  this much memory", not as a per-run figure),
+  this much memory", not as a per-run figure) next to ``rss_delta_mb``,
+  this cell's own growth of that high-water mark — the per-cell
+  attribution figure (0.0 for a cell that fits in the footprint an
+  earlier cell already paid for; under ``--parallel`` each worker process
+  has its own high-water mark, so deltas are attributed per worker),
 * ``sent_messages_records`` — stays 0 in the streaming (``counters``)
   metrics mode even on million-message runs, demonstrating O(requests)
   memory, and
@@ -96,7 +100,16 @@ What it measures, per (algorithm, n) cell (schema ``bench-scale/v5``):
   serial gap.  ``--check-shards`` is the fourth CI gate: the pair's
   aggregates and verdicts must agree exactly (requests, grants, messages,
   safety/liveness verdicts, Jain index) — the sharded engine's
-  determinism contract, enforced on every smoke run.
+  determinism contract, enforced on every smoke run,
+* since v7, the pair is a **triple**: the ``shards=1`` control, a
+  ``shard_window="classic"`` cell (the one-event-window rule of PR 7) and
+  the default seam-window cell.  All three agree on every parity column;
+  the seam cell must additionally spend **at most as many** ``sync_rounds``
+  as the classic cell (``--check-shards`` asserts both), and every sharded
+  row reports ``events_per_window`` — the batching figure the seam-aware
+  earliest-crossing bound exists to raise.  The seam row carries the
+  within-sweep comparison columns ``classic_sync_rounds`` and
+  ``sync_round_reduction`` (classic rounds / seam rounds).
 
 The open-cube rows are compared against ``PRE_CHANGE_BASELINE``: events/sec
 of the same workload/configuration measured on the engine as of the seed
@@ -230,10 +243,11 @@ def failure_thresholds(n: int, *, cs_duration_estimate: float = 1.0) -> dict:
 LOSSY_N = 64
 LOSSY_LOSS_RATE = 0.01
 
-#: The sharded-engine pair (since v6) is pinned at this scale on the full
-#: sweep: the first n = 65536 telemetry rows of the trajectory.  Requests
-#: stay at 2*n (the pair exists to certify engine parity and record the
-#: within-sweep ratio, not to be the long-run workhorse cell).
+#: The sharded-engine cells (a pair since v6, a triple since v7) are pinned
+#: at this scale on the full sweep: the first n = 65536 telemetry rows of
+#: the trajectory.  Requests stay at 2*n (the cells exist to certify engine
+#: parity and record the within-sweep ratios, not to be the long-run
+#: workhorse cell).
 SHARD_SCALE_N = 65536
 
 #: Default shard count of the full sweep's sharded cell.  Deliberately
@@ -305,6 +319,7 @@ def make_spec(
     network: NetworkFaultSpec | None = None,
     thresholds: dict | None = None,
     shards: int = 0,
+    shard_window: str = "seam",
 ) -> ScenarioSpec:
     """Declare one (algorithm, n) cell of the sweep.
 
@@ -339,6 +354,7 @@ def make_spec(
         network=network,
         liveness_thresholds=dict(thresholds or {}),
         shards=shards,
+        shard_window=shard_window,
         label=label,
     )
 
@@ -352,9 +368,10 @@ def build_specs(
 ) -> list[ScenarioSpec]:
     """Expand the benchmark matrix into scenario cells.
 
-    ``shards >= 2`` appends the v6 sharded-engine pair at ``shard_n``
+    ``shards >= 2`` appends the sharded-engine triple at ``shard_n``
     (default: the sweep's largest size): a ``shards=1`` control followed by
-    the ``shards``-way cell, identical in every other respect.
+    the ``shards``-way classic-window and seam-window cells, identical in
+    every other respect.
     """
     specs: list[ScenarioSpec] = []
     for n in sizes:
@@ -469,21 +486,27 @@ def build_specs(
             label="lossy-network",
         )
     )
-    # (d) since v6, the sharded-engine pair: the shards=1 control MUST come
-    # first (the sweep runs cells in order, so the sharded row can pick up
-    # its within-sweep control for the speedup ratio the moment it lands).
-    # Neither cell declares a max_grant_gap bound — the merged sharded
-    # figure is the worst per-shard gap, not the global serial gap, so the
+    # (d) since v6, the sharded-engine cells (a pair then; a triple since
+    # v7): the shards=1 control MUST come first and the classic-window cell
+    # before the seam one (the sweep runs cells in order, so each later row
+    # can pick up its within-sweep comparison the moment it lands).
+    # No cell declares a max_grant_gap bound — the merged sharded figure is
+    # the worst per-shard gap, not the global serial gap, so the
     # poisson-class bound would compare incommensurable quantities.
     if shards >= 2:
         pair_n = shard_n if shard_n is not None else max(sizes)
         pair_requests = 2 * pair_n
-        for count, label in ((1, "shard-control"), (shards, "sharded")):
+        cells = (
+            (1, "seam", "shard-control"),
+            (shards, "classic", "sharded-classic"),
+            (shards, "seam", "sharded"),
+        )
+        for count, window, label in cells:
             specs.append(
                 make_spec(
                     "open-cube", pair_n, pair_requests,
                     detail="telemetry", repeats=1, stream=True,
-                    shards=count, label=label,
+                    shards=count, shard_window=window, label=label,
                 )
             )
     return specs
@@ -547,15 +570,28 @@ def _decorate_shard_row(row: dict, controls: dict) -> dict:
     absent, which is honest: parallel-sweep timings are not comparable
     anyway (cells compete for cores).
     """
-    if row.get("label") == "shard-control":
+    label = row.get("label")
+    if label == "shard-control":
         controls[(row["n"], row["workload"])] = row
-    elif row.get("label") == "sharded":
+    elif label in ("sharded", "sharded-classic"):
         control = controls.get((row["n"], row["workload"]))
         if control is not None:
             row["shard_control_run_s"] = control["run_s"]
             row["speedup_vs_shard_control"] = round(
                 control["run_s"] / row["run_s"], 3
             )
+        if label == "sharded-classic":
+            controls[("classic", row["n"], row["workload"])] = row
+        else:
+            # The v7 batching headline: how many synchronisation rounds the
+            # seam-aware window rule saved against the classic one-event
+            # rule from the same sweep.
+            classic = controls.get(("classic", row["n"], row["workload"]))
+            if classic is not None and row.get("sync_rounds"):
+                row["classic_sync_rounds"] = classic["sync_rounds"]
+                row["sync_round_reduction"] = round(
+                    classic["sync_rounds"] / row["sync_rounds"], 2
+                )
     return row
 
 
@@ -593,7 +629,7 @@ def run_sweep(
     for point in complexity:
         print(json.dumps(point), flush=True)
     return {
-        "schema": "bench-scale/v6",
+        "schema": "bench-scale/v7",
         "config": {
             "sizes": sizes,
             "workload": "poisson(rate=2.0, hold=0.1, seed=0)",
@@ -637,7 +673,12 @@ def run_sweep(
                         "same sweep) — never compare it across machines; "
                         "'cores' records what it was measured on.  On a "
                         "single-core runner the conservative engine's "
-                        "window synchronisation makes the honest ratio < 1."
+                        "window synchronisation makes the honest ratio < 1. "
+                        "Since v7 the sweep runs both window rules: "
+                        "sync_round_reduction on the seam row is the "
+                        "classic/seam sync-round ratio from the same sweep, "
+                        "and events_per_window is each sharded row's "
+                        "batching figure."
                     ),
                 }
                 if shards >= 2
@@ -742,26 +783,40 @@ def check_shard_parity(rows: list[dict]) -> list[str]:
     The sharded engine's determinism contract: partitioning the cluster
     across workers may change wall time, never results.  Every column in
     ``SHARD_PARITY_COLUMNS`` (request/grant/message totals, both verdicts,
-    the Jain index) must match the ``shards=1`` control bit-for-bit; a
-    mismatch means a cross-shard message was lost, double-delivered or
-    reordered past the conservative horizon.  Returns one named message per
-    divergence (and flags a sharded cell whose control is missing, or a
-    sweep with no sharded cell at all — the gate must not pass vacuously).
+    the Jain index) must match the ``shards=1`` control bit-for-bit — for
+    *both* window rules of the v7 triple; a mismatch means a cross-shard
+    message was lost, double-delivered or reordered past the conservative
+    horizon.  Since v7 the gate additionally asserts the batching claim
+    itself: the seam cell's ``sync_rounds`` must not exceed the classic
+    cell's from the same sweep (the seam bound may only ever widen
+    windows).  Returns one named message per divergence (and flags a
+    sharded cell whose control is missing, or a sweep with no sharded cell
+    at all — the gate must not pass vacuously).
     """
     problems = []
     controls = {
         (r["n"], r["workload"]): r for r in rows if r.get("label") == "shard-control"
     }
-    sharded = [r for r in rows if r.get("label") == "sharded"]
+    sharded = [
+        r for r in rows if r.get("label") in ("sharded", "sharded-classic")
+    ]
     if not sharded:
         return ["no sharded cell in this sweep — run with --shards >= 2"]
+    classics = {
+        (r["n"], r["workload"]): r
+        for r in rows
+        if r.get("label") == "sharded-classic"
+    }
     for row in sharded:
-        cell = f"cell (open-cube, n={row['n']}, shards={row.get('shards')})"
+        cell = (
+            f"cell (open-cube, n={row['n']}, shards={row.get('shards')}, "
+            f"window={row.get('shard_window')})"
+        )
         control = controls.get((row["n"], row["workload"]))
         if control is None:
             problems.append(
                 f"{cell}: no shards=1 control row in the same sweep — the "
-                "parity gate needs the pair"
+                "parity gate needs the control"
             )
             continue
         for column in SHARD_PARITY_COLUMNS:
@@ -772,6 +827,20 @@ def check_shard_parity(rows: list[dict]) -> list[str]:
                     "sharded engine diverged from its own serial schedule "
                     "(lost, duplicated or horizon-breaking cross-shard "
                     "message)"
+                )
+        if row.get("label") == "sharded":
+            classic = classics.get((row["n"], row["workload"]))
+            if (
+                classic is not None
+                and row.get("sync_rounds")
+                and classic.get("sync_rounds")
+                and row["sync_rounds"] > classic["sync_rounds"]
+            ):
+                problems.append(
+                    f"{cell}: seam windows took {row['sync_rounds']} sync "
+                    f"rounds vs the classic rule's {classic['sync_rounds']} "
+                    "in the same sweep — the seam-aware bound must never "
+                    "synchronise more often than the one-event rule"
                 )
     return problems
 
@@ -880,15 +949,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--check-shards", action="store_true",
-        help="fail (exit 1) if the sharded cell's aggregates or verdicts "
-        "differ from its same-sweep shards=1 control (or if the sweep has "
-        "no sharded pair) — the sharded-engine determinism gate",
+        help="fail (exit 1) if any sharded cell's aggregates or verdicts "
+        "differ from its same-sweep shards=1 control, if the seam-window "
+        "cell spent more sync rounds than the classic one, or if the sweep "
+        "has no sharded cells — the sharded-engine determinism gate",
     )
     parser.add_argument(
         "--shards", type=int, default=None, metavar="N",
-        help="add the sharded-engine pair (shards=1 control + N-way sharded "
-        "cell) to the sweep; default: 2-way on the full sweep at n=65536, "
-        "none on --smoke/--sizes runs (opt in explicitly there)",
+        help="add the sharded-engine triple (shards=1 control + N-way "
+        "classic-window + N-way seam-window cells) to the sweep; default: "
+        "2-way on the full sweep at n=65536, none on --smoke/--sizes runs "
+        "(opt in explicitly there)",
     )
     parser.add_argument(
         "--sizes", type=int, nargs="+", default=None,
@@ -966,8 +1037,9 @@ def main(argv: list[str] | None = None) -> int:
             failed = True
         else:
             print(
-                "shard gate ok: the sharded cell's aggregates and verdicts "
-                "match its same-sweep shards=1 control exactly"
+                "shard gate ok: both window rules match the same-sweep "
+                "shards=1 control exactly and seam windows synchronised "
+                "no more often than classic"
             )
     return 1 if failed else 0
 

@@ -340,7 +340,9 @@ def section_throughput(meta: dict[str, Any], rows: list[dict[str, Any]]) -> str:
     legend_entries = [("open-cube telemetry", PALETTE[0], False)]
     markers: list[dict[str, Any]] = []
     for row in rows:
-        if row.get("label") in ("pr3-counters-control", "shard-control", "sharded"):
+        if row.get("label") in (
+            "pr3-counters-control", "shard-control", "sharded-classic", "sharded"
+        ):
             if row.get("events_per_sec"):
                 markers.append(
                     {
@@ -392,7 +394,7 @@ def section_throughput(meta: dict[str, Any], rows: list[dict[str, Any]]) -> str:
                 (row["n"], "telemetry / counters-control",
                  telemetry["events_per_sec"] / row["events_per_sec"])
             )
-        if label == "sharded":
+        if label in ("sharded", "sharded-classic"):
             control = next(
                 (r for r in rows
                  if r.get("label") == "shard-control" and r["n"] == row["n"]),
@@ -400,9 +402,19 @@ def section_throughput(meta: dict[str, Any], rows: list[dict[str, Any]]) -> str:
             )
             if control and control.get("events_per_sec"):
                 ratio_rows.append(
-                    (row["n"], "sharded / shard-control",
+                    (row["n"], f"{label} / shard-control",
                      row["events_per_sec"] / control["events_per_sec"])
                 )
+        if label == "sharded" and row.get("sync_round_reduction"):
+            # The seam-window batching headline: classic sync rounds over
+            # seam sync rounds, same sweep (events_per_window rides along
+            # in the parenthetical so the absolute batch size is visible).
+            ratio_rows.append(
+                (row["n"],
+                 "classic / seam sync rounds "
+                 f"({row.get('events_per_window', 0.0):g} events/window)",
+                 float(row["sync_round_reduction"]))
+            )
     table = ""
     if ratio_rows:
         body = "".join(

@@ -227,6 +227,7 @@ def run_workload(
     liveness_thresholds: Mapping[str, float] | None = None,
     shards: int = 0,
     shard_by: str = "range",
+    shard_window: str = "seam",
 ) -> RunResult:
     """Run ``workload`` under ``algorithm`` on ``n`` simulated nodes.
 
@@ -287,6 +288,11 @@ def run_workload(
         shard_by: node-partition strategy for sharded runs — ``"range"``
             (contiguous blocks, any n) or ``"cube"`` (open-cube seam-aligned,
             power-of-two n and shard counts).
+        shard_window: window rule for sharded runs — ``"seam"`` (default)
+            batches synchronisation windows with the seam-aware
+            earliest-crossing bound, ``"classic"`` uses the PR 7
+            one-event-window rule.  Results and per-shard digests are
+            byte-identical; only ``sync_rounds`` differs.
     """
     kwargs = dict(cluster_kwargs or {})
     kwargs_detail = kwargs.pop("metrics_detail", None)
@@ -328,6 +334,7 @@ def run_workload(
             workload,
             shards=shards,
             shard_by=shard_by,
+            shard_window=shard_window,
             seed=seed,
             delay_model=delay_model,
             trace=trace,

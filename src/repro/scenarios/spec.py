@@ -300,7 +300,18 @@ class NetworkFaultSpec:
 
 
 def _peak_rss_mb() -> float:
-    """Process RSS high-water mark (monotone within one process)."""
+    """Process RSS high-water mark (monotone within one process).
+
+    ``ru_maxrss`` never goes down, so in a serial sweep every cell run after
+    the biggest one reports the biggest one's footprint.  Callers that want
+    per-cell attribution must sample before *and* after the cell and report
+    the delta (see :class:`ScenarioResult`): the delta is this cell's own
+    growth of the high-water mark — ``0.0`` for a cell that fits inside an
+    earlier cell's footprint, honest for the cell that sets a new record.
+    On the multiprocessing sweep path each cell runs in a pool worker, so
+    both figures are *per-worker*: the peak only accumulates over the cells
+    that particular worker has executed, not over the whole sweep.
+    """
     usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     # Linux reports KiB, macOS reports bytes.
     if sys.platform == "darwin":  # pragma: no cover - linux container
@@ -361,6 +372,9 @@ class ScenarioSpec:
             the sharded engine's serial control for parity comparisons.
         shard_by: partition strategy for sharded cells — ``"range"`` or the
             open-cube seam-aligned ``"cube"`` (power-of-two n and shards).
+        shard_window: window rule for sharded cells — the batching
+            ``"seam"`` (default) or the one-event-window ``"classic"``;
+            results are byte-identical, only ``sync_rounds`` differs.
         label: optional human-readable cell label carried into the row.
     """
 
@@ -385,6 +399,7 @@ class ScenarioSpec:
     liveness_thresholds: dict[str, float] = field(default_factory=dict, hash=False)
     shards: int = 0
     shard_by: str = "range"
+    shard_window: str = "seam"
     label: str | None = None
 
     # ------------------------------------------------------------------
@@ -420,6 +435,7 @@ class ScenarioSpec:
             "liveness_thresholds": dict(self.liveness_thresholds),
             "shards": self.shards,
             "shard_by": self.shard_by,
+            "shard_window": self.shard_window,
             "label": self.label,
         }
 
@@ -449,6 +465,9 @@ class ScenarioSpec:
             liveness_thresholds=_frozen_params(data.get("liveness_thresholds")),
             shards=data.get("shards", 0),
             shard_by=data.get("shard_by", "range"),
+            # Pre-knob documents (bench-scale <= v6) ran the only window rule
+            # there was; they deserialise to the current default.
+            shard_window=data.get("shard_window", "seam"),
             label=data.get("label"),
         )
 
@@ -467,6 +486,7 @@ class ScenarioSpec:
         """Run the cell ``repeats`` times and keep the fastest repetition."""
         thresholds = self.effective_liveness_thresholds()
         best: RunResult | None = None
+        rss_before_mb = _peak_rss_mb()
         for _ in range(max(1, self.repeats)):
             workload = (
                 self.workload.build_stream(self.n)
@@ -496,18 +516,32 @@ class ScenarioSpec:
                 liveness_thresholds=thresholds or None,
                 shards=self.shards,
                 shard_by=self.shard_by,
+                shard_window=self.shard_window,
             )
             if best is None or result.run_s < best.run_s:
                 best = result
-        return ScenarioResult(spec=self, result=best)
+        return ScenarioResult(
+            spec=self,
+            result=best,
+            rss_before_mb=rss_before_mb,
+            peak_rss_mb=_peak_rss_mb(),
+        )
 
 
 @dataclass
 class ScenarioResult:
-    """A spec together with the (best-of-repeats) run it produced."""
+    """A spec together with the (best-of-repeats) run it produced.
+
+    ``rss_before_mb``/``peak_rss_mb`` bracket the cell's execution with the
+    process RSS high-water mark (see :func:`_peak_rss_mb` for the monotone
+    and per-worker semantics).  Both default to a fresh sample so results
+    constructed directly in tests still carry plausible figures.
+    """
 
     spec: ScenarioSpec
     result: RunResult
+    rss_before_mb: float = field(default_factory=_peak_rss_mb)
+    peak_rss_mb: float = field(default_factory=_peak_rss_mb)
 
     def row(self) -> dict[str, Any]:
         """Flatten into one JSON-serialisable sweep row."""
@@ -546,7 +580,10 @@ class ScenarioResult:
             "agenda_peak": result.agenda_peak,
             "streamed": result.streamed,
             "feed_window": spec.feed_window if result.streamed else None,
-            "peak_rss_mb": _peak_rss_mb(),
+            # Process high-water mark (monotone: later rows inherit earlier
+            # cells' footprint) next to this cell's own growth of it.
+            "peak_rss_mb": self.peak_rss_mb,
+            "rss_delta_mb": round(max(0.0, self.peak_rss_mb - self.rss_before_mb), 1),
         }
         if result.quantiles is not None:
             waiting = result.quantiles["waiting_time"]
@@ -595,9 +632,14 @@ class ScenarioResult:
             # network-fault columns above).
             row["shards"] = spec.shards
             row["shard_by"] = spec.shard_by
+            row["shard_window"] = result.extra.get("shard_window", spec.shard_window)
             row["sync_rounds"] = result.extra.get("sync_rounds")
             row["merge_s"] = round(result.extra.get("merge_s", 0.0), 4)
             row["lookahead"] = result.extra.get("lookahead")
+            sync_rounds = result.extra.get("sync_rounds")
+            row["events_per_window"] = (
+                round(result.events / sync_rounds, 2) if sync_rounds else 0.0
+            )
         if result.series is not None:
             row["series"] = result.series
         if result.traces is not None:

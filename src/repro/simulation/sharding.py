@@ -12,13 +12,45 @@ synchronisation:
   :meth:`~repro.simulation.network.DelayModel.min_delay`).  A message a
   shard sends at time ``t`` therefore cannot affect any other shard before
   ``t + lookahead``.
-* **Windows.**  Each synchronisation round computes the global minimum
-  next-event time ``T`` (including messages still held by the coordinator)
+* **Windows.**  Each synchronisation round computes a global bound ``T``
   and lets every shard run its own agenda up to the *open* horizon
   ``T + lookahead`` — strictly less-than, because a cross-shard message can
-  arrive exactly at the horizon.  Every event processed in the window has
-  time ``>= T``, so every cross-boundary message it generates arrives at
-  ``>= T + lookahead``: outside the window, no causality violation.
+  arrive exactly at the horizon.  Under the **classic** window
+  (``shard_window="classic"``) ``T`` is the global minimum next-event time
+  (including messages still held by the coordinator): every event processed
+  in the window has time ``>= T``, so every cross-boundary message it
+  generates arrives at ``>= T + lookahead`` — outside the window, no
+  causality violation.
+* **Seam-aware windows** (``shard_window="seam"``, the default) batch far
+  wider by combining three mechanisms, at identical per-shard event order:
+
+  - *Crossing bounds.*  Each shard tracks the set of local nodes that
+    could emit a cross-boundary message — seeded from each node's
+    :meth:`~repro.simulation.process.MutexNode.peer_refs`, grown when a
+    marked sender addresses a local node (the payload may carry remote
+    knowledge) or an inbound cross message arrives, and shrunk at window
+    barriers once a node's remote knowledge has provably drained — and
+    reports ``min(earliest event at a marked node, latest unscheduled
+    streamed arrival, next event anywhere + lookahead)`` as its earliest
+    possible crossing (``inf`` when the set is empty: the shard is
+    communication-closed until something routes in).
+  - *Per-shard horizons.*  Shard ``i``'s horizon is ``min over other
+    shards of their crossing bound (clamped by arrivals about to be routed
+    in) + lookahead`` — its **own** activity never caps its own window,
+    because every chain of cross messages ending at shard ``i`` has a last
+    hop from some other shard.
+  - *The boomerang cut.*  The one exception — a chain shard ``i`` itself
+    seeds — is handled exactly rather than conservatively: the moment a
+    window actually emits a cross message at time ``t``, the send path
+    closes the running window before ``t + 2 * lookahead``
+    (:meth:`~repro.simulation.simulator.Simulator.tighten_run_horizon`),
+    the earliest instant the out-and-back reply could arrive.
+
+  A shard whose neighbours are quiet therefore batches its whole local
+  future in one window, and windows tighten only around *actual* seam
+  traffic.  Every cross message still arrives at or past the receiving
+  shard's horizon, and the per-shard trace digests are byte-identical to
+  classic windows and to the ``shards = 1`` control.
 * **Exchange.**  Boundary messages are routed to a per-shard outbox at send
   time (delay already sampled) instead of the local agenda; at the window
   barrier the coordinator routes each outbox to the destination's shard,
@@ -83,6 +115,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import math
 import multiprocessing
 import time
 from typing import Any, Callable, Iterable, Mapping
@@ -205,6 +238,7 @@ class ShardWorkerCluster(SimulatedCluster):
         *,
         local_nodes: Iterable[int],
         delay_seed: int,
+        seam_window: bool = False,
         **kwargs: Any,
     ) -> None:
         if kwargs.get("fifo"):
@@ -219,10 +253,35 @@ class ShardWorkerCluster(SimulatedCluster):
             )
         self._local_nodes = frozenset(local_nodes)
         self._delay_seed = delay_seed
+        self._seam = seam_window
+        #: Local nodes that may currently emit a cross-boundary message —
+        #: the seam probe's taint set.  Seeded from each node's initial
+        #: ``peer_refs``; grows at send/inject time (a marked sender marks
+        #: its local destination), shrinks at window barriers
+        #: (:meth:`settle_boundary`).  Unused (empty) under classic windows.
+        self._boundary: set[int] = set()
+        #: Latest arrival of any marked-sender/inbound message per node —
+        #: the unmark rule's "all remote knowledge delivered" watermark.
+        self._hold_until: dict[int, float] = {}
         #: Cross-shard messages generated this window, in send order:
         #: ``(arrival, sender, dest, message, sent_at)`` tuples.
         self.outbox: list[tuple[float, int, int, Message, float]] = []
+        # Resolved before super().__init__ (mirroring its default): the send
+        # closures built during node wiring capture the boomerang-cut width.
+        self._lookahead = (kwargs.get("delay_model") or UniformDelay()).min_delay()
         super().__init__(nodes, **kwargs)
+        if seam_window:
+            boundary = self._boundary
+            local = self._local_nodes
+            for node_id in local:
+                refs = self.nodes[node_id].peer_refs()
+                if refs is None:
+                    boundary.add(node_id)
+                    continue
+                for ref in refs:
+                    if ref is not None and ref not in local:
+                        boundary.add(node_id)
+                        break
 
     def _make_send(self, sender: int) -> Callable[[int, Message], None]:
         # Mirrors the reliable-channel fast path of SimulatedCluster._make_send
@@ -242,6 +301,11 @@ class ShardWorkerCluster(SimulatedCluster):
         by_kind = metrics.messages_by_kind
         by_sender = metrics.messages_by_sender
         recorder = self._trace_recorder
+        seam = self._seam
+        boundary = self._boundary
+        hold_until = self._hold_until
+        boomerang = 2.0 * self._lookahead
+        tighten = simulator.tighten_run_horizon
         sample_delay = self.delay_model.bind(SenderDelayStream(self._delay_seed, sender))
 
         def send(dest: int, message: Message) -> None:
@@ -266,8 +330,27 @@ class ShardWorkerCluster(SimulatedCluster):
             arrival = now + sample_delay(sender, dest)
             if dest in local:
                 schedule_delivery(arrival, sender, dest, message, now)
+                if seam and sender in boundary:
+                    # Taint propagation: whatever remote knowledge made the
+                    # sender a boundary node may ride in this payload, so the
+                    # destination becomes a boundary node until the message is
+                    # delivered and its state proves local again.
+                    boundary.add(dest)
+                    prev = hold_until.get(dest)
+                    if prev is None or arrival > prev:
+                        hold_until[dest] = arrival
             else:
                 outbox.append((arrival, sender, dest, message, now))
+                if seam:
+                    # Invariant: only boundary nodes emit cross messages; the
+                    # add is a defensive no-op when the invariant holds.
+                    boundary.add(sender)
+                    # Boomerang cut: the earliest reply this send can provoke
+                    # arrives two hops from now (out and back, one lookahead
+                    # each).  The window must close before that instant —
+                    # this is what lets the coordinator hand the shard a
+                    # horizon that ignores the shard's *own* crossing bound.
+                    tighten(now + boomerang)
 
         return send
 
@@ -293,15 +376,110 @@ class ShardWorkerCluster(SimulatedCluster):
         the outboxes in.
         """
         schedule_delivery = self.simulator.schedule_delivery
+        seam = self._seam
+        boundary = self._boundary
+        hold_until = self._hold_until
         for arrival, sender, dest, message, sent_at in sorted(
             inbound, key=lambda item: (item[0], item[1])
         ):
             schedule_delivery(arrival, sender, dest, message, sent_at)
+            if seam:
+                # An inbound cross message carries remote knowledge by
+                # definition: its destination is a boundary node at least
+                # until the delivery has been processed.
+                boundary.add(dest)
+                prev = hold_until.get(dest)
+                if prev is None or arrival > prev:
+                    hold_until[dest] = arrival
 
     def next_event_time(self) -> float | None:
         """Time of the earliest pending local event, ``None`` when idle."""
         entry = self.simulator._peek()
         return entry[0] if entry is not None else None
+
+    def settle_boundary(self, horizon: float) -> None:
+        """Unmark boundary nodes whose remote knowledge has provably drained.
+
+        Called at the window barrier after running up to the open horizon
+        just completed.  A marked node ``v`` stops being a boundary node
+        when (a) every message a marked sender ever addressed to it has
+        been delivered — ``hold_until[v] < horizon``, since the window
+        processed everything strictly below ``horizon`` and pending
+        arrivals are at or beyond it — and (b) its own state no longer
+        references a remote node (:meth:`~repro.simulation.process.MutexNode.peer_refs`;
+        ``None`` means "unknown" and pins the node forever).  Without this
+        pass the taint would follow the token's trail monotonically and the
+        seam bound would decay to the classic window over a long run.
+        """
+        if not self._seam:
+            return
+        # A boomerang cut may have closed the window early: events in
+        # ``[cut, horizon)`` are still on the agenda, so the delivered-below
+        # watermark is the *tightened* horizon, not the handed-down one.
+        # ``_run_horizon`` is ``inf`` outside exclusive runs, so the clamp is
+        # a no-op when no window (or an uncut one) just ran.
+        horizon = min(horizon, self.simulator._run_horizon)
+        boundary = self._boundary
+        hold_until = self._hold_until
+        local = self._local_nodes
+        nodes = self.nodes
+        settled: list[int] = []
+        for node_id in boundary:
+            held = hold_until.get(node_id)
+            if held is not None and held >= horizon:
+                continue
+            refs = nodes[node_id].peer_refs()
+            if refs is None:
+                continue
+            for ref in refs:
+                if ref is not None and ref not in local:
+                    break
+            else:
+                settled.append(node_id)
+        for node_id in settled:
+            boundary.discard(node_id)
+            hold_until.pop(node_id, None)
+
+    def crossing_bound(self) -> float | None:
+        """Conservative lower bound on this shard's next cross-boundary send.
+
+        ``None`` when the shard is idle.  Under classic windows this is just
+        the next event time (every event is assumed crossing-capable); under
+        seam windows it is::
+
+            min(earliest event at a boundary node,
+                latest feeder-carried arrival still unscheduled,
+                next event anywhere + lookahead)
+
+        The first term covers event chains that stay on an already-marked
+        node (timers and actions filter by their owner — an action label
+        that hides its owner counts unconditionally); the second covers
+        streamed arrivals not yet on the agenda (non-decreasing stream
+        order, enforced by the worker); the third covers every chain that
+        reaches a marked node through a message hop — an unmarked node
+        holds local references only, so its sends stay local, and the hop
+        into the marked node costs at least the lookahead.
+
+        An *empty* boundary set means the shard is communication-closed:
+        every node's state references local nodes only, workload arrivals
+        at unmarked nodes produce local sends, and marking only ever
+        spreads outward from marked nodes — so no event chain can emit a
+        cross message until an inbound arrival re-marks a node.  The bound
+        is then ``inf`` and the shard batches without limit (the window is
+        still capped by the other shards' bounds at the coordinator).
+        """
+        next_time = self.next_event_time()
+        if next_time is None or not self._seam:
+            return next_time
+        if not self._boundary:
+            return math.inf
+        bound = next_time + self._lookahead
+        earliest, guard = self.simulator.earliest_event_at(self._boundary)
+        if earliest is not None and earliest < bound:
+            bound = earliest
+        if guard is not None and guard < bound:
+            bound = guard
+        return bound
 
 
 def shard_digest(cluster: SimulatedCluster) -> str:
@@ -334,6 +512,30 @@ def _filtered_arrivals(workload: Iterable[Any], local: frozenset[int]):
             yield arrival
 
 
+def _monotone_arrivals(arrivals: Iterable[Any], shard_index: int):
+    """Enforce non-decreasing stream order for the seam window's feeder guard.
+
+    The seam probe bounds not-yet-scheduled streamed arrivals by the latest
+    feeder entry on the agenda, which is only sound when the stream never
+    goes back in time (the documented generator contract,
+    :mod:`repro.workload.arrivals`).  A violating stream fails fast here —
+    before the unsound window could have been computed — instead of
+    corrupting the run; materialise the workload or use
+    ``shard_window="classic"`` for such streams.
+    """
+    last: float | None = None
+    for arrival in arrivals:
+        if last is not None and arrival.at < last:
+            raise ConfigurationError(
+                f"shard {shard_index}: workload stream went backwards in time "
+                f"(arrival at t={arrival.at} after t={last}); the seam window "
+                "needs a non-decreasing stream — materialise the workload or "
+                "use shard_window='classic'"
+            )
+        last = arrival.at
+        yield arrival
+
+
 def _shard_worker_main(conn, shard_index: int, cfg: dict[str, Any]) -> None:
     """One shard's process: build, feed, run windows, report, finish.
 
@@ -347,11 +549,13 @@ def _shard_worker_main(conn, shard_index: int, cfg: dict[str, Any]) -> None:
         core_messages._request_counter = itertools.count(1)
         setup_start = time.perf_counter()
         local = frozenset(cfg["local_nodes"])
+        seam = cfg["shard_window"] == "seam"
         nodes = build_nodes(cfg["algorithm"], cfg["n"], **cfg["node_options"])
         cluster = ShardWorkerCluster(
             dict(nodes),
             local_nodes=local,
             delay_seed=cfg["seed"],
+            seam_window=seam,
             delay_model=cfg["delay_model"],
             seed=cfg["seed"],
             trace=cfg["trace"],
@@ -369,6 +573,11 @@ def _shard_worker_main(conn, shard_index: int, cfg: dict[str, Any]) -> None:
         feed_start = time.perf_counter()
         arrivals = _filtered_arrivals(cfg["workload"], local)
         if cfg["stream"]:
+            if seam:
+                # Lazy feeds only ever hold a window of the stream; the seam
+                # probe's guard for the unscheduled rest needs the stream
+                # order checked as it is consumed.
+                arrivals = _monotone_arrivals(arrivals, shard_index)
             cluster.feed_workload(arrivals, window=cfg["feed_window"])
         else:
             # Eager semantics: everything scheduled up front, ids in stream
@@ -377,7 +586,15 @@ def _shard_worker_main(conn, shard_index: int, cfg: dict[str, Any]) -> None:
             if eager:
                 cluster.feed_workload(iter(eager), window=len(eager))
         feed_s = time.perf_counter() - feed_start
-        conn.send(("ready", cluster.next_event_time(), setup_s, feed_s))
+        conn.send(
+            (
+                "ready",
+                cluster.next_event_time(),
+                cluster.crossing_bound(),
+                setup_s,
+                feed_s,
+            )
+        )
 
         run_s = 0.0
         while True:
@@ -391,9 +608,16 @@ def _shard_worker_main(conn, shard_index: int, cfg: dict[str, Any]) -> None:
             before = cluster.simulator.processed_events
             cluster.simulator.run(until=horizon, max_events=budget, exclusive=True)
             processed = cluster.simulator.processed_events - before
+            cluster.settle_boundary(horizon)
             run_s += time.perf_counter() - run_start
             conn.send(
-                ("window", cluster.next_event_time(), cluster.drain_outbox(), processed)
+                (
+                    "window",
+                    cluster.next_event_time(),
+                    cluster.crossing_bound(),
+                    cluster.drain_outbox(),
+                    processed,
+                )
             )
 
         metrics = cluster.metrics
@@ -426,6 +650,10 @@ def _shard_worker_main(conn, shard_index: int, cfg: dict[str, Any]) -> None:
             conn.send(("error", type(exc).__name__, str(exc)))
         except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
             pass
+        # A structured error frame does not make the crash a clean exit: the
+        # process must still die non-zero so infrastructure watching exit
+        # codes (and the coordinator's reaper) sees the failure.
+        raise SystemExit(1)
     finally:
         conn.close()
 
@@ -612,6 +840,7 @@ def run_sharded(
     *,
     shards: int,
     shard_by: str = "range",
+    shard_window: str = "seam",
     seed: int = 0,
     delay_model: DelayModel | None = None,
     trace: bool = False,
@@ -631,6 +860,12 @@ def run_sharded(
     declarative layer (``ScenarioSpec(shards=W)``).  See the module
     docstring for the synchronisation protocol, the determinism contract
     and the scope restrictions.
+
+    ``shard_window`` selects the window rule: ``"seam"`` (default) batches
+    windows with the seam-aware earliest-crossing bound; ``"classic"`` is
+    the one-event-window rule of PR 7 (every event assumed crossing-capable).
+    Both produce byte-identical per-shard digests and results; they differ
+    only in ``sync_rounds`` (and wall-clock).
     """
     # Imported here, not at module top: the runner imports this module
     # lazily from inside run_workload, so a top-level back-import would
@@ -646,6 +881,11 @@ def run_sharded(
         raise ConfigurationError(
             "sharded runs keep no per-message records to merge: use "
             f"metrics_detail='counters' or 'telemetry', not {metrics_detail!r}"
+        )
+    if shard_window not in ("seam", "classic"):
+        raise ConfigurationError(
+            f"unknown shard_window {shard_window!r}; choose from "
+            "['classic', 'seam']"
         )
     delay_model = delay_model or UniformDelay()
     lookahead = delay_model.min_delay()
@@ -723,6 +963,7 @@ def run_sharded(
                 "workload": workload,
                 "stream": stream,
                 "feed_window": feed_window,
+                "shard_window": shard_window,
             }
             worker = ctx.Process(
                 target=_shard_worker_main,
@@ -736,11 +977,19 @@ def run_sharded(
             workers.append(worker)
 
         next_times: list[float | None] = [None] * shards
+        bounds: list[float | None] = [None] * shards
         worker_setup = [0.0] * shards
         worker_feed = [0.0] * shards
+        last_horizon: float | None = None
         for index, conn in enumerate(conns):
             reply = _recv(conn, index)
-            _, next_times[index], worker_setup[index], worker_feed[index] = reply
+            (
+                _,
+                next_times[index],
+                bounds[index],
+                worker_setup[index],
+                worker_feed[index],
+            ) = reply
         setup_s = time.perf_counter() - setup_start
 
         run_start = time.perf_counter()
@@ -750,11 +999,53 @@ def run_sharded(
         sync_rounds = 0
         processed_total = 0
         while True:
-            candidates = [t for t in next_times if t is not None]
-            candidates.extend(msg[0] for box in inboxes for msg in box)
-            if not candidates:
+            if not any(t is not None for t in next_times) and not any(inboxes):
                 break
-            horizon = min(candidates) + lookahead
+            # Effective earliest-crossing bound per shard: the reported bound,
+            # clamped by the earliest arrival about to be routed into it (an
+            # injected message can trigger a cross send at its arrival, which
+            # the shard could not see when it reported).  ``inf`` encodes
+            # "cannot emit across the seam from current state".
+            effective: list[float] = []
+            for index in range(shards):
+                eff = bounds[index] if bounds[index] is not None else math.inf
+                if inboxes[index]:
+                    arrival = min(msg[0] for msg in inboxes[index])
+                    if arrival < eff:
+                        eff = arrival
+                effective.append(eff)
+            if shard_window == "classic":
+                # The historical global window: every shard runs to the same
+                # ``min(next events + held arrivals) + lookahead`` horizon.
+                horizon = min(effective) + lookahead
+                horizons = [horizon] * shards
+            elif shards == 1:
+                # One shard cannot receive cross traffic at all: run to
+                # quiescence (the event budget still applies).
+                horizons = [math.inf]
+            else:
+                # Seam windows are per shard: shard ``i`` is safe up to
+                #
+                #   min over the *other* shards of effective + lookahead
+                #
+                # because every chain of cross messages that ends at shard
+                # ``i`` has a last hop from some other shard, whose first
+                # emission is >= that shard's effective bound, and the hop
+                # costs at least a lookahead.  Chains seeded by shard ``i``
+                # itself (a boomerang: its own emission hops out and back,
+                # two lookaheads minimum) are cut by the shard in-window the
+                # moment the seeding send actually happens
+                # (:meth:`Simulator.tighten_run_horizon`), so the horizon
+                # here never depends on the shard's own crossing bound — a
+                # shard whose neighbours are quiet batches its whole local
+                # future in one window.
+                horizons = []
+                for index in range(shards):
+                    others = min(
+                        effective[j] for j in range(shards) if j != index
+                    )
+                    horizons.append(others + lookahead)
+            last_horizon = min(horizons)
             budget = None if max_events is None else max_events - processed_total
             if budget is not None and budget <= 0:
                 raise SimulationError(
@@ -767,14 +1058,17 @@ def run_sharded(
                 index
                 for index in range(shards)
                 if inboxes[index]
-                or (next_times[index] is not None and next_times[index] < horizon)
+                or (
+                    next_times[index] is not None
+                    and next_times[index] < horizons[index]
+                )
             ]
             for index in active:
-                conns[index].send(("window", horizon, inboxes[index], budget))
+                conns[index].send(("window", horizons[index], inboxes[index], budget))
                 inboxes[index] = []
             for index in active:
                 reply = _recv(conns[index], index)
-                _, next_times[index], outbox, processed = reply
+                _, next_times[index], bounds[index], outbox, processed = reply
                 processed_total += processed
                 for item in outbox:
                     inboxes[shard_of[item[2]]].append(item)
@@ -784,8 +1078,26 @@ def run_sharded(
         for conn in conns:
             conn.send(("finish",))
         payloads = [ _recv(conn, index)[1] for index, conn in enumerate(conns) ]
-        for worker in workers:
+        for index, worker in enumerate(workers):
             worker.join(timeout=30)
+            if worker.is_alive():
+                raise SimulationError(
+                    f"shard {index} worker did not exit within 30s of "
+                    "delivering its payload (zombie shard; killing it)"
+                )
+    except _WorkerDied as exc:
+        # Reap the remaining workers before surfacing the death: a dead
+        # coordinator round must not leak zombie shards behind the raise.
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=5)
+        dead = workers[exc.shard_index] if exc.shard_index < len(workers) else None
+        exitcode = dead.exitcode if dead is not None else None
+        raise SimulationError(
+            f"shard {exc.shard_index} worker died without a reply "
+            f"(exit code {exitcode}, last window horizon {last_horizon})"
+        ) from exc
     finally:
         for conn in conns:
             conn.close()
@@ -862,6 +1174,7 @@ def run_sharded(
         extra={
             "shards": shards,
             "shard_by": shard_by,
+            "shard_window": shard_window,
             "sync_rounds": sync_rounds,
             "merge_s": merge_s,
             "lookahead": lookahead,
@@ -872,14 +1185,27 @@ def run_sharded(
     return result
 
 
+class _WorkerDied(SimulationError):
+    """A shard worker's pipe hit EOF: the process died without a reply.
+
+    Distinct from the structured ``("error", ...)`` frame a worker sends
+    before dying on an exception of its own — EOF means the process was
+    killed from outside (OOM, SIGKILL) or crashed hard.  Caught by the
+    coordinator, which reaps the surviving workers and re-raises with the
+    shard index, exit code and last window horizon.
+    """
+
+    def __init__(self, shard_index: int) -> None:
+        super().__init__(f"shard {shard_index} worker exited without a reply")
+        self.shard_index = shard_index
+
+
 def _recv(conn, shard_index: int):
     """Receive one worker reply, surfacing worker-side errors."""
     try:
         reply = conn.recv()
-    except EOFError as exc:  # pragma: no cover - worker died uncleanly
-        raise SimulationError(
-            f"shard {shard_index} worker exited without a reply"
-        ) from exc
+    except EOFError as exc:
+        raise _WorkerDied(shard_index) from exc
     if reply[0] == "error":
         _, error_type, message = reply
         raise SimulationError(

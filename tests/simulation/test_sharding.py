@@ -266,22 +266,230 @@ class TestShardedVsSerialParity:
         )
 
 
+class TestSeamWindowBatching:
+    """Tentpole: seam windows batch sync rounds without moving an event.
+
+    Every cell runs the same traced workload under both window rules (and
+    against the ``shards=1`` control): per-shard digests byte-identical,
+    merged aggregates equal, and the seam rule strictly cheaper in
+    synchronisation rounds.
+    """
+
+    CELLS = [(2, "range"), (3, "range"), (4, "range"), (2, "cube"), (4, "cube")]
+
+    @pytest.mark.parametrize("shards,shard_by", CELLS)
+    def test_digest_parity_with_strictly_fewer_rounds(self, shards, shard_by):
+        classic = run_cell(
+            shards,
+            n=32,
+            detail="counters",
+            shard_by=shard_by,
+            trace=True,
+            shard_window="classic",
+        )
+        seam = run_cell(shards, n=32, detail="counters", shard_by=shard_by, trace=True)
+        assert seam.extra["shard_digests"] == classic.extra["shard_digests"]
+        assert seam.extra["sync_rounds"] < classic.extra["sync_rounds"]
+        assert seam.extra["shard_window"] == "seam"
+        assert classic.extra["shard_window"] == "classic"
+
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    def test_seam_telemetry_equals_serial_control(self, shards):
+        control = run_cell(1, n=32)
+        seam = run_cell(shards, n=32)
+        assert parity_keys(seam) == parity_keys(control)
+        assert seam.extra["shard_window"] == "seam"
+
+    def test_single_shard_seam_quiesces_in_one_window(self):
+        """One shard cannot receive cross traffic: the seam horizon is
+        unbounded and the whole run is a single window."""
+        result = run_cell(1, n=16)
+        assert result.extra["sync_rounds"] == 1
+
+    def test_unknown_window_rule_rejected(self):
+        with pytest.raises(ConfigurationError, match="shard_window"):
+            run_cell(2, n=16, shard_window="eager")
+
+
+class TestSeamWindowSoundness:
+    """Boundary-bound property: no cross message ever lands in a shard's
+    past.  Spies on the coordinator's pipe traffic (the worker processes
+    fork after the patch, so only parent-side frames are recorded) and
+    replays the causality argument against the actual windows."""
+
+    def test_cross_messages_never_land_in_a_shards_past(self, monkeypatch):
+        import math
+
+        from multiprocessing.connection import Connection
+
+        from repro.simulation import sharding
+
+        traffic = []
+        real_send = Connection.send
+
+        def spy_send(self, obj):
+            traffic.append(("send", self.fileno(), obj))
+            return real_send(self, obj)
+
+        fileno_to_shard = {}
+        real_recv = sharding._recv
+
+        def spy_recv(conn, index):
+            fileno_to_shard[conn.fileno()] = index
+            reply = real_recv(conn, index)
+            traffic.append(("recv", index, reply))
+            return reply
+
+        monkeypatch.setattr(Connection, "send", spy_send)
+        monkeypatch.setattr(sharding, "_recv", spy_recv)
+
+        result = run_cell(2, n=16)
+        lookahead = result.extra["lookahead"]
+        assert result.extra["sync_rounds"] > 1
+
+        # A shard's processed frontier after a window sits strictly below
+        # min(coordinator horizon, its own boomerang cut) — the cut fires
+        # at first-cross-emission + 2 lookaheads, and the first emission is
+        # bounded by the window's earliest outbox ``sent_at``.
+        injected = 0
+        floors = {}  # shard -> upper bound on its processed frontier
+        pending = {}  # shard -> horizon of the window it is running
+        for kind, key, frame in traffic:
+            if kind == "send" and frame[0] == "window":
+                shard = fileno_to_shard[key]
+                _, horizon, inbound, _budget = frame
+                for arrival, _sender, _dest, _message, sent_at in inbound:
+                    injected += 1
+                    # Each hop costs at least a lookahead ...
+                    assert arrival >= sent_at + lookahead - 1e-12
+                    # ... and never lands below the receiver's frontier.
+                    assert arrival >= floors.get(shard, 0.0) - 1e-12
+                pending[shard] = horizon
+            elif kind == "recv" and frame[0] == "window":
+                _, _next_time, _bound, outbox, _processed = frame
+                cut = (
+                    min(item[4] for item in outbox) + 2.0 * lookahead
+                    if outbox
+                    else math.inf
+                )
+                floors[key] = min(pending[key], cut)
+        assert injected > 0  # the cell actually exercised the seam
+
+
+class TestCoordinatorFailureHandling:
+    """Satellite: worker death and worker-side errors surface with the
+    shard index — never a hang or a bare EOFError."""
+
+    def test_sigkilled_worker_surfaces_index_and_exit_code(self, monkeypatch):
+        import os
+        import signal
+
+        from repro.exceptions import SimulationError
+        from repro.simulation import sharding
+
+        real_main = sharding._shard_worker_main
+
+        def doomed_main(conn, shard_index, cfg):
+            if shard_index == 1:
+                conn.send(("ready", 0.0, 0.0, 0.0, 0.0))
+                conn.recv()  # first window command, then die mid-run
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real_main(conn, shard_index, cfg)
+
+        monkeypatch.setattr(sharding, "_shard_worker_main", doomed_main)
+        with pytest.raises(SimulationError, match="shard 1 worker died") as excinfo:
+            run_cell(2, n=16)
+        message = str(excinfo.value)
+        assert "exit code -9" in message  # -SIGKILL
+        assert "last window horizon" in message
+
+    def test_worker_sends_error_frame_then_exits_nonzero(self):
+        """The crash path itself, in-process: a structured error frame on
+        the pipe, then a non-zero exit for infrastructure watching codes."""
+        from repro.simulation.sharding import _shard_worker_main
+
+        class FakeConn:
+            def __init__(self):
+                self.frames = []
+
+            def send(self, obj):
+                self.frames.append(obj)
+
+            def close(self):
+                self.closed = True
+
+        cfg = dict(
+            algorithm="no-such-algorithm",
+            n=8,
+            local_nodes=(1, 2, 3, 4),
+            seed=1,
+            delay_model=UniformDelay(**DELAY),
+            trace=False,
+            metrics_detail="counters",
+            telemetry_options=None,
+            cluster_kwargs={},
+            node_options={},
+            workload=poisson_arrivals(8, 8, rate=0.5, seed=1, hold=0.2),
+            stream=False,
+            feed_window=8,
+            shard_window="seam",
+        )
+        conn = FakeConn()
+        with pytest.raises(SystemExit) as excinfo:
+            _shard_worker_main(conn, 0, cfg)
+        assert excinfo.value.code == 1
+        kind, error_type, message = conn.frames[-1]
+        assert kind == "error"
+        assert "no-such-algorithm" in message
+        assert conn.closed
+
+    def test_error_frame_becomes_a_simulation_error_naming_the_shard(self):
+        from repro.exceptions import SimulationError
+        from repro.simulation import sharding
+
+        class FrameConn:
+            def recv(self):
+                return ("error", "RuntimeError", "boom")
+
+        with pytest.raises(
+            SimulationError, match="shard 3 worker failed: RuntimeError: boom"
+        ):
+            sharding._recv(FrameConn(), 3)
+
+    def test_pipe_eof_is_a_worker_death_with_the_shard_index(self):
+        from repro.simulation import sharding
+
+        class DeadConn:
+            def recv(self):
+                raise EOFError
+
+        with pytest.raises(sharding._WorkerDied) as excinfo:
+            sharding._recv(DeadConn(), 2)
+        assert excinfo.value.shard_index == 2
+
+
 class TestPerShardDigests:
-    def scenario(self):
+    def scenario(self, **overrides):
         workload = poisson_arrivals(8, 16, rate=0.5, seed=5, hold=0.4)
-        return run_workload(
-            "open-cube",
-            8,
-            workload,
+        kwargs = dict(
             seed=7,
             delay_model=UniformDelay(**DELAY),
             metrics_detail="counters",
             shards=2,
             trace=True,
         )
+        kwargs.update(overrides)
+        return run_workload("open-cube", 8, workload, **kwargs)
 
     def test_pinned_shard_digests(self):
         result = self.scenario()
+        assert tuple(result.extra["shard_digests"]) == SHARD_DIGESTS
+
+    def test_classic_window_produces_the_same_pinned_digests(self):
+        """The window rule batches synchronisation, never event order: the
+        seam default and the classic one-event rule hash to the same pinned
+        constants — only ``sync_rounds`` may differ between them."""
+        result = self.scenario(shard_window="classic")
         assert tuple(result.extra["shard_digests"]) == SHARD_DIGESTS
 
     def test_digests_reproduce_across_runs(self):
@@ -477,3 +685,38 @@ class TestScenarioSpecSharding:
     def test_serial_rows_carry_no_shard_columns(self):
         row = self.spec(shards=0).run().row()
         assert "shards" not in row and "sync_rounds" not in row
+
+    def test_shard_window_round_trips_and_defaults_to_seam(self):
+        import json
+
+        from repro.scenarios.spec import ScenarioSpec
+
+        data = self.spec(shard_window="classic").to_dict()
+        assert data["shard_window"] == "classic"
+        restored = ScenarioSpec.from_dict(json.loads(json.dumps(data)))
+        assert restored.shard_window == "classic"
+        # Dicts written before the knob existed replay under the default.
+        del data["shard_window"]
+        assert ScenarioSpec.from_dict(data).shard_window == "seam"
+
+    def test_row_reports_window_rule_and_batching_figures(self):
+        seam_row = self.spec().run().row()
+        classic_row = self.spec(shard_window="classic").run().row()
+        assert seam_row["shard_window"] == "seam"
+        assert classic_row["shard_window"] == "classic"
+        assert seam_row["sync_rounds"] < classic_row["sync_rounds"]
+        for row in (seam_row, classic_row):
+            assert row["events_per_window"] == pytest.approx(
+                row["events"] / row["sync_rounds"], abs=0.01
+            )
+        assert seam_row["events_per_window"] > classic_row["events_per_window"]
+
+    def test_rows_bracket_rss_with_a_delta_column(self):
+        """Satellite: ``peak_rss_mb`` is the process high-water mark (it is
+        monotone across cells); ``rss_delta_mb`` is this cell's own growth
+        of it, so sweep rows no longer attribute earlier cells' footprint
+        to whichever cell happens to run later."""
+        for spec in (self.spec(), self.spec(shards=0)):
+            row = spec.run().row()
+            assert row["rss_delta_mb"] >= 0.0
+            assert row["peak_rss_mb"] >= row["rss_delta_mb"]

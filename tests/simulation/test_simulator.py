@@ -166,3 +166,102 @@ class TestRunControls:
         sim.schedule(1.0, ScheduledAction(label="go", action=lambda: fired.append(True)))
         sim.run()
         assert fired == [True]
+
+
+class TestTightenRunHorizon:
+    def test_handler_can_close_an_exclusive_window_early(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(1.0, lambda: (fired.append(1.0), sim.tighten_run_horizon(3.0)))
+        sim.call_at(2.0, lambda: fired.append(2.0))
+        sim.call_at(3.0, lambda: fired.append(3.0))
+        sim.call_at(4.0, lambda: fired.append(4.0))
+        sim.run(until=10.0, exclusive=True)
+        assert fired == [1.0, 2.0]
+        sim.run(until=10.0, exclusive=True)
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_tighten_never_widens_the_window(self):
+        sim = Simulator()
+        fired = []
+
+        def cut_then_try_to_widen():
+            sim.tighten_run_horizon(2.0)
+            sim.tighten_run_horizon(8.0)
+
+        sim.call_at(1.0, cut_then_try_to_widen)
+        sim.call_at(3.0, lambda: fired.append(3.0))
+        sim.run(until=10.0, exclusive=True)
+        assert fired == []
+
+    def test_strict_horizon_leaves_events_at_the_cut(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(1.0, lambda: sim.tighten_run_horizon(2.0))
+        sim.call_at(2.0, lambda: fired.append(2.0))
+        sim.run(until=10.0, exclusive=True)
+        assert fired == []
+
+
+class TestEarliestEventAtOwnerFiltering:
+    def test_actions_are_attributed_via_their_label_suffix(self):
+        sim = Simulator()
+        sim.call_at(4.0, lambda: None, label="release-7")
+        sim.call_at(6.0, lambda: None, label="release-3")
+        earliest, guard = sim.earliest_event_at({3})
+        assert earliest == 6.0
+        earliest, _ = sim.earliest_event_at({7})
+        assert earliest == 4.0
+        earliest, _ = sim.earliest_event_at({1})
+        assert earliest is None
+        assert guard is None
+
+    def test_unattributable_actions_count_for_every_shard(self):
+        sim = Simulator()
+        sim.call_at(5.0, lambda: None, label="checkpoint")
+        earliest, _ = sim.earliest_event_at({1})
+        assert earliest == 5.0
+        earliest, _ = sim.earliest_event_at(frozenset())
+        assert earliest == 5.0
+
+    def test_timers_are_attributed_to_their_owner(self):
+        from repro.simulation.events import TimerExpiry
+
+        sim = Simulator()
+        sim.schedule(2.0, TimerExpiry(node=9, timer_id=1, name="retry"))
+        sim.schedule(3.0, TimerExpiry(node=4, timer_id=2, name="retry"))
+        earliest, _ = sim.earliest_event_at({4})
+        assert earliest == 3.0
+        earliest, _ = sim.earliest_event_at({9, 4})
+        assert earliest == 2.0
+        earliest, _ = sim.earliest_event_at({1})
+        assert earliest is None
+
+    def test_deliveries_are_attributed_to_their_destination(self):
+        sim = Simulator()
+        sim.schedule_delivery(7.0, sender=1, dest=2, message="m", sent_at=6.0)
+        earliest, _ = sim.earliest_event_at({2})
+        assert earliest == 7.0
+        earliest, _ = sim.earliest_event_at({1})
+        assert earliest is None
+
+    def test_cancelled_entries_are_invisible(self):
+        sim = Simulator()
+        entry = sim.call_at(1.0, lambda: None, label="release-5")
+        sim.call_at(8.0, lambda: None, label="release-5")
+        Simulator.cancel(entry)
+        earliest, _ = sim.earliest_event_at({5})
+        assert earliest == 8.0
+
+    def test_request_entries_report_the_feeder_guard(self):
+        sim = Simulator()
+        feeder = iter(())
+        sim.schedule_request(2.0, (6, 0, 1.0, feeder))
+        sim.schedule_request(5.0, (6, 1, 1.0, feeder))
+        sim.schedule_request(9.0, (1, 2, 1.0, None))
+        earliest, guard = sim.earliest_event_at({6})
+        assert earliest == 2.0
+        assert guard == 5.0
+        earliest, guard = sim.earliest_event_at({1})
+        assert earliest == 9.0
+        assert guard == 5.0
